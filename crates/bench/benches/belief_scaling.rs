@@ -1,0 +1,64 @@
+//! EXT-C (micro): cost of one 5-second belief-update window as the
+//! hypothesis count grows — the engine-side of the paper's "more than a
+//! few million configurations is impractical" remark (§3.2).
+
+use augur_elements::{build_model, GateSpec, ModelParams};
+use augur_inference::{Belief, BeliefConfig, Hypothesis};
+use augur_sim::{BitRate, Bits, Ppm, Time};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn prior(n: usize) -> Vec<Hypothesis<ModelParams>> {
+    (0..n)
+        .map(|i| {
+            let bps = 8_000 + (i as u64 * 8_000) / (n.max(2) as u64 - 1);
+            let params = ModelParams {
+                link_rate: BitRate::from_bps(bps.max(1)),
+                cross_rate: BitRate::from_bps((bps * 7 / 10).max(1)),
+                gate: GateSpec::AlwaysOn,
+                loss: Ppm::ZERO,
+                buffer_capacity: Bits::new(96_000),
+                initial_fullness: Bits::ZERO,
+                packet_size: Bits::from_bytes(1_500),
+                cross_active: true,
+            };
+            Hypothesis {
+                net: build_model(params).net,
+                meta: params,
+                weight: 1.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_belief(c: &mut Criterion) {
+    let probe = build_model(ModelParams::paper_ground_truth());
+    let mut group = c.benchmark_group("belief_advance_5s");
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let belief0 = Belief::new(
+                prior(n),
+                probe.entry,
+                probe.rx_self,
+                BeliefConfig {
+                    fold_loss_node: Some(probe.loss),
+                    max_branches: 2 * n,
+                    ..BeliefConfig::default()
+                },
+            );
+            b.iter(|| {
+                let mut belief = belief0.clone();
+                belief.advance(Time::from_secs(5), &[]).unwrap();
+                black_box(belief.branch_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_belief
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! ABL-1: state compaction. The paper argues forks "do not generally lead
+//! to an unbounded explosion" *because* reconverged states are compacted
+//! (§3.2). We measure an advance over a fork-heavy window (intermittent
+//! gate, 10 epochs) with compaction as implemented, and the raw cost of
+//! the compaction pass itself.
+
+use augur_elements::{build_model, GateSpec, ModelParams};
+use augur_inference::{compact, Belief, BeliefConfig, Hypothesis};
+use augur_sim::{BitRate, Bits, Dur, Ppm, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn forky_prior(n: usize) -> Vec<Hypothesis<ModelParams>> {
+    (0..n)
+        .map(|i| {
+            let bps = 10_000 + (i as u64 * 6_000) / (n.max(2) as u64 - 1);
+            let params = ModelParams {
+                link_rate: BitRate::from_bps(bps),
+                cross_rate: BitRate::from_bps(bps * 7 / 10),
+                gate: GateSpec::Intermittent {
+                    mtts: Dur::from_secs(100),
+                    epoch: Dur::from_secs(1),
+                    initially_connected: true,
+                },
+                loss: Ppm::from_prob(0.2),
+                buffer_capacity: Bits::new(96_000),
+                initial_fullness: Bits::ZERO,
+                packet_size: Bits::from_bytes(1_500),
+                cross_active: true,
+            };
+            Hypothesis {
+                net: build_model(params).net,
+                meta: params,
+                weight: 1.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let probe = build_model(ModelParams::paper_ground_truth());
+
+    // Fork-heavy advance: 10 gate epochs with no observations means 2^10
+    // branch paths per hypothesis, bounded by compaction + the cap.
+    c.bench_function("forky_advance_10_epochs_100_hyps", |b| {
+        let belief0 = Belief::new(
+            forky_prior(100),
+            probe.entry,
+            probe.rx_self,
+            BeliefConfig {
+                fold_loss_node: Some(probe.loss),
+                max_branches: 20_000,
+                ..BeliefConfig::default()
+            },
+        );
+        b.iter(|| {
+            let mut belief = belief0.clone();
+            belief.advance(Time::from_secs(10), &[]).unwrap();
+            black_box(belief.branch_count())
+        })
+    });
+
+    // The compaction pass itself on a population with heavy duplication.
+    c.bench_function("compact_10k_branches_100_states", |b| {
+        let base = forky_prior(100);
+        b.iter(|| {
+            let mut pop: Vec<Hypothesis<ModelParams>> = (0..10_000)
+                .map(|i| base[i % base.len()].clone())
+                .collect();
+            black_box(compact(&mut pop))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compaction
+}
+criterion_main!(benches);

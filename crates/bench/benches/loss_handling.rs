@@ -1,0 +1,117 @@
+//! ABL-2: last-mile loss folded analytically (weight multiplication)
+//! versus forked explicitly (two branches conditioned separately) —
+//! the paper's own design point (§3.2: last-mile loss "consequences do
+//! not linger"). Both must give the same posterior; the fold must be
+//! cheaper.
+
+use augur_elements::{build_model, GateSpec, ModelParams, Step};
+use augur_inference::{Belief, BeliefConfig, Hypothesis, Observation};
+use augur_sim::{BitRate, Bits, FlowId, Packet, Ppm, SimRng, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn prior() -> Vec<Hypothesis<ModelParams>> {
+    [10_000u64, 12_000, 14_000, 16_000]
+        .iter()
+        .flat_map(|&bps| {
+            [0.0, 0.1, 0.2].iter().map(move |&p| {
+                let params = ModelParams {
+                    link_rate: BitRate::from_bps(bps),
+                    cross_rate: BitRate::from_bps(bps * 7 / 10),
+                    gate: GateSpec::AlwaysOn,
+                    loss: Ppm::from_prob(p),
+                    buffer_capacity: Bits::new(96_000),
+                    initial_fullness: Bits::ZERO,
+                    packet_size: Bits::from_bytes(1_500),
+                    cross_active: true,
+                };
+                Hypothesis {
+                    net: build_model(params).net,
+                    meta: params,
+                    weight: 1.0,
+                }
+            })
+        })
+        .collect()
+}
+
+/// 30 s of scripted sends against the paper-like truth; returns the acks.
+fn script() -> Vec<(Time, Vec<Observation>, Option<Packet>)> {
+    let mut truth = build_model(ModelParams {
+        link_rate: BitRate::from_bps(12_000),
+        cross_rate: BitRate::from_bps(8_400),
+        gate: GateSpec::AlwaysOn,
+        loss: Ppm::from_prob(0.2),
+        buffer_capacity: Bits::new(96_000),
+        initial_fullness: Bits::ZERO,
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
+    });
+    let mut rng = SimRng::seed_from_u64(3);
+    let mut out = Vec::new();
+    let mut seq = 0;
+    for s in 0..=30u64 {
+        let t = Time::from_secs(s);
+        truth.net.run_until_sampled(t, &mut rng);
+        let acks: Vec<Observation> = truth
+            .net
+            .take_deliveries()
+            .into_iter()
+            .filter(|(n, d)| *n == truth.rx_self && d.packet.flow == FlowId::SELF)
+            .map(|(_, d)| Observation { seq: d.packet.seq, at: d.at })
+            .collect();
+        truth.net.take_drops();
+        let send = (s % 2 == 0 && s < 30).then(|| {
+            let p = Packet::new(FlowId::SELF, seq, Bits::from_bytes(1_500), t);
+            seq += 1;
+            p
+        });
+        if let Some(p) = send {
+            truth.net.inject(truth.entry, p);
+            while let Step::Pending(spec) = truth.net.run_until(t) {
+                let pick = usize::from(rng.bernoulli(spec.p1));
+                truth.net.resolve(pick);
+            }
+        }
+        out.push((t, acks, send));
+    }
+    out
+}
+
+fn run(fold: bool, script: &[(Time, Vec<Observation>, Option<Packet>)]) -> usize {
+    let probe = build_model(ModelParams::paper_ground_truth());
+    let mut belief = Belief::new(
+        prior(),
+        probe.entry,
+        probe.rx_self,
+        BeliefConfig {
+            fold_loss_node: Some(probe.loss),
+            fold_self_loss: fold,
+            ..BeliefConfig::default()
+        },
+    );
+    for (t, acks, send) in script {
+        belief.advance(*t, acks).unwrap();
+        if let Some(p) = send {
+            belief.inject(*p);
+        }
+    }
+    belief.branch_count()
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let sc = script();
+    c.bench_function("loss_fold_analytic", |b| {
+        b.iter(|| black_box(run(true, &sc)))
+    });
+    c.bench_function("loss_fork_explicit", |b| {
+        b.iter(|| black_box(run(false, &sc)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_loss
+}
+criterion_main!(benches);

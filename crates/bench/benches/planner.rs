@@ -1,0 +1,32 @@
+//! Planner cost: one full decision (idle baseline + 9 delays) over a
+//! 512-branch planning set drawn from the paper prior.
+
+use augur_bench::paper_belief;
+use augur_core::{decide, DiscountedThroughput, PlannerConfig};
+use augur_sim::{Bits, FlowId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_planner(c: &mut Criterion) {
+    let belief = paper_belief(50_000);
+    let utility = DiscountedThroughput::with_alpha(1.0);
+    c.bench_function("decide_paper_prior_512_branches", |b| {
+        b.iter(|| {
+            black_box(decide(
+                &belief,
+                &PlannerConfig::default(),
+                &utility,
+                FlowId::SELF,
+                0,
+                Bits::from_bytes(1_500),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planner
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Raw simulator throughput: 100 simulated seconds of the Figure-2
+//! ground-truth network (pinger + gate + buffer + link + loss).
+
+use augur_elements::{build_model, ModelParams};
+use augur_sim::{SimRng, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("fig2_ground_truth_100s", |b| {
+        b.iter(|| {
+            let mut m = build_model(ModelParams::paper_ground_truth());
+            let mut rng = SimRng::seed_from_u64(1);
+            m.net.run_until_sampled(Time::from_secs(100), &mut rng);
+            black_box(m.net.take_deliveries().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! EXT-D — §3.5 names active queue management and non-FIFO scheduling as
+//! missing elements; we implement RED and CoDel as BUFFER variants and
+//! show the in-network fix to Figure 1's bufferbloat: the same TCP Reno
+//! download over the same deep buffer, with the queue discipline swapped.
+//!
+//! Expected shape: drop-tail shows multi-second RTTs; CoDel holds the
+//! p95 RTT near its 100 ms interval; RED sits in between; goodput stays
+//! comparable (within ~2× of drop-tail).
+
+use augur_bench::{check, save_csv};
+use augur_elements::{
+    Buffer, CellularParams, DelayEl, Element, Link, NetworkBuilder, ReceiverEl,
+};
+use augur_sim::{Bits, Dur, Ppm, Time};
+use augur_tcp::{TcpConfig, TcpRunner, TcpTrace};
+use augur_trace::{summarize, Series, Summary};
+
+fn run(label: &str, buffer: Buffer) -> (TcpTrace, Summary) {
+    let params = CellularParams::lte_like();
+    // Rebuild the cellular path with the chosen queue discipline.
+    let mut b = NetworkBuilder::new();
+    let buf = b.add(Element::Buffer(buffer));
+    let link = b.add(Element::Link(Link::new(
+        params.rate.clone(),
+        params.arq_loss,
+        params.arq_retry_delay,
+    )));
+    let delay = b.add(Element::Delay(DelayEl::new(params.propagation)));
+    let rx = b.add(Element::Receiver(ReceiverEl));
+    b.connect(buf, link);
+    b.connect(link, delay);
+    b.connect(delay, rx);
+    let net = b.build();
+
+    let mut runner = TcpRunner::new(net, buf, rx, TcpConfig::default(), 0xA0);
+    let trace = runner.run(Time::from_secs(120));
+    let rtts: Vec<f64> = trace
+        .rtt_samples
+        .iter()
+        .map(|(_, r)| r.as_secs_f64())
+        .collect();
+    let summary = summarize(&rtts);
+    println!(
+        "  {label:<10} median RTT {:>7.3}s  p95 {:>7.3}s  max {:>7.3}s  goodput {:>9.0} bps  drops {:>4}",
+        summary.median,
+        summary.p95,
+        summary.max,
+        trace.mean_goodput_bps(Time::from_secs(120)),
+        trace.drops.len(),
+    );
+    (trace, summary)
+}
+
+fn main() {
+    println!("EXT-D: TCP Reno over the LTE-like path, queue discipline swapped, 120 s\n");
+    let capacity = CellularParams::lte_like().buffer_capacity;
+
+    let (droptail_trace, droptail) = run("drop-tail", Buffer::drop_tail(capacity));
+    let (red_trace, red) = run(
+        "RED",
+        Buffer::red(
+            capacity,
+            Bits::new(capacity.as_u64() / 12), // min_th
+            Bits::new(capacity.as_u64() / 4),  // max_th
+            Ppm::from_prob(0.1),
+            9, // EWMA weight 1/512
+        ),
+    );
+    let (codel_trace, codel) = run(
+        "CoDel",
+        Buffer::codel(capacity, Dur::from_millis(5), Dur::from_millis(100)),
+    );
+
+    // Series for the figure: RTT over time per discipline.
+    let series = |name: &str, trace: &TcpTrace| {
+        let mut s = Series::new(name);
+        for (t, r) in &trace.rtt_samples {
+            s.push(t.as_secs_f64(), r.as_secs_f64());
+        }
+        s
+    };
+    let s1 = series("droptail", &droptail_trace);
+    let s2 = series("red", &red_trace);
+    let s3 = series("codel", &codel_trace);
+    save_csv("ext_aqm_rtt", &[&s1, &s2, &s3]);
+
+    println!("\nShape checks:");
+    check(
+        "drop-tail bloats (p95 RTT in the seconds)",
+        droptail.p95 > 2.0,
+        format!("p95 {:.3}s", droptail.p95),
+    );
+    check(
+        "CoDel tames the standing queue (p95 < 1/4 of drop-tail)",
+        codel.p95 < droptail.p95 / 4.0,
+        format!("{:.3}s vs {:.3}s", codel.p95, droptail.p95),
+    );
+    check(
+        "RED improves on drop-tail",
+        red.p95 < droptail.p95,
+        format!("{:.3}s vs {:.3}s", red.p95, droptail.p95),
+    );
+    let gp = |t: &TcpTrace| t.mean_goodput_bps(Time::from_secs(120));
+    check(
+        "CoDel keeps comparable goodput (>= half of drop-tail)",
+        gp(&codel_trace) >= gp(&droptail_trace) / 2.0,
+        format!("{:.0} vs {:.0} bps", gp(&codel_trace), gp(&droptail_trace)),
+    );
+}

@@ -1,0 +1,64 @@
+//! EXT-A — §3.5's first open question: "we have not yet experimented with
+//! any networks that contain more than one ISENDER … whether starting
+//! with the same or different assumptions … will be of great importance."
+//!
+//! Two ISenders (same prior, same α = 1 utility) share one 24 kbit/s
+//! bottleneck. Each models the other as an isochronous pinger — a
+//! misspecification, handled by the belief-restart protocol
+//! (`augur_bench::coexist`). Reported: per-flow throughput, Jain's
+//! fairness index, and the restart counts (a direct measurement of how
+//! badly the pinger model fits an adaptive peer).
+
+use augur_bench::coexist::{build_two_flow, coexist_belief, run_coexistence, Agent, RestartingSender};
+use augur_bench::check;
+use augur_core::{DiscountedThroughput, ISenderConfig};
+use augur_sim::{BitRate, Bits, Ppm, Time};
+
+fn main() {
+    println!("EXT-A: two ISenders sharing a 24 kbit/s bottleneck, 200 s\n");
+    let link_bps = 24_000;
+    let buffer_bits = 96_000;
+    let mut truth = build_two_flow(
+        BitRate::from_bps(link_bps),
+        Bits::new(buffer_bits),
+        Ppm::ZERO,
+        0xFA1,
+    );
+    let make = || {
+        Box::new(RestartingSender::new(
+            Box::new(move || coexist_belief(link_bps, buffer_bits)),
+            Box::new(DiscountedThroughput::with_alpha(1.0)),
+            ISenderConfig::default(),
+        ))
+    };
+    let mut a = Agent::Model(make());
+    let mut b = Agent::Model(make());
+    let t_end = Time::from_secs(200);
+    let (bits_a, bits_b) = run_coexistence(&mut truth, &mut a, &mut b, t_end);
+
+    let (ra, rb) = (
+        bits_a as f64 / t_end.as_secs_f64(),
+        bits_b as f64 / t_end.as_secs_f64(),
+    );
+    let jain = (ra + rb).powi(2) / (2.0 * (ra * ra + rb * rb)).max(1e-9);
+    let (restarts_a, restarts_b) = match (&a, &b) {
+        (Agent::Model(x), Agent::Model(y)) => (x.restarts, y.restarts),
+        _ => unreachable!(),
+    };
+    println!("  flow A: {ra:.0} bit/s ({restarts_a} belief restarts)");
+    println!("  flow B: {rb:.0} bit/s ({restarts_b} belief restarts)");
+    println!("  combined: {:.0} bit/s of {link_bps} ({:.0}%)", ra + rb, (ra + rb) / link_bps as f64 * 100.0);
+    println!("  Jain fairness index: {jain:.3}");
+
+    println!("\nShape checks:");
+    check("both senders make progress", ra > 1_000.0 && rb > 1_000.0,
+        format!("{ra:.0} / {rb:.0} bit/s"));
+    check("link not overdriven", ra + rb <= link_bps as f64 * 1.05,
+        format!("{:.0} <= {link_bps}", ra + rb));
+    check("rough fairness (Jain >= 0.7)", jain >= 0.7, format!("{jain:.3}"));
+    check(
+        "misspecification measured: restarts occurred (open question of §3.5)",
+        restarts_a + restarts_b > 0,
+        format!("{} total restarts", restarts_a + restarts_b),
+    );
+}

@@ -1,0 +1,58 @@
+//! EXT-B — §3.5's second open question: an ISender sharing a bottleneck
+//! with a TCP-like loss-based sender. The competitor here is a compact
+//! AIMD window sender (additive increase per delivery, halve on an
+//! RTO-style gap) — the congestion-control core that all the paper's §2
+//! TCP variants share.
+//!
+//! Expected shape: AIMD fills queues by design, the deferential ISender
+//! (α = 1) backs off, so the split is unequal but both make progress —
+//! quantifying the paper's worry that a deferential sender may be
+//! out-competed by a loss-based one.
+
+use augur_bench::coexist::{build_two_flow, coexist_belief, run_coexistence, Agent, AimdSender, RestartingSender};
+use augur_bench::check;
+use augur_core::{DiscountedThroughput, ISenderConfig};
+use augur_sim::{BitRate, Bits, Dur, Ppm, Time};
+
+fn main() {
+    println!("EXT-B: ISender (alpha=1) vs AIMD sender on a 24 kbit/s bottleneck, 200 s\n");
+    let link_bps = 24_000;
+    let buffer_bits = 96_000;
+    let mut truth = build_two_flow(
+        BitRate::from_bps(link_bps),
+        Bits::new(buffer_bits),
+        Ppm::ZERO,
+        0xFB2,
+    );
+    let mut a = Agent::Model(Box::new(RestartingSender::new(
+        Box::new(move || coexist_belief(link_bps, buffer_bits)),
+        Box::new(DiscountedThroughput::with_alpha(1.0)),
+        ISenderConfig::default(),
+    )));
+    let mut b = Agent::Aimd(AimdSender::new(Dur::from_secs(8)));
+    let t_end = Time::from_secs(200);
+    let (bits_model, bits_aimd) = run_coexistence(&mut truth, &mut a, &mut b, t_end);
+
+    let (rm, rt) = (
+        bits_model as f64 / t_end.as_secs_f64(),
+        bits_aimd as f64 / t_end.as_secs_f64(),
+    );
+    let restarts = match &a {
+        Agent::Model(x) => x.restarts,
+        _ => unreachable!(),
+    };
+    println!("  ISender: {rm:.0} bit/s ({restarts} belief restarts)");
+    println!("  AIMD:    {rt:.0} bit/s");
+    println!("  combined {:.0} of {link_bps} bit/s", rm + rt);
+
+    println!("\nShape checks:");
+    check("both flows make progress", rm > 500.0 && rt > 500.0,
+        format!("{rm:.0} / {rt:.0} bit/s"));
+    check("link well utilized (> 60%)", rm + rt > link_bps as f64 * 0.6,
+        format!("{:.0} bit/s", rm + rt));
+    check(
+        "loss-based sender out-competes the deferential ISender (the paper's worry)",
+        rt > rm,
+        format!("AIMD {rt:.0} > ISender {rm:.0}"),
+    );
+}

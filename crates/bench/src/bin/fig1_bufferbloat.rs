@@ -1,0 +1,82 @@
+//! FIG1 — reproduce Figure 1: "Round-trip time during a TCP download on
+//! the Verizon LTE network" (bufferbloat).
+//!
+//! The paper measured a real LTE modem; we substitute the synthetic
+//! cellular path of `augur_elements::cellular` (DESIGN.md §5): a deep
+//! drop-tail buffer feeding a fading radio link whose stochastic losses
+//! are hidden by link-layer ARQ. A TCP Reno bulk download runs for 250 s
+//! and every ACK's RTT is plotted on a log axis, as in the paper.
+//!
+//! Shape targets: RTT starts near the propagation floor (~0.1 s) and
+//! climbs beyond several seconds; max/min ratio ≥ 30×.
+
+use augur_bench::{check, save_csv};
+use augur_elements::{build_cellular, CellularParams};
+use augur_sim::Time;
+use augur_tcp::{TcpConfig, TcpRunner};
+use augur_trace::{render, PlotConfig, Series};
+
+fn main() {
+    println!("FIG1: TCP Reno download over a synthetic LTE-like path, 250 s");
+    let params = CellularParams::lte_like();
+    let cell = build_cellular(&params);
+    let mut runner = TcpRunner::new(cell.net, cell.entry, cell.rx, TcpConfig::default(), 0xF1);
+    let t_end = Time::from_secs(250);
+    let trace = runner.run(t_end);
+
+    let mut rtt = Series::new("rtt_seconds");
+    for (t, r) in &trace.rtt_samples {
+        rtt.push(t.as_secs_f64(), r.as_secs_f64());
+    }
+    println!(
+        "\n{}",
+        render(
+            &[&rtt],
+            &PlotConfig {
+                title: "Figure 1: RTT during a TCP download (log y)".into(),
+                log_y: true,
+                ..PlotConfig::default()
+            }
+        )
+    );
+    save_csv("fig1_rtt_vs_time", &[&rtt]);
+
+    let samples: Vec<f64> = rtt.values().collect();
+    let summary = augur_trace::summarize(&samples);
+    println!(
+        "\n  RTT: min {:.3}s  median {:.3}s  p95 {:.3}s  max {:.3}s  ({} samples)",
+        summary.min, summary.median, summary.p95, summary.max, summary.n
+    );
+    println!(
+        "  goodput {:.0} bit/s over {} segments ({} retransmitted, {} timeouts)",
+        trace.mean_goodput_bps(t_end),
+        trace.segments_sent,
+        trace.retransmissions,
+        trace.timeouts
+    );
+
+    println!("\nShape checks:");
+    check(
+        "RTT floor near propagation delay",
+        summary.min < 0.2,
+        format!("min RTT {:.3}s (floor 0.053s)", summary.min),
+    );
+    check(
+        "RTT climbs into the seconds (bufferbloat)",
+        summary.max > 3.0,
+        format!("max RTT {:.3}s", summary.max),
+    );
+    check(
+        "RTT blow-up ratio >= 30x (paper: ~100x)",
+        trace.rtt_blowup() >= 30.0,
+        format!("max/min = {:.0}x", trace.rtt_blowup()),
+    );
+    check(
+        "loss fully hidden by link-layer ARQ (no stochastic drops)",
+        trace
+            .drops
+            .iter()
+            .all(|d| d.reason == augur_elements::DropReason::BufferFull),
+        format!("{} drops, all buffer overflows", trace.drops.len()),
+    );
+}

@@ -1,0 +1,357 @@
+//! Co-existence harness: two adaptive senders sharing one bottleneck —
+//! the question §3.5 leaves open ("we have not yet experimented with any
+//! networks that contain more than one ISENDER, or any network elements
+//! performing TCP").
+//!
+//! # Misspecification and belief restarts
+//!
+//! An ISender models its competition as an isochronous PINGER. Another
+//! *adaptive* sender is not isochronous, so sooner or later every
+//! hypothesis mispredicts an acknowledgment time and the belief dies —
+//! exactly the failure mode one expects from exact-time conditioning
+//! under model misspecification. The harness handles this with a
+//! **restart protocol**:
+//!
+//! * rebuild the belief from the prior, with the *time origin shifted to
+//!   the restart instant* — the unknown "initial fullness" grid then
+//!   absorbs whatever is sitting in the real queue (including the
+//!   sender's own still-unacknowledged packets);
+//! * acknowledgments for pre-restart packets are ignored (the fresh
+//!   belief knows nothing about them);
+//! * restarts are counted and reported — they are a *result*, not noise:
+//!   they measure how badly the pinger model fits an adaptive peer.
+
+use augur_core::{Action, ISender, ISenderConfig, WakeOutcome};
+use augur_elements::{
+    build_model, Buffer, Diverter, Element, GateSpec, Link, Loss, ModelParams, Network,
+    NetworkBuilder, NodeId, ReceiverEl, Step,
+};
+use augur_inference::{Belief, BeliefConfig, Hypothesis, Observation};
+use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Ppm, SimRng, Time};
+
+/// Flow id of the first sender in the shared ground truth.
+pub const FLOW_A: FlowId = FlowId(0);
+/// Flow id of the second sender.
+pub const FLOW_B: FlowId = FlowId(1);
+
+/// A shared bottleneck with one receiver per flow.
+pub struct TwoFlowTruth {
+    /// The network.
+    pub net: Network,
+    /// Injection point (the shared buffer).
+    pub entry: NodeId,
+    /// Receiver of `FLOW_A`.
+    pub rx_a: NodeId,
+    /// Receiver of `FLOW_B`.
+    pub rx_b: NodeId,
+    /// Sampling RNG.
+    pub rng: SimRng,
+}
+
+/// Build `buffer → link → loss → diverter(A) → rx_a / rx_b`.
+pub fn build_two_flow(link: BitRate, buffer: Bits, loss: Ppm, seed: u64) -> TwoFlowTruth {
+    let mut b = NetworkBuilder::new();
+    let buf = b.add(Element::Buffer(Buffer::drop_tail(buffer)));
+    let link_n = b.add(Element::Link(Link::constant(link)));
+    let loss_n = b.add(Element::Loss(Loss { p: loss }));
+    let div = b.add(Element::Diverter(Diverter { flow: FLOW_A }));
+    let rx_a = b.add(Element::Receiver(ReceiverEl));
+    let rx_b = b.add(Element::Receiver(ReceiverEl));
+    b.connect(buf, link_n);
+    b.connect(link_n, loss_n);
+    b.connect(loss_n, div);
+    b.connect(div, rx_a);
+    b.connect_alt(div, rx_b);
+    TwoFlowTruth {
+        net: b.build(),
+        entry: buf,
+        rx_a,
+        rx_b,
+        rng: SimRng::seed_from_u64(seed),
+    }
+}
+
+/// The prior an ISender holds about a shared link whose competition is
+/// adaptive: link speed known-ish, competitor modeled as an always-on
+/// pinger of unknown rate (including "absent"), queue fullness unknown.
+pub fn coexist_belief(link_bps: u64, buffer_bits: u64) -> Belief<ModelParams> {
+    let mut hyps = Vec::new();
+    for frac_ppm in [0u32, 125_000, 250_000, 375_000, 500_000, 625_000, 750_000] {
+        for fill_steps in 0..=(buffer_bits / 12_000) {
+            let params = ModelParams {
+                link_rate: BitRate::from_bps(link_bps),
+                cross_rate: BitRate::from_bps(
+                    ((link_bps as u128 * frac_ppm as u128 / 1_000_000) as u64).max(1),
+                ),
+                gate: GateSpec::AlwaysOn,
+                loss: Ppm::ZERO,
+                buffer_capacity: Bits::new(buffer_bits),
+                initial_fullness: Bits::new(fill_steps * 12_000),
+                packet_size: Bits::from_bytes(1_500),
+                cross_active: frac_ppm > 0,
+            };
+            hyps.push(Hypothesis {
+                net: build_model(params).net,
+                meta: params,
+                weight: 1.0,
+            });
+        }
+    }
+    let probe = build_model(ModelParams {
+        link_rate: BitRate::from_bps(link_bps),
+        cross_rate: BitRate::from_bps(link_bps / 2),
+        gate: GateSpec::AlwaysOn,
+        loss: Ppm::ZERO,
+        buffer_capacity: Bits::new(buffer_bits),
+        initial_fullness: Bits::ZERO,
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
+    });
+    Belief::new(
+        hyps,
+        probe.entry,
+        probe.rx_self,
+        BeliefConfig {
+            fold_loss_node: Some(probe.loss),
+            ..BeliefConfig::default()
+        },
+    )
+}
+
+/// An ISender plus the restart machinery.
+pub struct RestartingSender {
+    inner: ISender<ModelParams>,
+    build: Box<dyn Fn() -> Belief<ModelParams>>,
+    /// Absolute time of the current belief's origin.
+    t0: Time,
+    /// First (absolute) sequence number the current belief knows about.
+    base_seq: u64,
+    /// Next absolute sequence number to transmit.
+    next_abs_seq: u64,
+    /// Number of belief restarts so far.
+    pub restarts: usize,
+    /// Absolute send log.
+    pub sends: Vec<(u64, Time)>,
+}
+
+impl RestartingSender {
+    /// Wrap a fresh sender.
+    pub fn new(
+        build: Box<dyn Fn() -> Belief<ModelParams>>,
+        utility: Box<dyn augur_core::Utility + Send>,
+        cfg: ISenderConfig,
+    ) -> RestartingSender {
+        RestartingSender {
+            inner: ISender::new(build(), utility, cfg),
+            build,
+            t0: Time::ZERO,
+            base_seq: 0,
+            next_abs_seq: 0,
+            restarts: 0,
+            sends: Vec::new(),
+        }
+    }
+
+    fn utility_clone_hack(&self) -> Box<dyn augur_core::Utility + Send> {
+        // The experiments all use DiscountedThroughput(α = 1).
+        Box::new(augur_core::DiscountedThroughput::with_alpha(1.0))
+    }
+
+    /// Wake with absolute-time acknowledgments; returns packets to inject
+    /// (absolute seq/flow applied by the caller) and the next wake time.
+    pub fn on_wake(&mut self, now: Time, acks: &[Observation]) -> WakeOutcome {
+        // Shift to belief-relative time; drop pre-restart ACKs.
+        let rel_acks: Vec<Observation> = acks
+            .iter()
+            .filter(|o| o.seq >= self.base_seq)
+            .map(|o| Observation {
+                seq: o.seq - self.base_seq,
+                at: o.at - self.t0.since(Time::ZERO),
+            })
+            .collect();
+        let rel_now = now - self.t0.since(Time::ZERO);
+        match self.inner.on_wake(rel_now, &rel_acks) {
+            Ok(mut outcome) => {
+                for pkt in &mut outcome.sent {
+                    // Re-base to absolute identifiers for the caller.
+                    *pkt = Packet::new(pkt.flow, pkt.seq + self.base_seq, pkt.size, now);
+                    self.sends.push((pkt.seq, now));
+                }
+                self.next_abs_seq = self.inner.next_seq() + self.base_seq;
+                outcome.next_wake += self.t0.since(Time::ZERO);
+                outcome
+            }
+            Err(_) => {
+                // Misspecification caught us: restart the belief with the
+                // clock re-zeroed at `now`.
+                self.restarts += 1;
+                self.t0 = now;
+                self.base_seq = self.next_abs_seq;
+                let cfg = self.inner.config().clone();
+                self.inner = ISender::new((self.build)(), self.utility_clone_hack(), cfg);
+                WakeOutcome {
+                    sent: Vec::new(),
+                    next_wake: now + Dur::from_millis(500),
+                    decision: augur_core::Decision {
+                        action: Action::Idle,
+                        expected_utility: 0.0,
+                        evaluations: Vec::new(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// An agent sharing the bottleneck.
+pub enum Agent {
+    /// A restarting ISender (its packets carry `flow`).
+    Model(Box<RestartingSender>),
+    /// A minimal AIMD window sender (TCP-like competitor for EXT-B):
+    /// additive increase per delivery, halve on an RTO-style gap.
+    Aimd(AimdSender),
+}
+
+/// A compact AIMD sender: window in packets, ACK-clocked.
+pub struct AimdSender {
+    /// Congestion window (packets).
+    pub window: f64,
+    next_seq: u64,
+    acked: u64,
+    /// Outstanding = next_seq - acked.
+    timeout: Dur,
+    last_progress: Time,
+    /// Absolute send log.
+    pub sends: Vec<(u64, Time)>,
+}
+
+impl AimdSender {
+    /// A fresh AIMD sender with the given RTO-like gap detector.
+    pub fn new(timeout: Dur) -> AimdSender {
+        AimdSender {
+            window: 1.0,
+            next_seq: 0,
+            acked: 0,
+            timeout,
+            last_progress: Time::ZERO,
+            sends: Vec::new(),
+        }
+    }
+
+    /// Process deliveries of our flow; returns packets to send now.
+    pub fn on_event(&mut self, now: Time, delivered: usize) -> Vec<u64> {
+        if delivered > 0 {
+            self.acked += delivered as u64;
+            self.window += delivered as f64 / self.window.max(1.0);
+            self.last_progress = now;
+        } else if now.since(self.last_progress) > self.timeout && self.next_seq > self.acked {
+            // Gap: halve, retransmit-equivalent (we just resume from acked).
+            self.window = (self.window / 2.0).max(1.0);
+            self.next_seq = self.acked;
+            self.last_progress = now;
+        }
+        let mut out = Vec::new();
+        while self.next_seq < self.acked + self.window.floor() as u64 {
+            out.push(self.next_seq);
+            self.sends.push((self.next_seq, now));
+            self.next_seq += 1;
+        }
+        out
+    }
+}
+
+/// Run two agents over a shared bottleneck for `t_end`. Returns delivered
+/// bits per flow.
+pub fn run_coexistence(
+    truth: &mut TwoFlowTruth,
+    a: &mut Agent,
+    b: &mut Agent,
+    t_end: Time,
+) -> (u64, u64) {
+    let mut delivered = (0u64, 0u64);
+    let mut wake_a = Time::ZERO;
+    let mut wake_b = Time::from_millis(100); // desynchronize slightly
+    let mut acks_a: Vec<Observation> = Vec::new();
+    let mut acks_b: Vec<Observation> = Vec::new();
+
+    truth.net.run_until_sampled(Time::ZERO, &mut truth.rng);
+    loop {
+        let now = wake_a.min(wake_b);
+        if now > t_end {
+            break;
+        }
+        // Advance truth to `now`, harvesting deliveries.
+        truth.net.run_until_sampled(now, &mut truth.rng);
+        for (node, d) in truth.net.take_deliveries() {
+            let obs = Observation {
+                seq: d.packet.seq,
+                at: d.at,
+            };
+            if node == truth.rx_a {
+                delivered.0 += d.packet.size.as_u64();
+                acks_a.push(obs);
+            } else if node == truth.rx_b {
+                delivered.1 += d.packet.size.as_u64();
+                acks_b.push(obs);
+            }
+        }
+        truth.net.take_drops();
+
+        let send = |truth: &mut TwoFlowTruth, flow: FlowId, seqs: Vec<(u64, Bits)>| {
+            for (seq, size) in seqs {
+                truth.net.inject(truth.entry, Packet::new(flow, seq, size, now));
+                while let Step::Pending(spec) = truth.net.run_until(now) {
+                    let pick = usize::from(truth.rng.bernoulli(spec.p1));
+                    truth.net.resolve(pick);
+                }
+            }
+        };
+
+        if wake_a <= wake_b {
+            let acks = std::mem::take(&mut acks_a);
+            match a {
+                Agent::Model(s) => {
+                    let outcome = s.on_wake(now, &acks);
+                    send(
+                        truth,
+                        FLOW_A,
+                        outcome.sent.iter().map(|p| (p.seq, p.size)).collect(),
+                    );
+                    wake_a = outcome.next_wake.max(now + Dur::from_millis(1));
+                }
+                Agent::Aimd(s) => {
+                    let seqs = s.on_event(now, acks.len());
+                    send(
+                        truth,
+                        FLOW_A,
+                        seqs.into_iter().map(|q| (q, Bits::from_bytes(1_500))).collect(),
+                    );
+                    wake_a = now + Dur::from_millis(250);
+                }
+            }
+        } else {
+            let acks = std::mem::take(&mut acks_b);
+            match b {
+                Agent::Model(s) => {
+                    let outcome = s.on_wake(now, &acks);
+                    send(
+                        truth,
+                        FLOW_B,
+                        outcome.sent.iter().map(|p| (p.seq, p.size)).collect(),
+                    );
+                    wake_b = outcome.next_wake.max(now + Dur::from_millis(1));
+                }
+                Agent::Aimd(s) => {
+                    let seqs = s.on_event(now, acks.len());
+                    send(
+                        truth,
+                        FLOW_B,
+                        seqs.into_iter().map(|q| (q, Bits::from_bytes(1_500))).collect(),
+                    );
+                    wake_b = now + Dur::from_millis(250);
+                }
+            }
+        }
+    }
+    delivered
+}

@@ -1,0 +1,83 @@
+//! `augur-bench` — the experiment harness.
+//!
+//! One binary per paper artifact (see DESIGN.md §3 for the index):
+//!
+//! | binary                | artifact |
+//! |-----------------------|----------|
+//! | `fig1_bufferbloat`    | Figure 1: TCP RTT blow-up on an LTE-like path |
+//! | `tab1_convergence`    | Figure 2's parameter table: prior → posterior |
+//! | `fig3_alpha_sweep`    | Figure 3: sequence number vs time across α |
+//! | `txt1_simple_link`    | §4: single sender on an unknown link |
+//! | `txt2_latency_penalty`| §4: latency penalty drains the buffer first |
+//! | `ext_fairness`        | §3.5: two ISenders sharing a bottleneck |
+//! | `ext_vs_tcp`          | §3.5: ISender sharing with TCP Reno |
+//! | `ext_scaling`         | §5: exact enumeration vs particle filter |
+//! | `ext_aqm`             | §3.5: AQM (RED/CoDel) vs deep FIFO under TCP |
+//!
+//! Each binary prints its figure as an ASCII chart, writes CSV under
+//! `experiments/`, and prints the shape checks EXPERIMENTS.md records.
+
+use augur_core::{DiscountedThroughput, GroundTruth, ISender, ISenderConfig};
+use augur_elements::{build_model, ModelParams};
+use augur_inference::{Belief, BeliefConfig, ModelPrior};
+use augur_sim::SimRng;
+use augur_trace::Series;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where experiment CSVs land (override with `AUGUR_OUT`).
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("AUGUR_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("experiments"));
+    fs::create_dir_all(&dir).expect("create experiment output dir");
+    dir
+}
+
+/// Write series to `<out_dir>/<name>.csv` (wide format) and report the
+/// path on stdout.
+pub fn save_csv(name: &str, series: &[&Series]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    let file = fs::File::create(&path).expect("create csv");
+    augur_trace::write_wide(std::io::BufWriter::new(file), series).expect("write csv");
+    println!("  wrote {}", path.display());
+}
+
+/// The paper's ground-truth network (Figure 2 with the table's "actual"
+/// column) wrapped for the closed loop.
+pub fn paper_truth(seed: u64) -> GroundTruth {
+    let m = build_model(ModelParams::paper_ground_truth());
+    GroundTruth {
+        net: m.net,
+        entry: m.entry,
+        rx_self: m.rx_self,
+        rng: SimRng::seed_from_u64(seed),
+    }
+}
+
+/// The paper's prior as a belief, with a configurable branch cap.
+pub fn paper_belief(max_branches: usize) -> Belief<ModelParams> {
+    ModelPrior::paper().belief(BeliefConfig {
+        max_branches,
+        ..BeliefConfig::default()
+    })
+}
+
+/// An ISender over the paper prior with utility α (Figure 3's knob).
+pub fn paper_sender(alpha: f64, max_branches: usize) -> ISender<ModelParams> {
+    ISender::new(
+        paper_belief(max_branches),
+        Box::new(DiscountedThroughput::with_alpha(alpha)),
+        ISenderConfig::default(),
+    )
+}
+
+/// Render a one-line pass/fail check.
+pub fn check(name: &str, ok: bool, detail: impl std::fmt::Display) {
+    println!(
+        "  [{}] {name}: {detail}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+}
+
+pub mod coexist;

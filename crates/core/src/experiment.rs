@@ -1,0 +1,202 @@
+//! The closed loop: ground truth network + ISender, co-simulated.
+//!
+//! This is the harness §4 describes: "we have implemented the above design
+//! … and embedded the ISENDER in an event-driven network simulation". The
+//! ground truth [`Network`] runs with sampled nondeterminism; its
+//! deliveries at the sender's receiver become acknowledgments (the return
+//! path is lossless and instant, §3.4 — clock skew and reverse-path
+//! modeling are future work in the paper and here); the sender wakes on
+//! each acknowledgment and on its own timer.
+
+use crate::isender::ISender;
+use augur_elements::{DropRecord, Network, NodeId, Step};
+use augur_inference::{BeliefError, Observation};
+use augur_sim::{FlowId, SimRng, Time};
+use std::hash::Hash;
+
+/// A completed run's record.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Every transmission: (sequence number, send time).
+    pub sends: Vec<(u64, Time)>,
+    /// Every acknowledgment: (sequence number, receive time).
+    pub acks: Vec<Observation>,
+    /// Ground-truth drops, all flows (buffer overflows, stochastic loss,
+    /// gate closures).
+    pub drops: Vec<DropRecord>,
+    /// Ground-truth cross-traffic deliveries: (seq, time, bits).
+    pub cross_deliveries: Vec<(u64, Time, u64)>,
+    /// Per-wake diagnostics.
+    pub wakes: Vec<WakeRecord>,
+}
+
+/// Diagnostics captured at each sender wake.
+#[derive(Debug, Clone, Copy)]
+pub struct WakeRecord {
+    /// Wake time.
+    pub at: Time,
+    /// Acknowledgments processed at this wake.
+    pub acks: usize,
+    /// Packets transmitted at this wake.
+    pub sent: usize,
+    /// Belief branch count after the update.
+    pub branches: usize,
+    /// Effective branch count after the update.
+    pub effective: f64,
+}
+
+impl RunTrace {
+    /// Sent sequence number as a step function of time — Figure 3's
+    /// y-axis.
+    pub fn seq_at(&self, t: Time) -> u64 {
+        self.sends.iter().take_while(|(_, st)| *st <= t).count() as u64
+    }
+
+    /// Mean send rate (packets/s) over a window.
+    pub fn send_rate(&self, from: Time, to: Time) -> f64 {
+        let n = self
+            .sends
+            .iter()
+            .filter(|(_, st)| *st > from && *st <= to)
+            .count();
+        n as f64 / to.since(from).as_secs_f64()
+    }
+
+    /// Buffer overflows recorded at the given node, per flow.
+    pub fn overflows_at(&self, node: NodeId) -> Vec<&DropRecord> {
+        self.drops
+            .iter()
+            .filter(|d| {
+                d.node == node && d.reason == augur_elements::DropReason::BufferFull
+            })
+            .collect()
+    }
+}
+
+/// The ground truth side of a closed loop.
+pub struct GroundTruth {
+    /// The real network (sampled nondeterminism).
+    pub net: Network,
+    /// Where the sender's packets enter.
+    pub entry: NodeId,
+    /// The receiver whose deliveries become acknowledgments.
+    pub rx_self: NodeId,
+    /// RNG resolving the real network's choices.
+    pub rng: SimRng,
+}
+
+impl GroundTruth {
+    /// Advance the real network, stopping at the first instant at which
+    /// one or more of the sender's packets are delivered, or at `limit`.
+    /// Returns (time reached, acks at that instant).
+    fn advance_to_ack_or(
+        &mut self,
+        limit: Time,
+        own_flow: FlowId,
+        trace: &mut RunTrace,
+    ) -> (Time, Vec<Observation>) {
+        loop {
+            let t_next = match self.net.next_event_time() {
+                Some(t) if t <= limit => t,
+                _ => {
+                    self.net.run_until_sampled(limit, &mut self.rng);
+                    let acks = self.collect(own_flow, trace);
+                    // Deliveries exactly at `limit` still count.
+                    return (limit, acks);
+                }
+            };
+            // Process everything at t_next (events plus sampled choices).
+            self.net.run_until_sampled(t_next, &mut self.rng);
+            let acks = self.collect(own_flow, trace);
+            if !acks.is_empty() {
+                return (t_next, acks);
+            }
+        }
+    }
+
+    /// Drain ground-truth logs into the trace; return new acknowledgments.
+    fn collect(&mut self, own_flow: FlowId, trace: &mut RunTrace) -> Vec<Observation> {
+        let mut acks = Vec::new();
+        for (node, d) in self.net.take_deliveries() {
+            if node == self.rx_self && d.packet.flow == own_flow {
+                let o = Observation {
+                    seq: d.packet.seq,
+                    at: d.at,
+                };
+                acks.push(o);
+                trace.acks.push(o);
+            } else if d.packet.flow == FlowId::CROSS {
+                trace
+                    .cross_deliveries
+                    .push((d.packet.seq, d.at, d.packet.size.as_u64()));
+            }
+        }
+        trace.drops.extend(self.net.take_drops());
+        acks
+    }
+}
+
+/// Run sender against ground truth until `t_end`. The sender makes its
+/// first decision at time zero.
+pub fn run_closed_loop<M: Clone + Eq + Hash>(
+    truth: &mut GroundTruth,
+    sender: &mut ISender<M>,
+    t_end: Time,
+) -> Result<RunTrace, BeliefError> {
+    let mut trace = RunTrace::default();
+    let own_flow = sender.own_flow();
+    let mut pending_acks: Vec<Observation> = Vec::new();
+    // Support staged runs: resume from wherever the ground truth stopped
+    // (zero on the first call).
+    let mut wake_at = truth.net.now();
+
+    // Ground truth must process its own events at the start instant
+    // (pinger emissions, backlog service starts) before the sender's
+    // first injection — the belief does the same inside its first
+    // `advance`, and the two sides must agree on same-instant ordering
+    // for observations to match.
+    truth.net.run_until_sampled(wake_at, &mut truth.rng);
+    pending_acks.extend(truth.collect(own_flow, &mut trace));
+
+    while wake_at <= t_end {
+        // The sender and ground truth agree on the current instant.
+        debug_assert!(truth.net.now() <= wake_at || truth.net.now() == wake_at);
+        let outcome = sender.on_wake(wake_at, &pending_acks)?;
+        trace.wakes.push(WakeRecord {
+            at: wake_at,
+            acks: pending_acks.len(),
+            sent: outcome.sent.len(),
+            branches: sender.belief.branch_count(),
+            effective: sender.belief.effective_count(),
+        });
+        pending_acks.clear();
+        for pkt in &outcome.sent {
+            trace.sends.push((pkt.seq, wake_at));
+            truth.net.inject(truth.entry, *pkt);
+            // Injection may stop at a stochastic element (e.g. last-mile
+            // loss reached synchronously); resolve by sampling.
+            while let Step::Pending(spec) = truth.net.run_until(wake_at) {
+                let pick = usize::from(truth.rng.bernoulli(spec.p1));
+                truth.net.resolve(pick);
+            }
+        }
+        // Injections may have produced instant deliveries (not in Fig. 2,
+        // but possible in custom topologies): collect them for next wake.
+        pending_acks.extend(truth.collect(own_flow, &mut trace));
+        if !pending_acks.is_empty() {
+            continue; // wake again at the same instant
+        }
+
+        if wake_at >= t_end {
+            break;
+        }
+        let limit = outcome.next_wake.min(t_end);
+        let (reached, acks) = truth.advance_to_ack_or(limit, own_flow, &mut trace);
+        pending_acks = acks;
+        wake_at = reached;
+        if reached >= t_end && pending_acks.is_empty() {
+            break;
+        }
+    }
+    Ok(trace)
+}

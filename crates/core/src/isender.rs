@@ -1,0 +1,160 @@
+//! ISENDER — "a sender that follows our approach by maintaining a model of
+//! the network and scheduling transmissions to maximize the expected
+//! utility" (§3.1).
+//!
+//! The sender is event-driven: it wakes on each acknowledgment and on its
+//! own timer ("if the RECEIVER notifies the ISENDER before x seconds have
+//! passed …, the sender will be woken up early and will reevaluate the
+//! best decision", §3.2). On every wake it
+//!
+//! 1. advances its belief over the window since the last wake,
+//!    conditioning on the acknowledgments received;
+//! 2. repeatedly asks the planner for the best action, transmitting while
+//!    "send now" maximizes expected utility;
+//! 3. returns the packets it sent plus the instant it wants to be woken
+//!    if no acknowledgment arrives first.
+
+use crate::planner::{decide, Action, Decision, PlannerConfig};
+use crate::utility::Utility;
+use augur_inference::{Belief, BeliefError, Observation};
+use augur_sim::{Bits, Dur, FlowId, Packet, Time};
+use std::hash::Hash;
+
+/// ISender tuning.
+#[derive(Debug, Clone)]
+pub struct ISenderConfig {
+    /// Size of every packet the sender transmits ("we assume the sender
+    /// will always send packets of uniform length", §3.2).
+    pub packet_size: Bits,
+    /// Planner settings.
+    pub planner: PlannerConfig,
+    /// Upper bound on how long the sender sleeps without reconsidering.
+    pub max_sleep: Dur,
+    /// Safety cap on transmissions per wake (guards against a degenerate
+    /// utility that always prefers sending).
+    pub max_sends_per_wake: usize,
+}
+
+impl Default for ISenderConfig {
+    fn default() -> Self {
+        ISenderConfig {
+            packet_size: Bits::from_bytes(1_500),
+            planner: PlannerConfig::default(),
+            max_sleep: Dur::from_secs(2),
+            max_sends_per_wake: 64,
+        }
+    }
+}
+
+/// What one wake produced.
+#[derive(Debug, Clone)]
+pub struct WakeOutcome {
+    /// Packets transmitted at this instant (inject these into the real
+    /// network).
+    pub sent: Vec<Packet>,
+    /// When to wake the sender if no acknowledgment arrives earlier.
+    pub next_wake: Time,
+    /// The final decision of the wake (diagnostics).
+    pub decision: Decision,
+}
+
+/// The model-based sender.
+pub struct ISender<M> {
+    /// The belief over network configurations (public for inspection by
+    /// experiments and tests).
+    pub belief: Belief<M>,
+    cfg: ISenderConfig,
+    utility: Box<dyn Utility + Send>,
+    own_flow: FlowId,
+    next_seq: u64,
+    /// Log of (seq, send time) for every transmitted packet.
+    pub sent_log: Vec<(u64, Time)>,
+}
+
+impl<M: Clone + Eq + Hash> ISender<M> {
+    /// Create a sender over a prior belief with the given utility.
+    pub fn new(
+        belief: Belief<M>,
+        utility: Box<dyn Utility + Send>,
+        cfg: ISenderConfig,
+    ) -> ISender<M> {
+        let own_flow = belief.config().own_flow;
+        ISender {
+            belief,
+            cfg,
+            utility,
+            own_flow,
+            next_seq: 0,
+            sent_log: Vec::new(),
+        }
+    }
+
+    /// The sender's flow id.
+    pub fn own_flow(&self) -> FlowId {
+        self.own_flow
+    }
+
+    /// Sequence number of the next packet to transmit.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The sender's configuration.
+    pub fn config(&self) -> &ISenderConfig {
+        &self.cfg
+    }
+
+    /// Wake at `now` with the acknowledgments received since the previous
+    /// wake. Updates the belief, transmits while profitable, and schedules
+    /// the next timer.
+    pub fn on_wake(
+        &mut self,
+        now: Time,
+        acks: &[Observation],
+    ) -> Result<WakeOutcome, BeliefError> {
+        self.belief.advance(now, acks)?;
+
+        let mut sent = Vec::new();
+        let decision = loop {
+            let d = decide(
+                &self.belief,
+                &self.cfg.planner,
+                self.utility.as_ref(),
+                self.own_flow,
+                self.next_seq,
+                self.cfg.packet_size,
+            );
+            match d.action {
+                Action::SendNow if sent.len() < self.cfg.max_sends_per_wake => {
+                    let pkt = Packet::new(self.own_flow, self.next_seq, self.cfg.packet_size, now);
+                    self.belief.inject(pkt);
+                    self.sent_log.push((self.next_seq, now));
+                    self.next_seq += 1;
+                    sent.push(pkt);
+                }
+                _ => break d,
+            }
+        };
+
+        let next_wake = match decision.action {
+            Action::SendNow => now + self.cfg.max_sleep, // send cap hit
+            Action::SleepUntil(t) => t.min(now + self.cfg.max_sleep),
+            // No send looks profitable: wait for news (ACKs wake earlier).
+            Action::Idle => now + self.cfg.max_sleep,
+        };
+        Ok(WakeOutcome {
+            sent,
+            next_wake,
+            decision,
+        })
+    }
+}
+
+impl<M> std::fmt::Debug for ISender<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ISender")
+            .field("next_seq", &self.next_seq)
+            .field("sent", &self.sent_log.len())
+            .finish()
+    }
+}

@@ -1,0 +1,213 @@
+//! Utility functions — explicit, first-class objects (§3.3).
+//!
+//! "The instantaneous utility of each packet … is defined as the packet
+//! size in bits, divided by e^τ, where τ is the number of milliseconds in
+//! the future when the packet will be received. This has the effect of
+//! nearly linearly rewarding throughput — the accumulated instantaneous
+//! utility of a stream of packets will correspond almost linearly to the
+//! actual throughput for any realistic bitrate, since
+//! Σ_{t=0}^∞ e^(−t/(1000 r)) ≈ 1000 r + 0.5 for r > 1/100 packets per
+//! second."
+//!
+//! The approximation identity pins down the timescale the prose elides:
+//! for a stream at `r` packets/s, packet `t` arrives τ = 1000·t/r ms in
+//! the future, and the stated summand e^(−t/(1000 r)) equals
+//! e^(−τ/10⁶). So the discount is **e^(−τ_ms/Θ) with Θ = 10⁶ ms**
+//! (DESIGN.md §4.5), and [`discounted_stream_sum`] reproduces the
+//! identity exactly (tested, and property-tested at the workspace level).
+//!
+//! The utility "may include a parameter varying the relative value of
+//! cross traffic compared with our own" (α) and "can optionally penalize
+//! latency experienced by the cross traffic" (λ).
+
+use augur_elements::DropRecord;
+use augur_sim::{Delivery, FlowId, Time};
+
+/// The paper's discount timescale Θ, in milliseconds.
+pub const THETA_MS: f64 = 1e6;
+
+/// What a planning rollout produced: the raw material utilities evaluate.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutReport {
+    /// Deliveries within the horizon, each with the probability that it
+    /// actually happens (the last-mile loss fold contributes `1 − p`).
+    pub deliveries: Vec<(Delivery, f64)>,
+    /// Packets dropped within the horizon (buffer overflows, AQM).
+    pub drops: Vec<DropRecord>,
+}
+
+/// An instantaneous utility function over a rollout.
+pub trait Utility {
+    /// Total utility of the rollout as seen from `decision_time` for a
+    /// sender owning `own_flow`.
+    fn evaluate(&self, report: &RolloutReport, decision_time: Time, own_flow: FlowId) -> f64;
+}
+
+/// The paper's utility: discounted own throughput, plus α times the cross
+/// traffic's, minus an optional latency penalty on the cross traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscountedThroughput {
+    /// Discount timescale in milliseconds (default [`THETA_MS`]).
+    pub theta_ms: f64,
+    /// "Our utility function is our own instantaneous throughput, times
+    /// some multiple α of the throughput achieved by the cross traffic"
+    /// (§4).
+    pub alpha: f64,
+    /// Penalty per (bit × second of delay) experienced by cross traffic;
+    /// 0 disables (§3.3: "can optionally penalize latency experienced by
+    /// the cross traffic").
+    pub latency_penalty: f64,
+}
+
+impl DiscountedThroughput {
+    /// Pure own-throughput utility (α = 0, no latency penalty).
+    pub fn own_only() -> DiscountedThroughput {
+        DiscountedThroughput {
+            theta_ms: THETA_MS,
+            alpha: 0.0,
+            latency_penalty: 0.0,
+        }
+    }
+
+    /// The Figure-3 family: own throughput + α · cross throughput.
+    pub fn with_alpha(alpha: f64) -> DiscountedThroughput {
+        DiscountedThroughput {
+            theta_ms: THETA_MS,
+            alpha,
+            latency_penalty: 0.0,
+        }
+    }
+
+    /// The discount factor for a packet delivered `tau_ms` in the future.
+    pub fn discount(&self, tau_ms: f64) -> f64 {
+        (-tau_ms / self.theta_ms).exp()
+    }
+}
+
+impl Utility for DiscountedThroughput {
+    fn evaluate(&self, report: &RolloutReport, decision_time: Time, own_flow: FlowId) -> f64 {
+        let mut u = 0.0;
+        for (d, prob) in &report.deliveries {
+            let tau_ms = d.at.saturating_since(decision_time).as_millis_f64();
+            let value = prob * d.packet.size.as_f64() * self.discount(tau_ms);
+            if d.packet.flow == own_flow {
+                u += value;
+            } else {
+                u += self.alpha * value;
+                if self.latency_penalty > 0.0 {
+                    let delay_s = d.delay().as_secs_f64();
+                    u -= self.latency_penalty * prob * d.packet.size.as_f64() * delay_s;
+                }
+            }
+        }
+        u
+    }
+}
+
+/// The closed form the paper quotes: Σ_{t=0}^∞ e^(−t/(1000 r)) =
+/// 1 / (1 − e^(−1/(1000 r))), which ≈ 1000 r + 0.5 for r > 1/100
+/// packets/s.
+pub fn discounted_stream_sum(r_packets_per_sec: f64) -> f64 {
+    assert!(r_packets_per_sec > 0.0);
+    1.0 / (1.0 - (-1.0 / (1000.0 * r_packets_per_sec)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_sim::{Bits, Packet};
+
+    fn delivery(flow: FlowId, at_ms: u64, sent_ms: u64) -> Delivery {
+        Delivery {
+            packet: Packet::new(flow, 0, Bits::new(12_000), Time::from_millis(sent_ms)),
+            at: Time::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn paper_identity_holds_across_rates() {
+        // Σ e^(−t/(1000 r)) ≈ 1000 r + 0.5 for r > 1/100 pkt/s (TXT3).
+        for r in [0.01, 0.1, 1.0, 10.0, 100.0] {
+            let exact = discounted_stream_sum(r);
+            let approx = 1000.0 * r + 0.5;
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.01, "r={r}: exact={exact} approx={approx}");
+        }
+    }
+
+    #[test]
+    fn own_packet_counts_fully_cross_scaled_by_alpha() {
+        let u = DiscountedThroughput::with_alpha(0.5);
+        let report = RolloutReport {
+            deliveries: vec![
+                (delivery(FlowId::SELF, 100, 0), 1.0),
+                (delivery(FlowId::CROSS, 100, 0), 1.0),
+            ],
+            drops: vec![],
+        };
+        let total = u.evaluate(&report, Time::ZERO, FlowId::SELF);
+        let disc = u.discount(100.0);
+        let want = 12_000.0 * disc * (1.0 + 0.5);
+        assert!((total - want).abs() < 1e-6, "{total} vs {want}");
+    }
+
+    #[test]
+    fn delivery_probability_scales_value() {
+        let u = DiscountedThroughput::own_only();
+        let full = RolloutReport {
+            deliveries: vec![(delivery(FlowId::SELF, 0, 0), 1.0)],
+            drops: vec![],
+        };
+        let partial = RolloutReport {
+            deliveries: vec![(delivery(FlowId::SELF, 0, 0), 0.8)],
+            drops: vec![],
+        };
+        let a = u.evaluate(&full, Time::ZERO, FlowId::SELF);
+        let b = u.evaluate(&partial, Time::ZERO, FlowId::SELF);
+        assert!((b / a - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_delivery_is_worth_less() {
+        let u = DiscountedThroughput::own_only();
+        let early = RolloutReport {
+            deliveries: vec![(delivery(FlowId::SELF, 1_000, 0), 1.0)],
+            drops: vec![],
+        };
+        let late = RolloutReport {
+            deliveries: vec![(delivery(FlowId::SELF, 500_000, 0), 1.0)],
+            drops: vec![],
+        };
+        let ue = u.evaluate(&early, Time::ZERO, FlowId::SELF);
+        let ul = u.evaluate(&late, Time::ZERO, FlowId::SELF);
+        assert!(ue > ul);
+        // But the discount is gentle: a 1-second delay costs ~0.1%.
+        assert!((1.0 - ul / ue) < 0.5);
+    }
+
+    #[test]
+    fn latency_penalty_charges_cross_delay() {
+        let mut u = DiscountedThroughput::with_alpha(1.0);
+        u.latency_penalty = 0.5;
+        // Cross packet delayed 2 s: penalty 0.5 * 12_000 * 2 = 12_000
+        // wipes out its α-value (~12_000 · disc).
+        let report = RolloutReport {
+            deliveries: vec![(delivery(FlowId::CROSS, 2_000, 0), 1.0)],
+            drops: vec![],
+        };
+        let total = u.evaluate(&report, Time::ZERO, FlowId::SELF);
+        assert!(total < 0.0, "penalty should dominate: {total}");
+    }
+
+    #[test]
+    fn deliveries_before_decision_time_not_negatively_discounted() {
+        let u = DiscountedThroughput::own_only();
+        let report = RolloutReport {
+            deliveries: vec![(delivery(FlowId::SELF, 100, 0), 1.0)],
+            drops: vec![],
+        };
+        // Decision time after the delivery: τ clamps to 0.
+        let total = u.evaluate(&report, Time::from_millis(200), FlowId::SELF);
+        assert!((total - 12_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,446 @@
+//! BUFFER — "a tail-drop queue, whose unknown parameters are the size of
+//! the queue and its current fullness" (§3.1) — plus the AQM variants the
+//! paper lists as missing in §3.5 (RED, CoDel) and a DRR fair-queue pair
+//! for non-FIFO scheduling.
+//!
+//! A buffer never drains itself; it must feed a [`crate::link::Link`]
+//! directly downstream, which pulls the head packet each time it finishes
+//! serving (wired by the network builder). Fullness is measured in bits.
+
+use augur_sim::{Bits, Dur, Packet, Ppm, Time};
+use std::collections::VecDeque;
+
+/// One queued packet with its enqueue instant (needed by CoDel's sojourn
+/// test and useful for latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Queued {
+    /// The packet itself.
+    pub packet: Packet,
+    /// When it entered the buffer.
+    pub enq_at: Time,
+}
+
+/// Queue-management discipline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// Plain tail drop: the paper's BUFFER element.
+    DropTail,
+    /// Random Early Detection (Floyd & Jacobson 1993), fixed-point EWMA.
+    Red(RedState),
+    /// CoDel (Nichols & Jacobson 2012): sojourn-time-based dropping at
+    /// dequeue.
+    CoDel(CoDelState),
+}
+
+/// RED's running state. The average queue is kept in 1/256-bit fixed point
+/// so the element stays integer-valued (`Eq + Hash`, DESIGN.md §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RedState {
+    /// Minimum threshold, bits.
+    pub min_th: Bits,
+    /// Maximum threshold, bits.
+    pub max_th: Bits,
+    /// Max drop probability at `max_th`.
+    pub max_p: Ppm,
+    /// EWMA weight as a right-shift: avg += (q - avg) >> w_shift.
+    pub w_shift: u32,
+    /// Average queue in 1/256-bit fixed point.
+    pub avg_x256: u64,
+}
+
+/// CoDel's running state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoDelState {
+    /// Sojourn target (standard: 5 ms).
+    pub target: Dur,
+    /// Sliding-window interval (standard: 100 ms).
+    pub interval: Dur,
+    /// When the sojourn time first exceeded target, if currently above.
+    pub first_above: Option<Time>,
+    /// True while in the dropping state.
+    pub dropping: bool,
+    /// Next scheduled drop time while dropping.
+    pub drop_next: Time,
+    /// Drops in the current dropping episode (controls the sqrt law).
+    pub count: u32,
+}
+
+impl CoDelState {
+    /// Fresh CoDel state with the given target and interval.
+    pub fn new(target: Dur, interval: Dur) -> CoDelState {
+        CoDelState {
+            target,
+            interval,
+            first_above: None,
+            dropping: false,
+            drop_next: Time::ZERO,
+            count: 0,
+        }
+    }
+
+    /// The control-law interval: `interval / sqrt(count)`, in integer
+    /// microseconds.
+    pub fn control_law(&self, from: Time) -> Time {
+        let denom = (self.count.max(1) as f64).sqrt();
+        from + Dur::from_micros((self.interval.as_micros() as f64 / denom).round() as u64)
+    }
+}
+
+/// A bounded queue with a selectable discipline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Buffer {
+    /// Capacity in bits (tail-drop bound regardless of discipline).
+    pub capacity: Bits,
+    /// Discipline.
+    pub kind: BufferKind,
+    queue: VecDeque<Queued>,
+    queued_bits: Bits,
+}
+
+/// Outcome of offering a packet to a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued (or will be, pending no AQM objection).
+    Enqueued,
+    /// Tail-dropped: not enough room.
+    TailDrop,
+    /// RED wants a probabilistic early-drop decision with this probability.
+    RedChoice(Ppm),
+}
+
+impl Buffer {
+    /// A tail-drop buffer of the given capacity.
+    pub fn drop_tail(capacity: Bits) -> Buffer {
+        Buffer {
+            capacity,
+            kind: BufferKind::DropTail,
+            queue: VecDeque::new(),
+            queued_bits: Bits::ZERO,
+        }
+    }
+
+    /// A RED buffer. Thresholds in bits.
+    pub fn red(capacity: Bits, min_th: Bits, max_th: Bits, max_p: Ppm, w_shift: u32) -> Buffer {
+        assert!(min_th < max_th, "RED thresholds inverted");
+        Buffer {
+            capacity,
+            kind: BufferKind::Red(RedState {
+                min_th,
+                max_th,
+                max_p,
+                w_shift,
+                avg_x256: 0,
+            }),
+            queue: VecDeque::new(),
+            queued_bits: Bits::ZERO,
+        }
+    }
+
+    /// A CoDel buffer with standard target/interval unless overridden.
+    pub fn codel(capacity: Bits, target: Dur, interval: Dur) -> Buffer {
+        Buffer {
+            capacity,
+            kind: BufferKind::CoDel(CoDelState::new(target, interval)),
+            queue: VecDeque::new(),
+            queued_bits: Bits::ZERO,
+        }
+    }
+
+    /// Bits currently queued.
+    pub fn fullness(&self) -> Bits {
+        self.queued_bits
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Would `pkt` fit right now?
+    pub fn fits(&self, pkt: &Packet) -> bool {
+        match self.queued_bits.checked_add(pkt.size) {
+            Some(total) => total <= self.capacity,
+            None => false,
+        }
+    }
+
+    /// Offer a packet for admission at `now`. For `DropTail`/`CoDel` this
+    /// decides immediately; for `Red` it may return [`Admission::RedChoice`]
+    /// and the caller resolves the probabilistic drop through the choice
+    /// mechanism, then calls [`Buffer::force_enqueue`] on "enqueue".
+    pub fn offer(&mut self, pkt: Packet, now: Time) -> Admission {
+        if !self.fits(&pkt) {
+            return Admission::TailDrop;
+        }
+        if let BufferKind::Red(red) = &mut self.kind {
+            // EWMA update on the *instantaneous* queue at arrival.
+            let q_x256 = self.queued_bits.as_u64() * 256;
+            let delta = q_x256 as i128 - red.avg_x256 as i128;
+            red.avg_x256 = (red.avg_x256 as i128 + (delta >> red.w_shift)) as u64;
+            let avg = Bits::new(red.avg_x256 / 256);
+            if avg >= red.max_th {
+                return Admission::RedChoice(Ppm::ONE);
+            }
+            if avg > red.min_th {
+                let span = (red.max_th - red.min_th).as_u64();
+                let over = (avg - red.min_th).as_u64();
+                let p = red.max_p.prob() * over as f64 / span as f64;
+                return Admission::RedChoice(Ppm::from_prob(p.min(1.0)));
+            }
+        }
+        self.force_enqueue(pkt, now);
+        Admission::Enqueued
+    }
+
+    /// Enqueue unconditionally (post-admission). Panics if it does not fit —
+    /// admission must have been checked.
+    pub fn force_enqueue(&mut self, pkt: Packet, now: Time) {
+        assert!(self.fits(&pkt), "force_enqueue past capacity");
+        self.queued_bits += pkt.size;
+        self.queue.push_back(Queued {
+            packet: pkt,
+            enq_at: now,
+        });
+    }
+
+    /// Dequeue for service at `now`. Returns the packet to serve plus any
+    /// packets CoDel dropped on the way (these must be recorded as drops by
+    /// the caller).
+    pub fn pull(&mut self, now: Time) -> PullResult {
+        let mut dropped = Vec::new();
+        loop {
+            let Some(q) = self.queue.pop_front() else {
+                return PullResult {
+                    serve: None,
+                    dropped,
+                };
+            };
+            self.queued_bits -= q.packet.size;
+            match &mut self.kind {
+                BufferKind::DropTail | BufferKind::Red(_) => {
+                    return PullResult {
+                        serve: Some(q),
+                        dropped,
+                    };
+                }
+                BufferKind::CoDel(st) => {
+                    let sojourn = now.since(q.enq_at);
+                    let ok = sojourn < st.target;
+                    if ok {
+                        st.first_above = None;
+                        if st.dropping {
+                            st.dropping = false;
+                        }
+                        return PullResult {
+                            serve: Some(q),
+                            dropped,
+                        };
+                    }
+                    // Sojourn above target.
+                    if st.dropping {
+                        if now >= st.drop_next {
+                            dropped.push(q);
+                            st.count += 1;
+                            st.drop_next = st.control_law(st.drop_next);
+                            continue;
+                        }
+                        return PullResult {
+                            serve: Some(q),
+                            dropped,
+                        };
+                    }
+                    match st.first_above {
+                        None => {
+                            st.first_above = Some(now);
+                            return PullResult {
+                                serve: Some(q),
+                                dropped,
+                            };
+                        }
+                        Some(t0) if now.since(t0) >= st.interval => {
+                            // Enter dropping state: drop this one.
+                            dropped.push(q);
+                            st.dropping = true;
+                            st.count = if st.count > 2 { st.count - 2 } else { 1 };
+                            st.drop_next = st.control_law(now);
+                            continue;
+                        }
+                        Some(_) => {
+                            return PullResult {
+                                serve: Some(q),
+                                dropped,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of [`Buffer::pull`].
+#[derive(Debug, Clone)]
+pub struct PullResult {
+    /// The packet to put into service, if any.
+    pub serve: Option<Queued>,
+    /// Packets dropped by CoDel while searching for one to serve.
+    pub dropped: Vec<Queued>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_sim::FlowId;
+
+    fn pkt(seq: u64, bits: u64) -> Packet {
+        Packet::new(FlowId::SELF, seq, Bits::new(bits), Time::ZERO)
+    }
+
+    #[test]
+    fn drop_tail_respects_capacity_in_bits() {
+        let mut b = Buffer::drop_tail(Bits::new(25_000));
+        assert_eq!(b.offer(pkt(0, 12_000), Time::ZERO), Admission::Enqueued);
+        assert_eq!(b.offer(pkt(1, 12_000), Time::ZERO), Admission::Enqueued);
+        // 24_000 queued; a third 12_000-bit packet exceeds 25_000.
+        assert_eq!(b.offer(pkt(2, 12_000), Time::ZERO), Admission::TailDrop);
+        // But a 1_000-bit packet still fits.
+        assert_eq!(b.offer(pkt(3, 1_000), Time::ZERO), Admission::Enqueued);
+        assert_eq!(b.fullness(), Bits::new(25_000));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn pull_is_fifo_and_updates_fullness() {
+        let mut b = Buffer::drop_tail(Bits::new(100_000));
+        for i in 0..3 {
+            b.offer(pkt(i, 10_000), Time::from_secs(i));
+        }
+        let r = b.pull(Time::from_secs(10));
+        assert_eq!(r.serve.unwrap().packet.seq, 0);
+        assert!(r.dropped.is_empty());
+        assert_eq!(b.fullness(), Bits::new(20_000));
+        assert_eq!(b.pull(Time::from_secs(10)).serve.unwrap().packet.seq, 1);
+        assert_eq!(b.pull(Time::from_secs(10)).serve.unwrap().packet.seq, 2);
+        assert!(b.pull(Time::from_secs(10)).serve.is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn red_below_min_is_plain_enqueue() {
+        let mut b = Buffer::red(
+            Bits::new(1_000_000),
+            Bits::new(50_000),
+            Bits::new(100_000),
+            Ppm::from_prob(0.1),
+            2,
+        );
+        assert_eq!(b.offer(pkt(0, 10_000), Time::ZERO), Admission::Enqueued);
+    }
+
+    #[test]
+    fn red_above_max_forces_drop_choice() {
+        let mut b = Buffer::red(
+            Bits::new(1_000_000),
+            Bits::new(1_000),
+            Bits::new(2_000),
+            Ppm::from_prob(0.1),
+            0, // w_shift 0: avg tracks queue instantly
+        );
+        b.offer(pkt(0, 10_000), Time::ZERO);
+        // Next arrival sees avg = 10_000 >= max_th = 2_000.
+        match b.offer(pkt(1, 10_000), Time::ZERO) {
+            Admission::RedChoice(p) => assert!(p.is_one()),
+            other => panic!("expected RedChoice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn red_between_thresholds_scales_probability() {
+        let mut b = Buffer::red(
+            Bits::new(1_000_000),
+            Bits::new(10_000),
+            Bits::new(20_000),
+            Ppm::from_prob(0.2),
+            0,
+        );
+        b.offer(pkt(0, 15_000), Time::ZERO);
+        match b.offer(pkt(1, 1_000), Time::ZERO) {
+            Admission::RedChoice(p) => {
+                // avg = 15_000 is halfway between thresholds → p = 0.1.
+                assert!((p.prob() - 0.1).abs() < 1e-3, "p = {p}");
+            }
+            other => panic!("expected RedChoice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn codel_passes_packets_below_target() {
+        let mut b = Buffer::codel(
+            Bits::new(1_000_000),
+            Dur::from_millis(5),
+            Dur::from_millis(100),
+        );
+        b.offer(pkt(0, 1_000), Time::ZERO);
+        let r = b.pull(Time::from_millis(1));
+        assert_eq!(r.serve.unwrap().packet.seq, 0);
+        assert!(r.dropped.is_empty());
+    }
+
+    #[test]
+    fn codel_drops_after_persistent_excess_sojourn() {
+        let mut b = Buffer::codel(
+            Bits::new(10_000_000),
+            Dur::from_millis(5),
+            Dur::from_millis(100),
+        );
+        // Enqueue many packets at t=0; dequeue them slowly so sojourn stays
+        // far above target for longer than the interval.
+        for i in 0..50 {
+            b.offer(pkt(i, 1_000), Time::ZERO);
+        }
+        let mut drops = 0;
+        let mut served = 0;
+        for k in 0..40u64 {
+            let now = Time::from_millis(20 * (k + 1)); // sojourn >= 20ms > 5ms
+            let r = b.pull(now);
+            drops += r.dropped.len();
+            served += usize::from(r.serve.is_some());
+        }
+        assert!(drops >= 1, "CoDel never dropped (served {served})");
+    }
+
+    #[test]
+    fn codel_recovers_when_sojourn_falls() {
+        let mut b = Buffer::codel(
+            Bits::new(10_000_000),
+            Dur::from_millis(5),
+            Dur::from_millis(100),
+        );
+        b.offer(pkt(0, 1_000), Time::from_millis(0));
+        // Long sojourn starts the "above" clock...
+        let _ = b.pull(Time::from_millis(50));
+        // ...but a fresh packet with tiny sojourn resets it.
+        b.offer(pkt(1, 1_000), Time::from_millis(60));
+        let r = b.pull(Time::from_millis(61));
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.serve.unwrap().packet.seq, 1);
+        if let BufferKind::CoDel(st) = &b.kind {
+            assert!(st.first_above.is_none());
+            assert!(!st.dropping);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past capacity")]
+    fn force_enqueue_checks_capacity() {
+        let mut b = Buffer::drop_tail(Bits::new(1_000));
+        b.force_enqueue(pkt(0, 2_000), Time::ZERO);
+    }
+}

@@ -1,0 +1,153 @@
+//! DELAY — "an unknown delay" — and JITTER — "a delay of a certain amount,
+//! introduced to randomly-selected packets with a particular probability"
+//! (§3.1).
+//!
+//! Both hold packets in flight and release them when due. DELAY is
+//! deterministic; JITTER's per-packet decision goes through the choice
+//! mechanism (`ChoiceKind::JitterFate`), and only *jittered* packets enter
+//! its in-flight set — unjittered ones pass through synchronously.
+
+use augur_sim::{Dur, Packet, Ppm, Time};
+use std::collections::VecDeque;
+
+/// A fixed propagation delay.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DelayEl {
+    /// Added to every packet.
+    pub delay: Dur,
+    /// Packets in flight, FIFO (fixed delay preserves order).
+    in_flight: VecDeque<(Time, Packet)>,
+}
+
+impl DelayEl {
+    /// A delay element.
+    pub fn new(delay: Dur) -> DelayEl {
+        DelayEl {
+            delay,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// Accept a packet at `now`; it becomes due at `now + delay`.
+    pub fn accept(&mut self, pkt: Packet, now: Time) {
+        let due = now + self.delay;
+        debug_assert!(
+            self.in_flight.back().is_none_or(|(d, _)| *d <= due),
+            "fixed delay must preserve order"
+        );
+        self.in_flight.push_back((due, pkt));
+    }
+
+    /// The earliest due time, if any packet is in flight.
+    pub fn next_timer(&self) -> Option<Time> {
+        self.in_flight.front().map(|(d, _)| *d)
+    }
+
+    /// Release the head packet if due at `now`.
+    pub fn release(&mut self, now: Time) -> Option<Packet> {
+        match self.in_flight.front() {
+            Some((due, _)) if *due <= now => Some(self.in_flight.pop_front().unwrap().1),
+            _ => None,
+        }
+    }
+
+    /// Number of packets in flight.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True iff no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+/// Probabilistic extra delay.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JitterEl {
+    /// Probability a packet is jittered.
+    pub p: Ppm,
+    /// Extra delay applied to jittered packets.
+    pub extra: Dur,
+    /// Jittered packets in flight, FIFO by due time.
+    in_flight: VecDeque<(Time, Packet)>,
+}
+
+impl JitterEl {
+    /// A jitter element.
+    pub fn new(p: Ppm, extra: Dur) -> JitterEl {
+        JitterEl {
+            p,
+            extra,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// Hold a packet chosen for jittering; due at `now + extra`.
+    pub fn hold(&mut self, pkt: Packet, now: Time) {
+        self.in_flight.push_back((now + self.extra, pkt));
+    }
+
+    /// The earliest due time among jittered packets.
+    pub fn next_timer(&self) -> Option<Time> {
+        self.in_flight.front().map(|(d, _)| *d)
+    }
+
+    /// Release the head jittered packet if due at `now`.
+    pub fn release(&mut self, now: Time) -> Option<Packet> {
+        match self.in_flight.front() {
+            Some((due, _)) if *due <= now => Some(self.in_flight.pop_front().unwrap().1),
+            _ => None,
+        }
+    }
+
+    /// Number of jittered packets in flight.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True iff no jittered packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_sim::{Bits, FlowId};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(FlowId::SELF, seq, Bits::new(8_000), Time::ZERO)
+    }
+
+    #[test]
+    fn delay_releases_in_order_when_due() {
+        let mut d = DelayEl::new(Dur::from_millis(100));
+        d.accept(pkt(0), Time::from_millis(0));
+        d.accept(pkt(1), Time::from_millis(10));
+        assert_eq!(d.next_timer(), Some(Time::from_millis(100)));
+        assert!(d.release(Time::from_millis(99)).is_none());
+        assert_eq!(d.release(Time::from_millis(100)).unwrap().seq, 0);
+        assert!(d.release(Time::from_millis(100)).is_none());
+        assert_eq!(d.release(Time::from_millis(110)).unwrap().seq, 1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn zero_delay_is_immediately_due() {
+        let mut d = DelayEl::new(Dur::ZERO);
+        d.accept(pkt(0), Time::from_secs(2));
+        assert_eq!(d.release(Time::from_secs(2)).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn jitter_holds_until_extra_elapsed() {
+        let mut j = JitterEl::new(Ppm::from_prob(0.3), Dur::from_millis(250));
+        j.hold(pkt(5), Time::from_secs(1));
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.next_timer(), Some(Time::from_micros(1_250_000)));
+        assert!(j.release(Time::from_millis(1_249)).is_none());
+        assert_eq!(j.release(Time::from_millis(1_250)).unwrap().seq, 5);
+    }
+}

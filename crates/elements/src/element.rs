@@ -1,0 +1,143 @@
+//! The element language: one enum covering every idealized network element
+//! of §3.1, each "corresponding to idealized versions of data structures
+//! and phenomena that occur in real networks".
+//!
+//! Elements are pure state machines over integer state. The
+//! [`crate::network::Network`] owns the routing loop and the choice
+//! mechanism; this module defines the per-element state plus the small
+//! elements that need no file of their own (LOSS, DIVERTER, RECEIVER).
+
+use crate::buffer::Buffer;
+use crate::delay::{DelayEl, JitterEl};
+use crate::gate::{Either, Gate};
+use crate::link::Link;
+use crate::source::Pinger;
+use augur_sim::{FlowId, Ppm, Time};
+
+/// LOSS — "stochastic loss, independently distributed for each packet at a
+/// particular rate" (§3.1). Stateless: each arrival raises a
+/// `ChoiceKind::LossFate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loss {
+    /// Per-packet loss probability.
+    pub p: Ppm,
+}
+
+/// DIVERTER — "routes packets from one source (such as the cross traffic)
+/// to one network element, and all other traffic to a different element"
+/// (§3.1). Packets of `flow` go to `next`, everything else to `alt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Diverter {
+    /// The flow routed to the primary successor.
+    pub flow: FlowId,
+}
+
+/// RECEIVER — the terminal element; "accumulates packets and wakes up the
+/// SENDER for each one" (§3.4). Deliveries are recorded by the network in
+/// a transient log (not element state, so branches can compact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ReceiverEl;
+
+/// Any element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Tail-drop / RED / CoDel queue.
+    Buffer(Buffer),
+    /// Throughput-limited link (optionally time-varying rate, ARQ).
+    Link(Link),
+    /// Fixed delay.
+    Delay(DelayEl),
+    /// Stochastic loss.
+    Loss(Loss),
+    /// Probabilistic extra delay.
+    Jitter(JitterEl),
+    /// Isochronous cross-traffic source.
+    Pinger(Pinger),
+    /// INTERMITTENT or SQUAREWAVE connectivity gate.
+    Gate(Gate),
+    /// Stochastic route switcher.
+    Either(Either),
+    /// Flow-based router.
+    Diverter(Diverter),
+    /// Terminal receiver.
+    Receiver(ReceiverEl),
+}
+
+impl Element {
+    /// The element's next self-scheduled activity, if any.
+    pub fn next_timer(&self) -> Option<Time> {
+        match self {
+            Element::Buffer(_) | Element::Loss(_) | Element::Diverter(_) | Element::Receiver(_) => {
+                None
+            }
+            Element::Link(l) => l.next_timer(),
+            Element::Delay(d) => d.next_timer(),
+            Element::Jitter(j) => j.next_timer(),
+            Element::Pinger(p) => p.next_timer(),
+            Element::Gate(g) => g.next_timer(),
+            Element::Either(e) => e.next_timer(),
+        }
+    }
+
+    /// A short name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Element::Buffer(_) => "Buffer",
+            Element::Link(_) => "Link",
+            Element::Delay(_) => "Delay",
+            Element::Loss(_) => "Loss",
+            Element::Jitter(_) => "Jitter",
+            Element::Pinger(_) => "Pinger",
+            Element::Gate(_) => "Gate",
+            Element::Either(_) => "Either",
+            Element::Diverter(_) => "Diverter",
+            Element::Receiver(_) => "Receiver",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_sim::{BitRate, Bits, Dur};
+
+    #[test]
+    fn stateless_elements_have_no_timer() {
+        assert!(Element::Loss(Loss { p: Ppm::from_prob(0.5) })
+            .next_timer()
+            .is_none());
+        assert!(Element::Diverter(Diverter { flow: FlowId::SELF })
+            .next_timer()
+            .is_none());
+        assert!(Element::Receiver(ReceiverEl).next_timer().is_none());
+        assert!(Element::Buffer(Buffer::drop_tail(Bits::new(1_000)))
+            .next_timer()
+            .is_none());
+    }
+
+    #[test]
+    fn active_elements_report_timers() {
+        let p = Element::Pinger(Pinger::new(
+            Dur::from_secs(1),
+            Bits::new(100),
+            FlowId::CROSS,
+            Time::from_secs(3),
+        ));
+        assert_eq!(p.next_timer(), Some(Time::from_secs(3)));
+
+        let idle_link = Element::Link(Link::constant(BitRate::from_bps(100)));
+        assert!(idle_link.next_timer().is_none());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(
+            Element::Gate(Gate::square_wave(Dur::from_secs(1), true)).kind_name(),
+            "Gate"
+        );
+        assert_eq!(
+            Element::Delay(DelayEl::new(Dur::ZERO)).kind_name(),
+            "Delay"
+        );
+    }
+}

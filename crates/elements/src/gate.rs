@@ -1,0 +1,205 @@
+//! Connectivity gates and the EITHER combinator.
+//!
+//! * INTERMITTENT — "connects input and output only intermittently, and
+//!   switches from connected to disconnected according to a memoryless
+//!   process with particular interarrival time (mean-time-to-switch)"
+//!   (§3.1). The memoryless process is realized as a per-epoch Bernoulli
+//!   switch (geometric interarrival, the discrete-time memoryless law),
+//!   with switch probability `1 − e^(−epoch/mtts)` so the mean time to
+//!   switch matches `mtts` as the epoch shrinks (DESIGN.md §4.4). Using a
+//!   finite per-epoch choice lets ground truth (sampled) and belief
+//!   branches (forked) share one mechanism.
+//! * SQUAREWAVE — "regularly alternates between connected and
+//!   disconnected with a certain period" (§3.1); deterministic.
+//! * EITHER — "sends traffic either to one element or another, switching
+//!   with a specified mean-time-to-switch" (§3.1); the same epoch
+//!   mechanism, but it reroutes instead of dropping.
+//!
+//! Packets arriving at a disconnected gate are dropped (recorded as
+//! `DropReason::GateClosed`).
+
+use augur_sim::{Dur, Ppm, Time};
+
+/// How a gate decides to switch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Memoryless switching, discretized to epochs.
+    Intermittent {
+        /// Decision epoch length.
+        epoch: Dur,
+        /// Per-epoch switch probability (derived from mtts).
+        p_switch: Ppm,
+        /// The configured mean time to switch (kept for introspection).
+        mtts: Dur,
+    },
+    /// Deterministic alternation every `half_period`.
+    SquareWave {
+        /// Time spent in each state.
+        half_period: Dur,
+    },
+}
+
+/// A connectivity gate (INTERMITTENT or SQUAREWAVE).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// Switching law.
+    pub kind: GateKind,
+    /// True iff input currently reaches output.
+    pub connected: bool,
+    /// Next switching decision instant.
+    pub next_decision: Time,
+}
+
+/// Per-epoch switch probability for a memoryless process with mean time to
+/// switch `mtts`, observed every `epoch`: `1 − e^(−epoch/mtts)`.
+pub fn epoch_switch_prob(epoch: Dur, mtts: Dur) -> Ppm {
+    assert!(mtts > Dur::ZERO, "mean time to switch must be positive");
+    let x = epoch.as_micros() as f64 / mtts.as_micros() as f64;
+    Ppm::from_prob(1.0 - (-x).exp())
+}
+
+impl Gate {
+    /// An INTERMITTENT gate. First decision falls at the end of the first
+    /// epoch.
+    pub fn intermittent(mtts: Dur, epoch: Dur, initially_connected: bool) -> Gate {
+        assert!(epoch > Dur::ZERO, "epoch must be positive");
+        Gate {
+            kind: GateKind::Intermittent {
+                epoch,
+                p_switch: epoch_switch_prob(epoch, mtts),
+                mtts,
+            },
+            connected: initially_connected,
+            next_decision: Time::ZERO + epoch,
+        }
+    }
+
+    /// A SQUAREWAVE gate. First flip at `half_period`.
+    pub fn square_wave(half_period: Dur, initially_connected: bool) -> Gate {
+        assert!(half_period > Dur::ZERO, "half period must be positive");
+        Gate {
+            kind: GateKind::SquareWave { half_period },
+            connected: initially_connected,
+            next_decision: Time::ZERO + half_period,
+        }
+    }
+
+    /// The next decision instant.
+    pub fn next_timer(&self) -> Option<Time> {
+        Some(self.next_decision)
+    }
+
+    /// For INTERMITTENT: the per-epoch switch probability to hand to the
+    /// choice mechanism. `None` for SQUAREWAVE (deterministic).
+    pub fn switch_choice(&self) -> Option<Ppm> {
+        match &self.kind {
+            GateKind::Intermittent { p_switch, .. } => Some(*p_switch),
+            GateKind::SquareWave { .. } => None,
+        }
+    }
+
+    /// Apply a decision at `now`: flip if `switch`, then schedule the next
+    /// decision.
+    pub fn decide(&mut self, switch: bool, now: Time) {
+        debug_assert!(now >= self.next_decision);
+        if switch {
+            self.connected = !self.connected;
+        }
+        let step = match &self.kind {
+            GateKind::Intermittent { epoch, .. } => *epoch,
+            GateKind::SquareWave { half_period } => *half_period,
+        };
+        self.next_decision += step;
+    }
+}
+
+/// The EITHER combinator: routes to the primary successor normally, to the
+/// secondary while switched, flipping memorylessly per epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Either {
+    /// Decision epoch.
+    pub epoch: Dur,
+    /// Per-epoch switch probability.
+    pub p_switch: Ppm,
+    /// True iff currently routing to the secondary (`alt`) successor.
+    pub on_alt: bool,
+    /// Next decision instant.
+    pub next_decision: Time,
+}
+
+impl Either {
+    /// An EITHER with mean time-to-switch `mtts`, decided every `epoch`.
+    pub fn new(mtts: Dur, epoch: Dur, initially_alt: bool) -> Either {
+        assert!(epoch > Dur::ZERO, "epoch must be positive");
+        Either {
+            epoch,
+            p_switch: epoch_switch_prob(epoch, mtts),
+            on_alt: initially_alt,
+            next_decision: Time::ZERO + epoch,
+        }
+    }
+
+    /// Next decision instant.
+    pub fn next_timer(&self) -> Option<Time> {
+        Some(self.next_decision)
+    }
+
+    /// Apply a decision at `now`.
+    pub fn decide(&mut self, switch: bool, _now: Time) {
+        if switch {
+            self.on_alt = !self.on_alt;
+        }
+        self.next_decision += self.epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_prob_matches_exponential_law() {
+        // epoch = mtts → p = 1 - 1/e ≈ 0.6321
+        let p = epoch_switch_prob(Dur::from_secs(100), Dur::from_secs(100));
+        assert!((p.prob() - 0.632_12).abs() < 1e-3, "p = {p}");
+        // epoch << mtts → p ≈ epoch/mtts
+        let p = epoch_switch_prob(Dur::from_secs(1), Dur::from_secs(100));
+        assert!((p.prob() - 0.00995).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn square_wave_flips_deterministically() {
+        let mut g = Gate::square_wave(Dur::from_secs(100), true);
+        assert!(g.connected);
+        assert!(g.switch_choice().is_none());
+        assert_eq!(g.next_timer(), Some(Time::from_secs(100)));
+        g.decide(true, Time::from_secs(100));
+        assert!(!g.connected);
+        assert_eq!(g.next_timer(), Some(Time::from_secs(200)));
+        g.decide(true, Time::from_secs(200));
+        assert!(g.connected);
+    }
+
+    #[test]
+    fn intermittent_exposes_choice() {
+        let mut g = Gate::intermittent(Dur::from_secs(100), Dur::from_secs(1), true);
+        let p = g.switch_choice().unwrap();
+        assert!(p.prob() > 0.0 && p.prob() < 0.02);
+        g.decide(false, Time::from_secs(1));
+        assert!(g.connected);
+        assert_eq!(g.next_timer(), Some(Time::from_secs(2)));
+        g.decide(true, Time::from_secs(2));
+        assert!(!g.connected);
+    }
+
+    #[test]
+    fn either_switches_route() {
+        let mut e = Either::new(Dur::from_secs(10), Dur::from_secs(1), false);
+        assert!(!e.on_alt);
+        e.decide(true, Time::from_secs(1));
+        assert!(e.on_alt);
+        e.decide(false, Time::from_secs(2));
+        assert!(e.on_alt);
+        assert_eq!(e.next_timer(), Some(Time::from_secs(3)));
+    }
+}

@@ -1,0 +1,43 @@
+//! `augur-elements` — the paper's network-element language (§3.1).
+//!
+//! "The model is built as a language of network elements, corresponding to
+//! idealized versions of data structures and phenomena that occur in real
+//! networks." This crate implements every element the paper lists —
+//! BUFFER, THROUGHPUT, DELAY, LOSS, JITTER, PINGER, INTERMITTENT,
+//! SQUAREWAVE, RECEIVER — and the combinators SERIES, DIVERTER and EITHER,
+//! plus the extensions the paper calls for in §3.5 (AQM variants of
+//! BUFFER, a time-varying-rate THROUGHPUT, and link-layer ARQ for the
+//! cellular experiments).
+//!
+//! The crate's central type is [`network::Network`]: a *value* combining
+//! elements into a graph, advanced event-by-event, with every stochastic
+//! decision surfaced as a [`choice::ChoiceSpec`] so that the same code
+//! serves as ground truth (decisions sampled) and as belief-state
+//! hypothesis (decisions forked). See the module docs of [`network`] for
+//! the driver contract.
+
+pub mod buffer;
+pub mod cellular;
+pub mod choice;
+pub mod delay;
+pub mod element;
+pub mod gate;
+pub mod link;
+pub mod model;
+pub mod network;
+pub mod node;
+pub mod source;
+
+pub use buffer::{Buffer, BufferKind};
+pub use cellular::{build_cellular, CellularNet, CellularParams};
+pub use choice::{ChoiceKind, ChoiceSpec};
+pub use delay::{DelayEl, JitterEl};
+pub use element::{Diverter, Element, Loss, ReceiverEl};
+pub use gate::{Either, Gate, GateKind};
+pub use link::{Link, RateProcess};
+pub use model::{build_model, GateSpec, ModelNet, ModelParams};
+pub use network::{
+    DropReason, DropRecord, Network, NetworkBuilder, Step, BACKLOG_FLOW,
+};
+pub use node::{Node, NodeId};
+pub use source::Pinger;

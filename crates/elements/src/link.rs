@@ -1,0 +1,239 @@
+//! THROUGHPUT — "a throughput-limited link, operating at a particular
+//! speed in bits per second" (§3.1) — generalized with two optional
+//! features needed by the Figure-1 reproduction (DESIGN.md §5):
+//!
+//! * a **rate process**: the speed may follow a piecewise-constant,
+//!   periodic schedule instead of being constant ("buffer sizes and
+//!   throughputs can vary over time", §3.1);
+//! * **link-layer ARQ**: each completed transmission is lost with
+//!   probability `arq_loss` and then *retransmitted* after
+//!   `arq_retry_delay` rather than dropped — the "zealous" loss hiding of
+//!   cellular networks (§1). Retransmission keeps the link busy, so
+//!   subsequent packets suffer head-of-line blocking: exactly the
+//!   mechanism behind the paper's 10-second LTE round-trip times.
+//!
+//! A link serves one packet at a time. If wired behind a
+//! [`crate::buffer::Buffer`] it pulls its next packet from that buffer on
+//! completion; a bare link keeps an internal unbounded FIFO instead.
+
+use crate::node::NodeId;
+use augur_sim::{BitRate, Bits, Dur, Packet, Ppm, Time};
+use std::collections::VecDeque;
+
+/// How the link's speed evolves over time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RateProcess {
+    /// A constant rate: the paper's THROUGHPUT.
+    Const(BitRate),
+    /// A periodic piecewise-constant schedule: step `i` applies from its
+    /// offset (within the period) until the next step's offset.
+    Schedule {
+        /// `(offset_within_period, rate)`, sorted by offset, first at zero.
+        steps: Vec<(Dur, BitRate)>,
+        /// Cycle length.
+        period: Dur,
+    },
+}
+
+impl RateProcess {
+    /// The rate in effect at instant `t`.
+    pub fn rate_at(&self, t: Time) -> BitRate {
+        match self {
+            RateProcess::Const(r) => *r,
+            RateProcess::Schedule { steps, period } => {
+                let phase = Dur::from_micros(t.as_micros() % period.as_micros());
+                let mut current = steps[0].1;
+                for &(off, r) in steps {
+                    if off <= phase {
+                        current = r;
+                    } else {
+                        break;
+                    }
+                }
+                current
+            }
+        }
+    }
+
+    /// Validate invariants (builder calls this).
+    pub fn validate(&self) {
+        if let RateProcess::Schedule { steps, period } = self {
+            assert!(!steps.is_empty(), "rate schedule must have steps");
+            assert_eq!(steps[0].0, Dur::ZERO, "first step must start at 0");
+            assert!(
+                steps.windows(2).all(|w| w[0].0 < w[1].0),
+                "rate schedule offsets must increase"
+            );
+            assert!(
+                steps.last().unwrap().0 < *period,
+                "rate schedule offsets must fit in the period"
+            );
+        }
+    }
+}
+
+/// A throughput-limited link.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Speed over time.
+    pub rate: RateProcess,
+    /// Per-transmission loss hidden by link-layer ARQ (0 disables ARQ).
+    pub arq_loss: Ppm,
+    /// Extra delay before a retransmission begins serializing.
+    pub arq_retry_delay: Dur,
+    /// Upstream buffer to pull from on completion (wired by the builder).
+    pub feed: Option<NodeId>,
+    /// Packet currently being serialized.
+    pub in_service: Option<Packet>,
+    /// When the current serialization finishes.
+    pub busy_until: Time,
+    /// Internal unbounded FIFO, used only when `feed` is `None`.
+    pub backlog: VecDeque<Packet>,
+}
+
+impl Link {
+    /// A constant-rate link with no ARQ.
+    pub fn constant(rate: BitRate) -> Link {
+        Link::new(RateProcess::Const(rate), Ppm::ZERO, Dur::ZERO)
+    }
+
+    /// A fully-specified link.
+    pub fn new(rate: RateProcess, arq_loss: Ppm, arq_retry_delay: Dur) -> Link {
+        rate.validate();
+        assert!(!arq_loss.is_one(), "ARQ with loss 1.0 never delivers");
+        Link {
+            rate,
+            arq_loss,
+            arq_retry_delay,
+            feed: None,
+            in_service: None,
+            busy_until: Time::ZERO,
+            backlog: VecDeque::new(),
+        }
+    }
+
+    /// Is the link free to accept a packet right now?
+    pub fn idle(&self) -> bool {
+        self.in_service.is_none()
+    }
+
+    /// Begin serializing `pkt` at `now`.
+    ///
+    /// # Panics
+    /// Panics if the link is already busy.
+    pub fn start_service(&mut self, pkt: Packet, now: Time) {
+        assert!(self.idle(), "start_service on busy link");
+        let rate = self.rate.rate_at(now);
+        self.busy_until = now + rate.service_time(pkt.size);
+        self.in_service = Some(pkt);
+    }
+
+    /// Begin a retransmission of the current packet at `now` (ARQ).
+    pub fn start_retransmission(&mut self, now: Time) {
+        let pkt = self.in_service.expect("retransmission with nothing in service");
+        let rate = self.rate.rate_at(now);
+        self.busy_until = now + self.arq_retry_delay + rate.service_time(pkt.size);
+    }
+
+    /// Take the completed packet out of service.
+    ///
+    /// # Panics
+    /// Panics if nothing is in service.
+    pub fn complete(&mut self) -> Packet {
+        self.in_service.take().expect("complete on idle link")
+    }
+
+    /// Service time of `bits` at the rate in effect at `now`.
+    pub fn service_time_at(&self, bits: Bits, now: Time) -> Dur {
+        self.rate.rate_at(now).service_time(bits)
+    }
+
+    /// The link's next timer: its completion instant, if busy.
+    pub fn next_timer(&self) -> Option<Time> {
+        self.in_service.map(|_| self.busy_until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_sim::FlowId;
+
+    fn pkt(bits: u64) -> Packet {
+        Packet::new(FlowId::SELF, 0, Bits::new(bits), Time::ZERO)
+    }
+
+    #[test]
+    fn constant_rate_service() {
+        let mut l = Link::constant(BitRate::from_bps(12_000));
+        assert!(l.idle());
+        l.start_service(pkt(12_000), Time::from_secs(5));
+        assert!(!l.idle());
+        assert_eq!(l.next_timer(), Some(Time::from_secs(6)));
+        let p = l.complete();
+        assert_eq!(p.size, Bits::new(12_000));
+        assert!(l.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "busy link")]
+    fn double_start_panics() {
+        let mut l = Link::constant(BitRate::from_bps(1_000));
+        l.start_service(pkt(100), Time::ZERO);
+        l.start_service(pkt(100), Time::ZERO);
+    }
+
+    #[test]
+    fn schedule_rate_lookup() {
+        let rp = RateProcess::Schedule {
+            steps: vec![
+                (Dur::ZERO, BitRate::from_kbps(100)),
+                (Dur::from_secs(10), BitRate::from_kbps(25)),
+            ],
+            period: Dur::from_secs(20),
+        };
+        rp.validate();
+        assert_eq!(rp.rate_at(Time::from_secs(0)), BitRate::from_kbps(100));
+        assert_eq!(rp.rate_at(Time::from_secs(9)), BitRate::from_kbps(100));
+        assert_eq!(rp.rate_at(Time::from_secs(10)), BitRate::from_kbps(25));
+        assert_eq!(rp.rate_at(Time::from_secs(19)), BitRate::from_kbps(25));
+        // Periodic wraparound.
+        assert_eq!(rp.rate_at(Time::from_secs(20)), BitRate::from_kbps(100));
+        assert_eq!(rp.rate_at(Time::from_secs(31)), BitRate::from_kbps(25));
+    }
+
+    #[test]
+    fn retransmission_extends_busy_time() {
+        let mut l = Link::new(
+            RateProcess::Const(BitRate::from_bps(12_000)),
+            Ppm::from_prob(0.5),
+            Dur::from_millis(50),
+        );
+        l.start_service(pkt(12_000), Time::ZERO);
+        assert_eq!(l.busy_until, Time::from_secs(1));
+        // Simulate ARQ failure at completion: retransmit.
+        l.start_retransmission(Time::from_secs(1));
+        assert_eq!(l.busy_until, Time::from_micros(2_050_000));
+        assert!(l.in_service.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "never delivers")]
+    fn arq_loss_one_rejected() {
+        let _ = Link::new(
+            RateProcess::Const(BitRate::from_bps(1)),
+            Ppm::ONE,
+            Dur::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at 0")]
+    fn schedule_must_start_at_zero() {
+        RateProcess::Schedule {
+            steps: vec![(Dur::from_secs(1), BitRate::from_bps(1))],
+            period: Dur::from_secs(10),
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,39 @@
+//! Nodes: an element plus its wiring in the network graph.
+
+use crate::element::Element;
+use std::fmt;
+
+/// Index of a node within a [`crate::network::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node in the element graph: the element itself plus up to two
+/// successors. `next` is the primary output; `alt` is only used by the
+/// two-output combinators (DIVERTER routes non-matching flows to `alt`,
+/// EITHER routes to `alt` while switched).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// The element's state machine.
+    pub element: Element,
+    /// Primary successor.
+    pub next: Option<NodeId>,
+    /// Secondary successor (DIVERTER / EITHER only).
+    pub alt: Option<NodeId>,
+}
+
+impl Node {
+    /// Wrap an element with no successors yet.
+    pub fn new(element: Element) -> Node {
+        Node {
+            element,
+            next: None,
+            alt: None,
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The exact enumeration engine: sequential Bayes over a finite hypothesis
+//! set (§3.2).
+//!
+//! "Every time it receives an ACK from its RECEIVER or its timer expires,
+//! the ISENDER receives an event and wakes up. It simulates each of the
+//! possible network states since the last wakeup to see what results they
+//! would have produced at their simulated RECEIVER. Any state that
+//! produces results inconsistent from what actually happened is removed
+//! from the list, and the probabilities of all remaining configurations
+//! are increased so that they still sum to unity."
+//!
+//! [`Belief::advance`] is that paragraph. Nondeterministic elements fork
+//! branches; reconverged branches are compacted; a configurable cap prunes
+//! the lightest branches (the paper's computational limit, §3.2).
+//!
+//! # The last-mile loss fold (DESIGN.md §4.3)
+//!
+//! When the LOSS element sits at the *last mile* (nothing stateful
+//! downstream — the paper's own design point: "if stochastic loss is
+//! assumed to occur only at the 'last mile' … then the consequences of
+//! stochastic loss do not linger"), the two-way fork plus immediate
+//! conditioning collapses into a single weight multiplication:
+//!
+//! * the window's observations contain an ACK for this packet at exactly
+//!   this instant → resolve "delivered", weight × (1 − p);
+//! * otherwise → resolve "lost", weight × p.
+//!
+//! Cross-traffic packets at the same node are invisible to the sender and
+//! their fate leaves no state behind, so they are marginalized (resolved
+//! "delivered" with unchanged weight). Both folds are exact; disabling
+//! `fold_self_loss` (the ABL-2 ablation) replays them as explicit forks
+//! and must produce the identical posterior.
+
+use crate::hypothesis::{compact, effective_count, normalize, prune, Hypothesis};
+use crate::observe::{harvest, Observation, ObservationIndex};
+use augur_elements::{ChoiceKind, ChoiceSpec, NodeId, Step};
+use augur_sim::{FlowId, Packet, Time};
+use std::fmt;
+use std::hash::Hash;
+
+/// Tuning knobs for the exact engine.
+#[derive(Debug, Clone)]
+pub struct BeliefConfig {
+    /// Hard cap on the branch population (lowest weights pruned first).
+    pub max_branches: usize,
+    /// Drop branches lighter than this fraction of the heaviest branch.
+    pub min_rel_weight: f64,
+    /// The LOSS node eligible for analytic folding, if the topology has a
+    /// last-mile loss element. `None` forks every loss decision.
+    pub fold_loss_node: Option<NodeId>,
+    /// Fold the sender's own packets at the fold node (true) or fork them
+    /// explicitly (false; the ABL-2 ablation — same posterior, more work).
+    pub fold_self_loss: bool,
+    /// The sender's own flow id (what the observed receiver reports).
+    pub own_flow: FlowId,
+}
+
+impl Default for BeliefConfig {
+    fn default() -> Self {
+        BeliefConfig {
+            max_branches: 50_000,
+            min_rel_weight: 1e-9,
+            fold_loss_node: None,
+            fold_self_loss: true,
+            own_flow: FlowId::SELF,
+        }
+    }
+}
+
+/// Diagnostics from one [`Belief::advance`] window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvanceStats {
+    /// Branch forks performed.
+    pub forks: usize,
+    /// Branches killed by inconsistency with the observations.
+    pub killed: usize,
+    /// Branches eliminated by compaction (state reconvergence).
+    pub compacted: usize,
+    /// Branches eliminated by the population cap / weight floor.
+    pub pruned: usize,
+    /// Surviving branch count.
+    pub branches: usize,
+    /// Pre-normalization weight sum: the marginal likelihood of this
+    /// window's observations under the belief.
+    pub evidence: f64,
+}
+
+/// The belief engine failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeliefError {
+    /// Every branch was inconsistent with the observations: the true
+    /// configuration is outside the prior's support.
+    Dead {
+        /// Time of the fatal window's end.
+        at: Time,
+    },
+}
+
+impl fmt::Display for BeliefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeliefError::Dead { at } => write!(
+                f,
+                "all hypotheses rejected at {at}: observations are outside the prior's support"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BeliefError {}
+
+enum Resolution {
+    Fold { option: usize, weight: f64 },
+    Fork,
+}
+
+struct Work<M> {
+    h: Hypothesis<M>,
+    matched: usize,
+}
+
+/// A probability distribution over network configurations, advanced by
+/// sequential Bayes.
+#[derive(Debug, Clone)]
+pub struct Belief<M> {
+    branches: Vec<Hypothesis<M>>,
+    /// Node where the sender's packets enter every hypothesis.
+    pub entry: NodeId,
+    /// The receiver node whose deliveries the sender observes.
+    pub observed_rx: NodeId,
+    cfg: BeliefConfig,
+    now: Time,
+}
+
+impl<M: Clone + Eq + Hash> Belief<M> {
+    /// Build a belief from prior hypotheses (weights need not be
+    /// normalized). All hypotheses must share the same topology ids for
+    /// `entry` and `observed_rx`.
+    ///
+    /// # Panics
+    /// Panics if the prior is empty or has non-positive total weight.
+    pub fn new(
+        prior: Vec<Hypothesis<M>>,
+        entry: NodeId,
+        observed_rx: NodeId,
+        cfg: BeliefConfig,
+    ) -> Belief<M> {
+        assert!(!prior.is_empty(), "empty prior");
+        let mut b = Belief {
+            branches: prior,
+            entry,
+            observed_rx,
+            cfg,
+            now: Time::ZERO,
+        };
+        normalize(&mut b.branches);
+        b
+    }
+
+    /// Current time (end of the last advanced window).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The surviving branches.
+    pub fn branches(&self) -> &[Hypothesis<M>] {
+        &self.branches
+    }
+
+    /// Number of branches.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Effective branch count, `1/Σw²`.
+    pub fn effective_count(&self) -> f64 {
+        effective_count(&self.branches)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BeliefConfig {
+        &self.cfg
+    }
+
+    /// The maximum-a-posteriori branch.
+    pub fn map_estimate(&self) -> &Hypothesis<M> {
+        self.branches
+            .iter()
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
+            .expect("belief is never empty")
+    }
+
+    /// Posterior marginal of an arbitrary statistic of the hypothesis.
+    pub fn marginal<K: Eq + Hash, F: Fn(&Hypothesis<M>) -> K>(&self, f: F) -> Vec<(K, f64)> {
+        let mut acc: std::collections::HashMap<K, f64> = std::collections::HashMap::new();
+        for h in &self.branches {
+            *acc.entry(f(h)).or_insert(0.0) += h.weight;
+        }
+        let mut v: Vec<(K, f64)> = acc.into_iter().collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Posterior expectation of a numeric statistic.
+    pub fn expected<F: Fn(&Hypothesis<M>) -> f64>(&self, f: F) -> f64 {
+        self.branches.iter().map(|h| h.weight * f(h)).sum()
+    }
+
+    /// Inject one of the sender's own packets into every branch at the
+    /// current instant. Synchronous nondeterminism (e.g. a LOSS element
+    /// reached before the packet comes to rest) forks branches; the forks
+    /// are conditioned at the next [`Belief::advance`].
+    pub fn inject(&mut self, pkt: Packet) {
+        let idx = ObservationIndex::new(&[]);
+        let frontier: Vec<Work<M>> = self
+            .branches
+            .drain(..)
+            .map(|h| Work { h, matched: 0 })
+            .collect();
+        let mut out = Vec::with_capacity(frontier.len());
+        let mut stats = AdvanceStats::default();
+        for mut w in frontier {
+            w.h.net.inject(self.entry, pkt);
+            self.settle(w, self.now, &idx, true, &mut out, &mut stats);
+        }
+        assert!(
+            !out.is_empty(),
+            "all branches died during inject — topology delivers instantly?"
+        );
+        self.branches = out.into_iter().map(|w| w.h).collect();
+    }
+
+    /// Advance every branch to `until`, conditioning on the window's
+    /// observations, then compact, prune and renormalize.
+    pub fn advance(
+        &mut self,
+        until: Time,
+        obs: &[Observation],
+    ) -> Result<AdvanceStats, BeliefError> {
+        assert!(until >= self.now, "advance({until}) before now ({})", self.now);
+        let idx = ObservationIndex::new(obs);
+        let mut stats = AdvanceStats::default();
+        let frontier: Vec<Work<M>> = self
+            .branches
+            .drain(..)
+            .map(|h| Work { h, matched: 0 })
+            .collect();
+        let mut done: Vec<Work<M>> = Vec::with_capacity(frontier.len());
+        for w in frontier {
+            self.settle(w, until, &idx, false, &mut done, &mut stats);
+        }
+        if done.is_empty() {
+            return Err(BeliefError::Dead { at: until });
+        }
+        self.branches = done.into_iter().map(|w| w.h).collect();
+        if self.branches.iter().map(|h| h.weight).sum::<f64>() <= 0.0 {
+            return Err(BeliefError::Dead { at: until });
+        }
+        stats.compacted = compact(&mut self.branches);
+        stats.pruned = prune(
+            &mut self.branches,
+            self.cfg.max_branches,
+            self.cfg.min_rel_weight,
+        );
+        stats.evidence = normalize(&mut self.branches);
+        stats.branches = self.branches.len();
+        self.now = until;
+        Ok(stats)
+    }
+
+    /// Run one branch (and any forks it spawns) to `until`, collecting the
+    /// survivors into `out`. Depth-first with an explicit stack.
+    fn settle(
+        &self,
+        work: Work<M>,
+        until: Time,
+        idx: &ObservationIndex,
+        injecting: bool,
+        out: &mut Vec<Work<M>>,
+        stats: &mut AdvanceStats,
+    ) {
+        let mut stack = vec![work];
+        while let Some(mut w) = stack.pop() {
+            loop {
+                let step = w.h.net.run_until(until);
+                if !harvest(
+                    &mut w.h.net,
+                    self.observed_rx,
+                    self.cfg.own_flow,
+                    idx,
+                    &mut w.matched,
+                ) {
+                    stats.killed += 1;
+                    break;
+                }
+                match step {
+                    Step::Idle => {
+                        // During injection the window is zero-width and the
+                        // matched count is checked by the enclosing advance.
+                        if injecting || w.matched == idx.len() {
+                            out.push(w);
+                        } else {
+                            stats.killed += 1;
+                        }
+                        break;
+                    }
+                    Step::Pending(spec) => match self.resolution(&spec, idx, injecting) {
+                        Resolution::Fold { option, weight } => {
+                            w.h.weight *= weight;
+                            if w.h.weight <= 0.0 {
+                                stats.killed += 1;
+                                break;
+                            }
+                            w.h.net.resolve(option);
+                        }
+                        Resolution::Fork => {
+                            stats.forks += 1;
+                            let opts: Vec<usize> = spec.live_options().collect();
+                            debug_assert!(!opts.is_empty());
+                            for &o in &opts[..opts.len() - 1] {
+                                let mut child = Work {
+                                    h: w.h.clone(),
+                                    matched: w.matched,
+                                };
+                                child.h.weight *= spec.prob(o);
+                                child.h.net.resolve(o);
+                                stack.push(child);
+                            }
+                            let last = *opts.last().unwrap();
+                            w.h.weight *= spec.prob(last);
+                            w.h.net.resolve(last);
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    fn resolution(
+        &self,
+        spec: &ChoiceSpec,
+        idx: &ObservationIndex,
+        injecting: bool,
+    ) -> Resolution {
+        if spec.kind == ChoiceKind::LossFate && Some(spec.node) == self.cfg.fold_loss_node {
+            let pkt = spec.packet.expect("loss fate carries its packet");
+            if pkt.flow == self.cfg.own_flow {
+                // Own packet at the last mile: condition immediately on
+                // whether its ACK was observed — unless we are mid-inject
+                // (the ACK cannot have arrived yet) or the ablation asks
+                // for explicit forking.
+                if self.cfg.fold_self_loss && !injecting {
+                    let p = spec.p1.prob();
+                    return match idx.time_of(pkt.seq) {
+                        Some(t) if t == spec.at => Resolution::Fold {
+                            option: 0,
+                            weight: 1.0 - p,
+                        },
+                        _ => Resolution::Fold {
+                            option: 1,
+                            weight: p,
+                        },
+                    };
+                }
+                return Resolution::Fork;
+            }
+            // Unobserved flow at the last mile: the fate leaves no trace in
+            // the network state, so both branches are identical — resolve
+            // "delivered" with unchanged weight (exact marginalization).
+            return Resolution::Fold {
+                option: 0,
+                weight: 1.0,
+            };
+        }
+        Resolution::Fork
+    }
+}

@@ -1,0 +1,205 @@
+//! Hypotheses: weighted candidate network configurations.
+//!
+//! "The sender maintains a probability distribution of the possible states
+//! that the network could be in" (§3). A [`Hypothesis`] is one such
+//! candidate: a complete network (parameters *and* dynamic state — queue
+//! contents, gate position, in-service packet) plus a probability weight
+//! and a metadata record `M` identifying which prior grid point it
+//! descends from (used for posterior reporting, and by the planner to read
+//! static parameters such as the loss rate).
+
+use augur_elements::Network;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One weighted network configuration.
+#[derive(Debug, Clone)]
+pub struct Hypothesis<M> {
+    /// The modeled network, including dynamic state.
+    pub net: Network,
+    /// Static metadata (the prior grid point this branch descends from).
+    pub meta: M,
+    /// Probability weight. Within a belief, weights sum to one after each
+    /// update ("the probabilities of all remaining configurations are
+    /// increased so that they still sum to unity", §3.2).
+    pub weight: f64,
+}
+
+/// Merge hypotheses whose `(net, meta)` are identical, summing weights —
+/// the paper's *compaction*: "eventually, the two possible states of the
+/// network may become identical and can be compacted back into one state"
+/// (§3.2). Returns the number of branches eliminated.
+///
+/// The surviving branches are re-ordered deterministically (weight
+/// descending, then a fixed-key state hash): everything downstream — the
+/// planner's top-K selection in particular — must see the same branch
+/// order on every run for whole simulations to be reproducible.
+///
+/// # Panics
+/// Panics (debug) if any network still holds undrained logs: compaction
+/// would silently discard them.
+pub fn compact<M: Clone + Eq + Hash>(branches: &mut Vec<Hypothesis<M>>) -> usize {
+    let before = branches.len();
+    let mut merged: HashMap<(Network, M), f64> = HashMap::with_capacity(before);
+    for h in branches.drain(..) {
+        debug_assert!(h.net.logs_empty(), "compacting a network with undrained logs");
+        *merged.entry((h.net, h.meta)).or_insert(0.0) += h.weight;
+    }
+    branches.extend(merged.into_iter().map(|((net, meta), weight)| Hypothesis {
+        net,
+        meta,
+        weight,
+    }));
+    branches.sort_by(|a, b| {
+        b.weight
+            .total_cmp(&a.weight)
+            .then_with(|| stable_hash(a).cmp(&stable_hash(b)))
+    });
+    before - branches.len()
+}
+
+/// A run-to-run deterministic hash of a hypothesis's identity.
+/// `DefaultHasher::new()` uses fixed keys (unlike `RandomState`), which is
+/// exactly what reproducibility needs.
+fn stable_hash<M: Hash>(h: &Hypothesis<M>) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    h.net.hash(&mut hasher);
+    h.meta.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Rescale weights to sum to one. Returns the pre-normalization total
+/// (the marginal likelihood of the window just conditioned on).
+///
+/// # Panics
+/// Panics if the total weight is zero or not finite.
+pub fn normalize<M>(branches: &mut [Hypothesis<M>]) -> f64 {
+    let total: f64 = branches.iter().map(|h| h.weight).sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "cannot normalize: total weight {total}"
+    );
+    for h in branches.iter_mut() {
+        h.weight /= total;
+    }
+    total
+}
+
+/// Keep only the `max` highest-weight branches (the computational cap of
+/// §3.2: "maintaining more than a few million possible discrete channel
+/// configurations is impractical"). Also drops branches lighter than
+/// `min_rel` times the heaviest. Returns the number pruned.
+pub fn prune<M>(branches: &mut Vec<Hypothesis<M>>, max: usize, min_rel: f64) -> usize {
+    let before = branches.len();
+    if before == 0 {
+        return 0;
+    }
+    branches.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    let heaviest = branches[0].weight;
+    let floor = heaviest * min_rel;
+    branches.retain(|h| h.weight >= floor);
+    branches.truncate(max);
+    before - branches.len()
+}
+
+/// Effective number of branches, `1 / Σ w²` — a diversity diagnostic
+/// (familiar from particle filtering as the effective sample size).
+pub fn effective_count<M>(branches: &[Hypothesis<M>]) -> f64 {
+    let sum_sq: f64 = branches.iter().map(|h| h.weight * h.weight).sum();
+    if sum_sq == 0.0 {
+        0.0
+    } else {
+        1.0 / sum_sq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_elements::{Element, Loss, NetworkBuilder, ReceiverEl};
+    use augur_sim::Ppm;
+
+    fn tiny_net(p: f64) -> Network {
+        let mut b = NetworkBuilder::new();
+        b.chain(vec![
+            Element::Loss(Loss {
+                p: Ppm::from_prob(p),
+            }),
+            Element::Receiver(ReceiverEl),
+        ]);
+        b.build()
+    }
+
+    fn hyp(p: f64, meta: u32, weight: f64) -> Hypothesis<u32> {
+        Hypothesis {
+            net: tiny_net(p),
+            meta,
+            weight,
+        }
+    }
+
+    #[test]
+    fn compact_merges_identical_states() {
+        let mut v = vec![hyp(0.1, 7, 0.25), hyp(0.1, 7, 0.35), hyp(0.2, 7, 0.4)];
+        let eliminated = compact(&mut v);
+        assert_eq!(eliminated, 1);
+        assert_eq!(v.len(), 2);
+        let w: f64 = v
+            .iter()
+            .find(|h| h.net == tiny_net(0.1))
+            .map(|h| h.weight)
+            .unwrap();
+        assert!((w - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_respects_meta() {
+        // Same network, different meta: must not merge.
+        let mut v = vec![hyp(0.1, 1, 0.5), hyp(0.1, 2, 0.5)];
+        assert_eq!(compact(&mut v), 0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn normalize_returns_evidence() {
+        let mut v = vec![hyp(0.1, 0, 0.2), hyp(0.2, 0, 0.2)];
+        let total = normalize(&mut v);
+        assert!((total - 0.4).abs() < 1e-12);
+        assert!((v.iter().map(|h| h.weight).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot normalize")]
+    fn normalize_rejects_dead_belief() {
+        let mut v = vec![hyp(0.1, 0, 0.0)];
+        normalize(&mut v);
+    }
+
+    #[test]
+    fn prune_keeps_heaviest() {
+        let mut v: Vec<_> = (0..10).map(|i| hyp(0.1, i, (i + 1) as f64)).collect();
+        let pruned = prune(&mut v, 3, 0.0);
+        assert_eq!(pruned, 7);
+        assert_eq!(v.len(), 3);
+        assert!(v[0].weight >= v[1].weight && v[1].weight >= v[2].weight);
+        assert!((v[0].weight - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_drops_relative_dust() {
+        let mut v = vec![hyp(0.1, 0, 1.0), hyp(0.2, 1, 1e-12)];
+        let pruned = prune(&mut v, 100, 1e-9);
+        assert_eq!(pruned, 1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn effective_count_diagnostics() {
+        let v = vec![hyp(0.1, 0, 0.5), hyp(0.2, 1, 0.5)];
+        assert!((effective_count(&v) - 2.0).abs() < 1e-9);
+        let skewed = vec![hyp(0.1, 0, 1.0), hyp(0.2, 1, 0.0)];
+        assert!((effective_count(&skewed) - 1.0).abs() < 1e-9);
+        assert_eq!(effective_count::<u32>(&[]), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! `augur-inference` — Bayesian inference over network configurations.
+//!
+//! This crate is the first of the ISENDER's two jobs: "maintain a model of
+//! the network configuration with specified uncertainty … accomplished
+//! using standard probabilistic techniques" (§3.2).
+//!
+//! * [`prior`] builds the discretized uniform prior of Figure 2's table.
+//! * [`exact`] is the paper's engine: enumerate every configuration, fork
+//!   on nondeterminism, reject branches inconsistent with the observed
+//!   acknowledgments, renormalize, and compact reconverged states.
+//! * [`particle`] is the scalable alternative the paper points to in the
+//!   POMDP literature: a bootstrap particle filter with systematic
+//!   resampling, O(particles) per update regardless of prior size.
+//! * [`observe`] defines the observation model (ACK = sequence number +
+//!   exact arrival time) and the consistency rule.
+//!
+//! Both engines share the hypothesis representation ([`hypothesis`]) and
+//! the last-mile loss fold (DESIGN.md §4.3).
+
+pub mod exact;
+pub mod hypothesis;
+pub mod observe;
+pub mod particle;
+pub mod prior;
+
+pub use exact::{AdvanceStats, Belief, BeliefConfig, BeliefError};
+pub use hypothesis::{compact, effective_count, normalize, prune, Hypothesis};
+pub use observe::{harvest, Observation, ObservationIndex};
+pub use particle::{ParticleConfig, ParticleFilter, ParticleStats};
+pub use prior::ModelPrior;

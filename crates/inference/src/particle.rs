@@ -1,0 +1,282 @@
+//! A bootstrap particle filter over network configurations — the scalable
+//! alternative the paper names as future work (§3.2: "a more sophisticated
+//! and scalable scheme would use the approximate techniques of Bayesian
+//! inference that have been developed in the literature of POMDPs").
+//!
+//! Each particle is a concrete network trajectory: parameters drawn from
+//! the prior, stochastic transitions *sampled* rather than forked. Because
+//! observations are exact-time events (DESIGN.md §4.1), the likelihood of
+//! a mismatch is zero — a particle either predicts the window's ACKs
+//! exactly (weight kept, last-mile loss folded analytically like the exact
+//! engine) or dies. Systematic resampling replenishes the population from
+//! the survivors when the effective sample size drops.
+//!
+//! Cost per update is O(particles), independent of the prior's size —
+//! the point of the EXT-C scaling experiment.
+
+use crate::exact::BeliefError;
+use crate::hypothesis::{effective_count, Hypothesis};
+use crate::observe::{harvest, Observation, ObservationIndex};
+use augur_elements::{ChoiceKind, NodeId, Step};
+use augur_sim::{FlowId, Packet, SimRng, Time};
+
+/// Tuning knobs for the particle filter.
+#[derive(Debug, Clone)]
+pub struct ParticleConfig {
+    /// Population size.
+    pub n_particles: usize,
+    /// Resample when ESS falls below this fraction of the population.
+    pub resample_frac: f64,
+    /// The last-mile LOSS node to fold analytically (as in the exact
+    /// engine); other nondeterminism is sampled.
+    pub fold_loss_node: Option<NodeId>,
+    /// The sender's own flow.
+    pub own_flow: FlowId,
+}
+
+impl Default for ParticleConfig {
+    fn default() -> Self {
+        ParticleConfig {
+            n_particles: 1_000,
+            resample_frac: 0.5,
+            fold_loss_node: None,
+            own_flow: FlowId::SELF,
+        }
+    }
+}
+
+/// Diagnostics from one [`ParticleFilter::advance`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParticleStats {
+    /// Particles killed by observation mismatch this window.
+    pub killed: usize,
+    /// Effective sample size after the update.
+    pub ess: f64,
+    /// Whether resampling ran.
+    pub resampled: bool,
+}
+
+/// A fixed-size population of sampled network trajectories.
+#[derive(Debug, Clone)]
+pub struct ParticleFilter<M> {
+    particles: Vec<Hypothesis<M>>,
+    /// Injection node (shared topology).
+    pub entry: NodeId,
+    /// Observed receiver node.
+    pub observed_rx: NodeId,
+    cfg: ParticleConfig,
+    rng: SimRng,
+    now: Time,
+}
+
+impl<M: Clone> ParticleFilter<M> {
+    /// Draw `cfg.n_particles` particles i.i.d. from a weighted prior.
+    ///
+    /// # Panics
+    /// Panics if the prior is empty.
+    pub fn from_prior(
+        prior: &[Hypothesis<M>],
+        entry: NodeId,
+        observed_rx: NodeId,
+        cfg: ParticleConfig,
+        seed: u64,
+    ) -> ParticleFilter<M> {
+        assert!(!prior.is_empty(), "empty prior");
+        assert!(cfg.n_particles > 0, "need at least one particle");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let weights: Vec<f64> = prior.iter().map(|h| h.weight).collect();
+        let w = 1.0 / cfg.n_particles as f64;
+        let particles = (0..cfg.n_particles)
+            .map(|_| {
+                let i = rng.pick_weighted(&weights);
+                Hypothesis {
+                    net: prior[i].net.clone(),
+                    meta: prior[i].meta.clone(),
+                    weight: w,
+                }
+            })
+            .collect();
+        ParticleFilter {
+            particles,
+            entry,
+            observed_rx,
+            cfg,
+            rng,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The particle population.
+    pub fn particles(&self) -> &[Hypothesis<M>] {
+        &self.particles
+    }
+
+    /// Posterior expectation of a numeric statistic.
+    pub fn expected<F: Fn(&Hypothesis<M>) -> f64>(&self, f: F) -> f64 {
+        self.particles.iter().map(|h| h.weight * f(h)).sum()
+    }
+
+    /// The highest-weight particle.
+    pub fn map_estimate(&self) -> &Hypothesis<M> {
+        self.particles
+            .iter()
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
+            .expect("population is never empty")
+    }
+
+    /// Inject one of the sender's own packets into every live particle.
+    /// Dead particles (weight zero, possibly stopped mid-choice) are left
+    /// alone; resampling replaces them.
+    pub fn inject(&mut self, pkt: Packet) {
+        let idx = ObservationIndex::new(&[]);
+        for p in &mut self.particles {
+            if p.weight <= 0.0 {
+                continue;
+            }
+            p.net.inject(self.entry, pkt);
+            // Settle any synchronous choices by sampling.
+            Self::settle_one(
+                p,
+                self.now,
+                &idx,
+                &self.cfg,
+                self.observed_rx,
+                &mut self.rng,
+                true,
+            );
+        }
+    }
+
+    /// Advance to `until`, conditioning on the window's observations;
+    /// resample if diversity collapses.
+    pub fn advance(
+        &mut self,
+        until: Time,
+        obs: &[Observation],
+    ) -> Result<ParticleStats, BeliefError> {
+        assert!(until >= self.now);
+        let idx = ObservationIndex::new(obs);
+        let mut stats = ParticleStats::default();
+        for p in &mut self.particles {
+            if p.weight <= 0.0 {
+                continue;
+            }
+            let ok = Self::settle_one(
+                p,
+                until,
+                &idx,
+                &self.cfg,
+                self.observed_rx,
+                &mut self.rng,
+                false,
+            );
+            if !ok {
+                p.weight = 0.0;
+                stats.killed += 1;
+            }
+        }
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        if total <= 0.0 {
+            return Err(BeliefError::Dead { at: until });
+        }
+        for p in &mut self.particles {
+            p.weight /= total;
+        }
+        stats.ess = effective_count(&self.particles);
+        if stats.ess < self.cfg.resample_frac * self.cfg.n_particles as f64 {
+            self.resample();
+            stats.resampled = true;
+        }
+        self.now = until;
+        Ok(stats)
+    }
+
+    /// Run one particle to `until`, sampling choices. Returns false if it
+    /// became inconsistent with the observations.
+    fn settle_one(
+        p: &mut Hypothesis<M>,
+        until: Time,
+        idx: &ObservationIndex,
+        cfg: &ParticleConfig,
+        observed_rx: NodeId,
+        rng: &mut SimRng,
+        injecting: bool,
+    ) -> bool {
+        let mut matched = 0usize;
+        loop {
+            let step = p.net.run_until(until);
+            if !harvest(&mut p.net, observed_rx, cfg.own_flow, idx, &mut matched) {
+                return false;
+            }
+            match step {
+                Step::Idle => {
+                    return injecting || matched == idx.len();
+                }
+                Step::Pending(spec) => {
+                    let fold = spec.kind == ChoiceKind::LossFate
+                        && Some(spec.node) == cfg.fold_loss_node;
+                    if fold {
+                        let pkt = spec.packet.expect("loss fate carries its packet");
+                        if pkt.flow == cfg.own_flow && !injecting {
+                            let lp = spec.p1.prob();
+                            match idx.time_of(pkt.seq) {
+                                Some(t) if t == spec.at => {
+                                    p.weight *= 1.0 - lp;
+                                    p.net.resolve(0);
+                                }
+                                _ => {
+                                    p.weight *= lp;
+                                    p.net.resolve(1);
+                                }
+                            }
+                            if p.weight <= 0.0 {
+                                return false;
+                            }
+                        } else if pkt.flow != cfg.own_flow {
+                            // Unobserved last-mile fate: marginalize.
+                            p.net.resolve(0);
+                        } else {
+                            // Own packet mid-inject: sample like anything else.
+                            p.net.resolve(usize::from(rng.bernoulli(spec.p1)));
+                        }
+                    } else {
+                        p.net.resolve(usize::from(rng.bernoulli(spec.p1)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Systematic resampling: positions (u + i)/n over the cumulative
+    /// weights; weights reset to uniform.
+    fn resample(&mut self) {
+        let n = self.particles.len();
+        let u0 = self.rng.uniform_f64() / n as f64;
+        let mut picks = Vec::with_capacity(n);
+        let mut cum = 0.0;
+        let mut i = 0usize;
+        for k in 0..n {
+            let target = u0 + k as f64 / n as f64;
+            while cum + self.particles[i].weight < target && i + 1 < n {
+                cum += self.particles[i].weight;
+                i += 1;
+            }
+            picks.push(i);
+        }
+        let w = 1.0 / n as f64;
+        let new: Vec<Hypothesis<M>> = picks
+            .into_iter()
+            .map(|i| Hypothesis {
+                net: self.particles[i].net.clone(),
+                meta: self.particles[i].meta.clone(),
+                weight: w,
+            })
+            .collect();
+        self.particles = new;
+    }
+}

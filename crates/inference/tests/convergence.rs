@@ -1,0 +1,243 @@
+//! Inference-only convergence tests: a *scripted* sender (fixed schedule,
+//! no planner) transmits through the ground-truth Figure-2 network while
+//! the exact engine and the particle filter watch the acknowledgments.
+//! The posterior must concentrate on the true parameters — §4: "the
+//! ISENDER can usually quickly pare down the prior to a smaller list of
+//! possibilities as it homes in on a good estimate of the network
+//! parameters".
+
+use augur_elements::{build_model, GateSpec, ModelParams, Step};
+use augur_inference::{
+    BeliefConfig, ModelPrior, Observation, ParticleConfig, ParticleFilter,
+};
+use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Ppm, SimRng, Time};
+
+/// Ground truth matching one grid point of `ModelPrior::small()`:
+/// c = 12,000 bps, r = 0.7c, p as given, buffer 96,000 bits, empty, cross
+/// traffic always on (mtts 100 s means switching is unlikely in a short
+/// window, and the true gate here genuinely is intermittent-but-idle).
+fn ground_truth(loss: f64) -> augur_elements::ModelNet {
+    build_model(ModelParams {
+        link_rate: BitRate::from_bps(12_000),
+        cross_rate: BitRate::from_bps(8_400),
+        gate: GateSpec::Intermittent {
+            mtts: Dur::from_secs(100),
+            epoch: Dur::from_secs(1),
+            initially_connected: true,
+        },
+        loss: Ppm::from_prob(loss),
+        buffer_capacity: Bits::new(96_000),
+        initial_fullness: Bits::ZERO,
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
+    })
+}
+
+/// Drive ground truth with sends every `send_every` seconds up to
+/// `t_end`; deliver each window's ACKs to `update`, a callback receiving
+/// `(window_end, acks)`.
+fn drive<F: FnMut(Time, &[Observation])>(
+    truth: &mut augur_elements::ModelNet,
+    rng: &mut SimRng,
+    send_every: u64,
+    t_end_s: u64,
+    mut update: F,
+) {
+    let mut seq = 0u64;
+    // Wake once per second; send on multiples of send_every.
+    for s in 0..=t_end_s {
+        let t = Time::from_secs(s);
+        truth.net.run_until_sampled(t, rng);
+        let acks: Vec<Observation> = truth
+            .net
+            .take_deliveries()
+            .into_iter()
+            .filter(|(n, d)| *n == truth.rx_self && d.packet.flow == FlowId::SELF)
+            .map(|(_, d)| Observation {
+                seq: d.packet.seq,
+                at: d.at,
+            })
+            .collect();
+        truth.net.take_drops();
+        update(t, &acks);
+        if s % send_every == 0 && s < t_end_s {
+            let pkt = Packet::new(FlowId::SELF, seq, Bits::from_bytes(1_500), t);
+            seq += 1;
+            truth.net.inject(truth.entry, pkt);
+            while let Step::Pending(spec) = truth.net.run_until(t) {
+                let pick = usize::from(rng.bernoulli(spec.p1));
+                truth.net.resolve(pick);
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_engine_identifies_link_rate_without_loss() {
+    let mut truth = ground_truth(0.0);
+    let mut rng = SimRng::seed_from_u64(11);
+    let mut belief = ModelPrior::small().belief(BeliefConfig::default());
+    let mut send_seq = 0u64;
+
+    drive(&mut truth, &mut rng, 2, 30, |t, acks| {
+        belief.advance(t, acks).expect("belief died");
+        if t.as_micros() % 2_000_000 == 0 && t < Time::from_secs(30) {
+            belief.inject(Packet::new(
+                FlowId::SELF,
+                send_seq,
+                Bits::from_bytes(1_500),
+                t,
+            ));
+            send_seq += 1;
+        }
+    });
+
+    let p_true_rate = belief
+        .marginal(|h| h.meta.link_rate)
+        .iter()
+        .find(|(r, _)| *r == BitRate::from_bps(12_000))
+        .map(|(_, w)| *w)
+        .unwrap_or(0.0);
+    assert!(
+        p_true_rate > 0.95,
+        "posterior on true link rate: {p_true_rate}"
+    );
+
+    let p_true_loss = belief
+        .marginal(|h| h.meta.loss)
+        .iter()
+        .find(|(p, _)| p.is_zero())
+        .map(|(_, w)| *w)
+        .unwrap_or(0.0);
+    assert!(p_true_loss > 0.9, "posterior on p=0: {p_true_loss}");
+}
+
+#[test]
+fn exact_engine_handles_20_percent_loss() {
+    let mut truth = ground_truth(0.2);
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut belief = ModelPrior::small().belief(BeliefConfig::default());
+    let mut send_seq = 0u64;
+
+    drive(&mut truth, &mut rng, 2, 60, |t, acks| {
+        belief.advance(t, acks).expect("belief died");
+        if t.as_micros() % 2_000_000 == 0 && t < Time::from_secs(60) {
+            belief.inject(Packet::new(
+                FlowId::SELF,
+                send_seq,
+                Bits::from_bytes(1_500),
+                t,
+            ));
+            send_seq += 1;
+        }
+    });
+
+    // Link rate is identified despite loss.
+    let p_rate = belief
+        .marginal(|h| h.meta.link_rate)
+        .iter()
+        .find(|(r, _)| *r == BitRate::from_bps(12_000))
+        .map(|(_, w)| *w)
+        .unwrap_or(0.0);
+    assert!(p_rate > 0.9, "posterior on true link rate: {p_rate}");
+
+    // Loss posterior favors p=0.2 over p=0 (a single unexplained missing
+    // ACK rules out p=0 entirely).
+    let p_loss = belief
+        .marginal(|h| h.meta.loss)
+        .iter()
+        .find(|(p, _)| *p == Ppm::from_prob(0.2))
+        .map(|(_, w)| *w)
+        .unwrap_or(0.0);
+    assert!(p_loss > 0.9, "posterior on p=0.2: {p_loss}");
+}
+
+#[test]
+fn particle_filter_tracks_the_same_truth() {
+    let mut truth = ground_truth(0.0);
+    let mut rng = SimRng::seed_from_u64(5);
+    let prior = ModelPrior::small();
+    let hyps = prior.hypotheses();
+    let probe = build_model(ModelParams {
+        link_rate: BitRate::from_bps(12_000),
+        cross_rate: BitRate::from_bps(8_400),
+        gate: GateSpec::AlwaysOn,
+        loss: Ppm::ZERO,
+        buffer_capacity: Bits::new(96_000),
+        initial_fullness: Bits::ZERO,
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
+    });
+    let mut pf = ParticleFilter::from_prior(
+        &hyps,
+        probe.entry,
+        probe.rx_self,
+        ParticleConfig {
+            n_particles: 400,
+            resample_frac: 0.5,
+            fold_loss_node: Some(probe.loss),
+            own_flow: FlowId::SELF,
+        },
+        99,
+    );
+    let mut send_seq = 0u64;
+
+    drive(&mut truth, &mut rng, 2, 30, |t, acks| {
+        pf.advance(t, acks).expect("all particles died");
+        if t.as_micros() % 2_000_000 == 0 && t < Time::from_secs(30) {
+            pf.inject(Packet::new(
+                FlowId::SELF,
+                send_seq,
+                Bits::from_bytes(1_500),
+                t,
+            ));
+            send_seq += 1;
+        }
+    });
+
+    let expected_rate = pf.expected(|h| h.meta.link_rate.as_bps() as f64);
+    assert!(
+        (expected_rate - 12_000.0).abs() < 500.0,
+        "posterior mean link rate: {expected_rate}"
+    );
+}
+
+#[test]
+fn belief_dies_when_truth_is_outside_prior() {
+    // Ground truth at 20,000 bps — not on the small prior's grid. The
+    // first ACK should be unexplainable.
+    let mut truth = build_model(ModelParams {
+        link_rate: BitRate::from_bps(20_000),
+        cross_rate: BitRate::from_bps(14_000),
+        gate: GateSpec::AlwaysOn,
+        loss: Ppm::ZERO,
+        buffer_capacity: Bits::new(96_000),
+        initial_fullness: Bits::ZERO,
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: false,
+    });
+    let mut rng = SimRng::seed_from_u64(3);
+    let mut belief = ModelPrior::small().belief(BeliefConfig::default());
+    let mut died = false;
+    let mut send_seq = 0u64;
+    drive(&mut truth, &mut rng, 2, 10, |t, acks| {
+        if died {
+            return;
+        }
+        match belief.advance(t, acks) {
+            Ok(_) => {
+                if t < Time::from_secs(10) && t.as_micros() % 2_000_000 == 0 {
+                    belief.inject(Packet::new(
+                        FlowId::SELF,
+                        send_seq,
+                        Bits::from_bytes(1_500),
+                        t,
+                    ));
+                    send_seq += 1;
+                }
+            }
+            Err(_) => died = true,
+        }
+    });
+    assert!(died, "belief should have rejected every hypothesis");
+}

@@ -1,0 +1,180 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events at equal times pop in insertion order (FIFO tie-break via a
+//! monotone sequence number), which keeps whole-simulation runs
+//! reproducible byte-for-byte across platforms — `BinaryHeap` alone gives
+//! no such guarantee.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of timestamped events with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped_until: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped_until: Time::ZERO,
+        }
+    }
+
+    /// Schedule `event` at time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the time of the last popped event — the
+    /// simulator never travels backwards.
+    pub fn push(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.popped_until,
+            "scheduling into the past: {at} < {}",
+            self.popped_until
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.heap.pop()?;
+        self.popped_until = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the last popped event (the queue's notion of "now").
+    pub fn now(&self) -> Time {
+        self.popped_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(3), "c");
+        q.push(Time::from_secs(1), "a");
+        q.push(Time::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((Time::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((Time::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_secs(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Time::from_secs(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(10), ());
+        q.push(Time::from_millis(5), ());
+        assert_eq!(q.peek_time(), Some(Time::from_millis(5)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(5));
+        assert_eq!(q.peek_time(), Some(Time::from_millis(10)));
+    }
+
+    #[test]
+    fn tracks_now_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Time::ZERO);
+        q.push(Time::from_secs(1), ());
+        q.push(Time::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn allows_event_at_current_time() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(1), "first");
+        q.pop();
+        // Scheduling *at* now is fine (zero-delay causality chains).
+        q.push(Time::from_secs(1), "second");
+        assert_eq!(q.pop(), Some((Time::from_secs(1), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(2), ());
+        q.pop();
+        q.push(Time::from_secs(1), ());
+    }
+}

@@ -1,0 +1,26 @@
+//! `augur-sim` — the discrete-event simulation substrate for `augur`.
+//!
+//! This crate provides the vocabulary the rest of the system is written
+//! in: integer virtual [`Time`], integer physical units ([`BitRate`],
+//! [`Bits`], [`Ppm`]), [`Packet`]s and [`Delivery`] observations, a
+//! deterministic [`EventQueue`], and a seeded [`SimRng`].
+//!
+//! Design rules (see DESIGN.md §4.1):
+//!
+//! * **All simulated state is integer-valued.** Belief states are hashed
+//!   and compared for exact compaction, and the true hypothesis must
+//!   predict ground-truth observations bit-for-bit.
+//! * **All randomness is seeded and deterministic.** A simulation run is a
+//!   pure function of its configuration and seed.
+
+pub mod event;
+pub mod packet;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use event::EventQueue;
+pub use packet::{Delivery, FlowId, Packet};
+pub use rng::SimRng;
+pub use time::{Dur, Time};
+pub use units::{BitRate, Bits, Ppm};

@@ -1,0 +1,171 @@
+//! Deterministic randomness for ground-truth simulation.
+//!
+//! Every run of a simulation with the same seed produces the same event
+//! sequence. The inference engine never draws randomness for hypotheses —
+//! nondeterminism there is enumerated, not sampled (DESIGN.md §4.2) — so
+//! `SimRng` is used only by ground-truth drivers, workload generators, and
+//! the particle filter's resampling step.
+
+use crate::time::Dur;
+use crate::units::Ppm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, deterministic simulation RNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: SmallRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn bernoulli(&mut self, p: Ppm) -> bool {
+        if p.is_zero() {
+            return false;
+        }
+        if p.is_one() {
+            return true;
+        }
+        self.rng.gen_range(0..1_000_000u32) < p.as_u32()
+    }
+
+    /// Exponentially distributed duration with the given mean, rounded to a
+    /// whole microsecond (used for memoryless INTERMITTENT switching).
+    pub fn exponential(&mut self, mean: Dur) -> Dur {
+        // Inverse CDF; u in (0, 1] so ln is finite.
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        let d = -u.ln() * mean.as_micros() as f64;
+        Dur::from_micros(d.round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64: empty range [{lo}, {hi}]");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Pick an index according to unnormalized weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "pick_weighted: bad weight sum {total}"
+        );
+        let mut x = self.rng.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Derive an independent child RNG (for per-component streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..10).map(|_| a.uniform_u64(0, u64::MAX)).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.uniform_u64(0, u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert!(!rng.bernoulli(Ppm::ZERO));
+            assert!(rng.bernoulli(Ppm::ONE));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_near_p() {
+        let mut rng = SimRng::seed_from_u64(1234);
+        let p = Ppm::from_prob(0.2);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(p)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.2).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn exponential_mean_near_parameter() {
+        let mut rng = SimRng::seed_from_u64(99);
+        let mean = Dur::from_secs(100);
+        let n = 20_000;
+        let total: u128 = (0..n)
+            .map(|_| rng.exponential(mean).as_micros() as u128)
+            .sum();
+        let emp = total as f64 / n as f64;
+        let want = mean.as_micros() as f64;
+        assert!(
+            (emp - want).abs() / want < 0.05,
+            "empirical mean {emp} vs {want}"
+        );
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let w = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.pick_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio={ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight sum")]
+    fn pick_weighted_rejects_zero_sum() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let _ = rng.pick_weighted(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::seed_from_u64(8);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let a: Vec<u64> = (0..5).map(|_| c1.uniform_u64(0, u64::MAX)).collect();
+        let b: Vec<u64> = (0..5).map(|_| c2.uniform_u64(0, u64::MAX)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! RTT estimation and retransmission timeout, per Jacobson 1988 / RFC
+//! 6298 — the machinery the paper contrasts with its own (§2: "TCP also
+//! tracks the smoothed round-trip time (srtt) and linear deviation
+//! (rttvar) to set the retransmission timeout value").
+
+use augur_sim::Dur;
+
+/// Smoothed RTT state (integer microseconds throughout).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    /// Lower clamp on the RTO.
+    pub min_rto: Dur,
+    /// Upper clamp on the RTO.
+    pub max_rto: Dur,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Dur::ZERO,
+            min_rto: Dur::from_millis(200),
+            max_rto: Dur::from_secs(60),
+        }
+    }
+}
+
+impl RttEstimator {
+    /// Feed one RTT sample (never from a retransmitted segment — Karn's
+    /// algorithm is the caller's responsibility).
+    pub fn observe(&mut self, rtt: Dur) {
+        match self.srtt {
+            None => {
+                // RFC 6298 §2.2: SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(rtt);
+                self.rttvar = Dur::from_micros(rtt.as_micros() / 2);
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Dur::from_micros(
+                    (3 * self.rttvar.as_micros() + err.as_micros()) / 4,
+                );
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some(Dur::from_micros(
+                    (7 * srtt.as_micros() + rtt.as_micros()) / 8,
+                ));
+            }
+        }
+    }
+
+    /// The smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<Dur> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout: `SRTT + 4·RTTVAR`, clamped;
+    /// `min_rto`-floored 1 s before the first sample (RFC 6298 §2.1 says
+    /// 1 s initially).
+    pub fn rto(&self) -> Dur {
+        match self.srtt {
+            None => Dur::from_secs(1).max(self.min_rto),
+            Some(srtt) => {
+                let raw = srtt + self.rttvar.saturating_mul(4);
+                raw.max(self.min_rto).min(self.max_rto)
+            }
+        }
+    }
+
+    /// Back off the estimator after a timeout (RFC 6298 §5.5 doubles the
+    /// RTO; we implement it by letting the caller track the backoff
+    /// multiplier — this resets smoothing so stale state doesn't linger).
+    pub fn on_timeout(&mut self) {
+        // Keep srtt but inflate variance, a common simplification.
+        if let Some(srtt) = self.srtt {
+            self.rttvar = self.rttvar.max(Dur::from_micros(srtt.as_micros() / 2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), Dur::from_secs(1));
+        e.observe(Dur::from_millis(100));
+        assert_eq!(e.srtt(), Some(Dur::from_millis(100)));
+        // RTO = 100ms + 4*50ms = 300ms.
+        assert_eq!(e.rto(), Dur::from_millis(300));
+    }
+
+    #[test]
+    fn smoothing_converges_to_constant_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.observe(Dur::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_micros() as i64 - 80_000).abs() < 2_000,
+            "srtt = {srtt}"
+        );
+        // Variance decays; RTO approaches the floor.
+        assert!(e.rto() <= Dur::from_millis(210), "rto = {}", e.rto());
+    }
+
+    #[test]
+    fn rto_clamps_to_bounds() {
+        let mut e = RttEstimator::default();
+        e.observe(Dur::from_micros(10)); // absurdly fast
+        assert_eq!(e.rto(), e.min_rto);
+        let mut slow = RttEstimator::default();
+        slow.observe(Dur::from_secs(100));
+        assert_eq!(slow.rto(), slow.max_rto);
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut steady = RttEstimator::default();
+        let mut jittery = RttEstimator::default();
+        for i in 0..50 {
+            steady.observe(Dur::from_millis(100));
+            jittery.observe(Dur::from_millis(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.rto() > steady.rto());
+    }
+}

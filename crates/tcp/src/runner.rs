@@ -1,0 +1,512 @@
+//! An event-driven TCP download over an element network.
+//!
+//! The runner co-simulates a bulk-transfer Reno sender, a cumulative-ACK
+//! receiver attached to the network's terminal receiver node, and the
+//! network itself (with sampled nondeterminism). The reverse path is a
+//! fixed delay, lossless — the same simplification the paper makes for
+//! the ISender (§3.4) — so the measured RTT is (queueing + service + ARQ
+//! + propagation) + reverse delay. This is the harness that reproduces
+//! Figure 1 (see `augur-bench`, `fig1_bufferbloat`).
+
+use crate::cc::CongestionControl;
+use crate::reno::{Reno, RenoSignal};
+use crate::rtt::RttEstimator;
+use augur_elements::{DropRecord, Network, NodeId};
+use augur_sim::{Bits, Dur, EventQueue, FlowId, Packet, SimRng, Time};
+use std::collections::{BTreeSet, HashMap};
+
+/// Configuration of a TCP run.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Segment size on the wire.
+    pub packet_size: Bits,
+    /// Fixed reverse-path (ACK) delay.
+    pub reverse_delay: Dur,
+    /// Flow id of this connection.
+    pub flow: FlowId,
+    /// Cap on the flight size in packets (receiver window stand-in).
+    pub max_window: u64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            packet_size: Bits::from_bytes(1_500),
+            reverse_delay: Dur::from_millis(25),
+            flow: FlowId::SELF,
+            max_window: 1_000,
+        }
+    }
+}
+
+/// What a TCP run measured.
+#[derive(Debug, Clone, Default)]
+pub struct TcpTrace {
+    /// Per-ACK RTT samples: (ack arrival time, measured RTT).
+    pub rtt_samples: Vec<(Time, Dur)>,
+    /// Congestion window after every ACK: (time, cwnd in packets).
+    pub cwnd_samples: Vec<(Time, f64)>,
+    /// Cumulative good-put deliveries at the receiver: (time, total bits
+    /// received in order).
+    pub goodput: Vec<(Time, u64)>,
+    /// Total segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmissions: u64,
+    /// Timeouts taken.
+    pub timeouts: u64,
+    /// Network drops observed (all flows).
+    pub drops: Vec<DropRecord>,
+}
+
+impl TcpTrace {
+    /// Mean goodput in bits/s over the run.
+    pub fn mean_goodput_bps(&self, t_end: Time) -> f64 {
+        match self.goodput.last() {
+            Some((_, bits)) => *bits as f64 / t_end.as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Max over min RTT — the bufferbloat ratio Figure 1 visualizes.
+    pub fn rtt_blowup(&self) -> f64 {
+        let min = self
+            .rtt_samples
+            .iter()
+            .map(|(_, r)| r.as_micros())
+            .min()
+            .unwrap_or(0);
+        let max = self
+            .rtt_samples
+            .iter()
+            .map(|(_, r)| r.as_micros())
+            .max()
+            .unwrap_or(0);
+        if min == 0 {
+            0.0
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// The co-simulated TCP endpoint pair.
+pub struct TcpRunner {
+    /// The forward path.
+    pub net: Network,
+    /// Injection node.
+    pub entry: NodeId,
+    /// Terminal receiver node.
+    pub rx: NodeId,
+    /// Sampling RNG for the network's choices.
+    pub rng: SimRng,
+    /// Connection configuration.
+    pub cfg: TcpConfig,
+
+    // Sender state.
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+    next_seq: u64,
+    high_water: u64,
+    recover: u64,
+    snd_una: u64,
+    sent_at: HashMap<u64, Time>,
+    retransmitted: BTreeSet<u64>,
+    rto_deadline: Option<Time>,
+    rto_backoff: u32,
+
+    // Receiver state.
+    rcv_next: u64,
+    out_of_order: BTreeSet<u64>,
+    received_bits: u64,
+
+    // Reverse path: cumulative-ACK events (ack number = next expected).
+    acks: EventQueue<u64>,
+    last_ack_seen: u64,
+}
+
+impl TcpRunner {
+    /// A runner over the given forward path, using TCP Reno.
+    pub fn new(net: Network, entry: NodeId, rx: NodeId, cfg: TcpConfig, seed: u64) -> TcpRunner {
+        TcpRunner::with_congestion_control(net, entry, rx, cfg, seed, Box::new(Reno::default()))
+    }
+
+    /// A runner with an explicit congestion-control algorithm (e.g.
+    /// [`crate::cubic::Cubic`]).
+    pub fn with_congestion_control(
+        net: Network,
+        entry: NodeId,
+        rx: NodeId,
+        cfg: TcpConfig,
+        seed: u64,
+        cc: Box<dyn CongestionControl>,
+    ) -> TcpRunner {
+        TcpRunner {
+            net,
+            entry,
+            rx,
+            rng: SimRng::seed_from_u64(seed),
+            cfg,
+            cc,
+            rtt: RttEstimator::default(),
+            next_seq: 0,
+            high_water: 0,
+            recover: 0,
+            snd_una: 0,
+            sent_at: HashMap::new(),
+            retransmitted: BTreeSet::new(),
+            rto_deadline: None,
+            rto_backoff: 0,
+            rcv_next: 0,
+            out_of_order: BTreeSet::new(),
+            received_bits: 0,
+            acks: EventQueue::new(),
+            last_ack_seen: 0,
+        }
+    }
+
+    /// Run the download until `t_end`, returning the measurements.
+    pub fn run(&mut self, t_end: Time) -> TcpTrace {
+        let mut trace = TcpTrace::default();
+        let mut now = Time::ZERO;
+        self.fill_window(now, &mut trace);
+        loop {
+            // Next event: network internal, ACK arrival, or RTO.
+            let mut t_next = Time::MAX;
+            if let Some(t) = self.net.next_event_time() {
+                t_next = t_next.min(t);
+            }
+            if let Some(t) = self.acks.peek_time() {
+                t_next = t_next.min(t);
+            }
+            if let Some(t) = self.rto_deadline {
+                t_next = t_next.min(t);
+            }
+            if t_next > t_end {
+                break;
+            }
+            now = t_next;
+
+            // 1. Network events up to now (sampled choices).
+            self.net.run_until_sampled(now, &mut self.rng);
+            trace.drops.extend(self.net.take_drops());
+            let deliveries = self.net.take_deliveries();
+            for (node, d) in deliveries {
+                if node == self.rx && d.packet.flow == self.cfg.flow {
+                    self.receiver_accept(d.packet, d.at);
+                }
+            }
+
+            // 2. ACKs due now.
+            while self.acks.peek_time().is_some_and(|t| t <= now) {
+                let (_, ack) = self.acks.pop().unwrap();
+                self.sender_on_ack(ack, now, &mut trace);
+            }
+
+            // 3. Retransmission timeout.
+            if self.rto_deadline.is_some_and(|t| t <= now) {
+                self.on_timeout(now, &mut trace);
+            }
+
+            // 4. Send whatever the window now allows.
+            self.fill_window(now, &mut trace);
+        }
+        trace
+    }
+
+    fn flight(&self) -> u64 {
+        // After a timeout rewind, a late ACK from an original transmission
+        // can advance snd_una past the rewound send pointer.
+        self.next_seq.saturating_sub(self.snd_una)
+    }
+
+    fn fill_window(&mut self, now: Time, trace: &mut TcpTrace) {
+        let window = self.cc.window().min(self.cfg.max_window);
+        while self.flight() < window {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // After a timeout the send pointer rewinds (go-back-N), so a
+            // "new" send may be a retransmission of an old sequence.
+            let is_retx = seq < self.high_water;
+            self.transmit(seq, now, is_retx, trace);
+        }
+    }
+
+    fn transmit(&mut self, seq: u64, now: Time, is_retx: bool, trace: &mut TcpTrace) {
+        let pkt = Packet::new(self.cfg.flow, seq, self.cfg.packet_size, now);
+        self.net.inject(self.entry, pkt);
+        // Injection may stop at a stochastic element; sample through it.
+        while let augur_elements::Step::Pending(spec) = self.net.run_until(now) {
+            let pick = usize::from(self.rng.bernoulli(spec.p1));
+            self.net.resolve(pick);
+        }
+        trace.segments_sent += 1;
+        if is_retx {
+            trace.retransmissions += 1;
+            self.retransmitted.insert(seq);
+        } else {
+            self.sent_at.insert(seq, now);
+        }
+        self.high_water = self.high_water.max(seq + 1);
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.backed_off_rto());
+        }
+    }
+
+    fn backed_off_rto(&self) -> Dur {
+        self.rtt
+            .rto()
+            .saturating_mul(1u64 << self.rto_backoff.min(6))
+    }
+
+    fn receiver_accept(&mut self, pkt: Packet, at: Time) {
+        if pkt.seq >= self.rcv_next {
+            if pkt.seq == self.rcv_next {
+                self.rcv_next += 1;
+                self.received_bits += pkt.size.as_u64();
+                while self.out_of_order.remove(&self.rcv_next) {
+                    self.rcv_next += 1;
+                    self.received_bits += pkt.size.as_u64();
+                }
+            } else {
+                self.out_of_order.insert(pkt.seq);
+            }
+        }
+        // Every arrival generates a (possibly duplicate) cumulative ACK.
+        self.acks
+            .push(at + self.cfg.reverse_delay, self.rcv_next);
+    }
+
+    fn sender_on_ack(&mut self, ack: u64, now: Time, trace: &mut TcpTrace) {
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            // RTT sample from the *first* newly-acked segment — the one
+            // whose delivery triggered this ACK in the in-order case —
+            // and never from a retransmitted one (Karn's algorithm).
+            let sample_seq = self.snd_una;
+            if !self.retransmitted.contains(&sample_seq) {
+                if let Some(sent) = self.sent_at.get(&sample_seq) {
+                    let rtt = now.since(*sent);
+                    self.rtt.observe(rtt);
+                    if let Some(srtt) = self.rtt.srtt() {
+                        self.cc.observe_rtt(srtt);
+                    }
+                    trace.rtt_samples.push((now, rtt));
+                }
+            }
+            for s in self.snd_una..ack {
+                self.sent_at.remove(&s);
+                self.retransmitted.remove(&s);
+            }
+            self.snd_una = ack;
+            self.next_seq = self.next_seq.max(ack);
+            self.rto_backoff = 0;
+            let was_in_recovery = self.cc.in_recovery();
+            if was_in_recovery && ack < self.recover {
+                // NewReno partial ACK: the next hole is at the new
+                // snd_una — retransmit it immediately, stay in recovery.
+                self.transmit(self.snd_una, now, true, trace);
+            } else {
+                self.cc.on_new_ack(newly, now);
+            }
+            self.rto_deadline = if self.flight() > 0 {
+                Some(now + self.backed_off_rto())
+            } else {
+                None
+            };
+            trace.goodput.push((now, self.received_bits));
+        } else if ack == self.last_ack_seen
+            && self.flight() > 0
+            && self.cc.on_dup_ack(now) == RenoSignal::FastRetransmit
+        {
+            self.recover = self.next_seq;
+            self.transmit(self.snd_una, now, true, trace);
+        }
+        self.last_ack_seen = ack;
+        trace.cwnd_samples.push((now, self.cc.cwnd()));
+    }
+
+    fn on_timeout(&mut self, now: Time, trace: &mut TcpTrace) {
+        trace.timeouts += 1;
+        self.cc.on_timeout(now);
+        self.rtt.on_timeout();
+        self.rto_backoff += 1;
+        // Go-back-N: rewind the send pointer; everything unacknowledged
+        // will be resent as the window reopens in slow start.
+        self.next_seq = self.snd_una;
+        self.recover = self.high_water;
+        self.fill_window(now, trace); // window is 1: resends snd_una
+        self.rto_deadline = Some(now + self.backed_off_rto());
+        trace.cwnd_samples.push((now, self.cc.cwnd()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_elements::{Buffer, Element, Link, NetworkBuilder, ReceiverEl};
+    use augur_sim::BitRate;
+
+    /// buffer → link → receiver with the given rate and buffer depth.
+    fn path(rate_kbps: u64, buffer_pkts: u64) -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let buf = b.add(Element::Buffer(Buffer::drop_tail(Bits::new(
+            buffer_pkts * 12_000,
+        ))));
+        let link = b.add(Element::Link(Link::constant(BitRate::from_kbps(
+            rate_kbps,
+        ))));
+        let rx = b.add(Element::Receiver(ReceiverEl));
+        b.connect(buf, link);
+        b.connect(link, rx);
+        (b.build(), buf, rx)
+    }
+
+    #[test]
+    fn tcp_fills_a_clean_pipe() {
+        // Receiver-window-limited: the 64-packet window never overflows
+        // the 100-packet buffer, so the pipe is genuinely loss-free.
+        let (net, entry, rx) = path(1_000, 100);
+        let cfg = TcpConfig {
+            max_window: 64,
+            ..TcpConfig::default()
+        };
+        let mut runner = TcpRunner::new(net, entry, rx, cfg, 1);
+        let trace = runner.run(Time::from_secs(60));
+        // 1 Mbps link, long run: goodput should be close to the link rate.
+        let goodput = trace.mean_goodput_bps(Time::from_secs(60));
+        assert!(
+            goodput > 800_000.0,
+            "goodput {goodput} bps on a 1 Mbps link"
+        );
+        assert_eq!(trace.timeouts, 0, "clean pipe should not time out");
+    }
+
+    #[test]
+    fn shallow_buffer_causes_loss_and_recovery() {
+        let (net, entry, rx) = path(1_000, 5);
+        let mut runner = TcpRunner::new(net, entry, rx, TcpConfig::default(), 2);
+        let trace = runner.run(Time::from_secs(60));
+        assert!(
+            !trace.drops.is_empty(),
+            "5-packet buffer must overflow under Reno"
+        );
+        assert!(trace.retransmissions > 0);
+        // Still gets decent goodput via fast retransmit.
+        let goodput = trace.mean_goodput_bps(Time::from_secs(60));
+        assert!(goodput > 500_000.0, "goodput {goodput}");
+    }
+
+    #[test]
+    fn deep_buffer_inflates_rtt() {
+        let shallow = {
+            let (net, entry, rx) = path(500, 10);
+            let mut r = TcpRunner::new(net, entry, rx, TcpConfig::default(), 3);
+            r.run(Time::from_secs(60))
+        };
+        let deep = {
+            let (net, entry, rx) = path(500, 400);
+            let mut r = TcpRunner::new(net, entry, rx, TcpConfig::default(), 3);
+            r.run(Time::from_secs(60))
+        };
+        let max_rtt = |t: &TcpTrace| {
+            t.rtt_samples
+                .iter()
+                .map(|(_, r)| r.as_micros())
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            max_rtt(&deep) > 4 * max_rtt(&shallow),
+            "deep {}us vs shallow {}us",
+            max_rtt(&deep),
+            max_rtt(&shallow)
+        );
+    }
+
+    #[test]
+    fn rtt_samples_skip_retransmissions() {
+        let (net, entry, rx) = path(1_000, 3);
+        let mut runner = TcpRunner::new(net, entry, rx, TcpConfig::default(), 4);
+        let trace = runner.run(Time::from_secs(30));
+        // All RTT samples must be plausible (>= service time of one
+        // packet): retransmission ambiguity would produce wild samples.
+        for (_, rtt) in &trace.rtt_samples {
+            assert!(*rtt >= Dur::from_millis(12), "implausible rtt {rtt}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod cubic_runner_tests {
+    use super::*;
+    use crate::cubic::Cubic;
+    use augur_elements::{Buffer, Element, Link, NetworkBuilder, ReceiverEl};
+    use augur_sim::BitRate;
+
+    fn path(rate_kbps: u64, buffer_pkts: u64) -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let buf = b.add(Element::Buffer(Buffer::drop_tail(Bits::new(
+            buffer_pkts * 12_000,
+        ))));
+        let link = b.add(Element::Link(Link::constant(BitRate::from_kbps(
+            rate_kbps,
+        ))));
+        let rx = b.add(Element::Receiver(ReceiverEl));
+        b.connect(buf, link);
+        b.connect(link, rx);
+        (b.build(), buf, rx)
+    }
+
+    #[test]
+    fn cubic_fills_a_clean_pipe() {
+        let (net, entry, rx) = path(1_000, 100);
+        let cfg = TcpConfig {
+            max_window: 64,
+            ..TcpConfig::default()
+        };
+        let mut runner = TcpRunner::with_congestion_control(
+            net,
+            entry,
+            rx,
+            cfg,
+            1,
+            Box::new(Cubic::default()),
+        );
+        let trace = runner.run(Time::from_secs(60));
+        let goodput = trace.mean_goodput_bps(Time::from_secs(60));
+        assert!(goodput > 800_000.0, "goodput {goodput} on a 1 Mbps link");
+    }
+
+    #[test]
+    fn cubic_recovers_from_loss_faster_than_reno_grows() {
+        // On a shallow buffer both lose packets; CUBIC's post-reduction
+        // window (β = 0.7) stays above Reno's (1/2), so its cwnd samples
+        // after recovery should on average be at least Reno's.
+        let run = |cc: Box<dyn CongestionControl>| {
+            let (net, entry, rx) = path(2_000, 20);
+            let mut runner = TcpRunner::with_congestion_control(
+                net,
+                entry,
+                rx,
+                TcpConfig::default(),
+                5,
+                cc,
+            );
+            let trace = runner.run(Time::from_secs(120));
+            let tail: Vec<f64> = trace
+                .cwnd_samples
+                .iter()
+                .filter(|(t, _)| *t > Time::from_secs(30))
+                .map(|(_, w)| *w)
+                .collect();
+            tail.iter().sum::<f64>() / tail.len().max(1) as f64
+        };
+        let reno_avg = run(Box::new(crate::reno::Reno::default()));
+        let cubic_avg = run(Box::new(Cubic::default()));
+        assert!(
+            cubic_avg > reno_avg * 0.8,
+            "cubic mean cwnd {cubic_avg:.1} vs reno {reno_avg:.1}"
+        );
+    }
+}

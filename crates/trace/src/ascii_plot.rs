@@ -1,0 +1,184 @@
+//! Terminal plots: the figures, rendered as ASCII scatter charts so the
+//! experiment binaries show their result without external tooling.
+
+use crate::series::Series;
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Chart width in columns (plot area, excluding the axis gutter).
+    pub width: usize,
+    /// Chart height in rows.
+    pub height: usize,
+    /// Log-scale the y axis (Figure 1 uses one).
+    pub log_y: bool,
+    /// Chart title.
+    pub title: String,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            width: 72,
+            height: 20,
+            log_y: false,
+            title: String::new(),
+        }
+    }
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Render several series into one chart. Each series gets its own marker;
+/// overlapping points show the later series' marker.
+pub fn render(series: &[&Series], cfg: &PlotConfig) -> String {
+    let mut out = String::new();
+    if !cfg.title.is_empty() {
+        out.push_str(&format!("  {}\n", cfg.title));
+    }
+    let nonempty: Vec<&&Series> = series.iter().filter(|s| !s.is_empty()).collect();
+    if nonempty.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+
+    let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut v0, mut v1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &nonempty {
+        let (a, b) = s.time_range().unwrap();
+        let (c, d) = s.value_range().unwrap();
+        t0 = t0.min(a);
+        t1 = t1.max(b);
+        v0 = v0.min(c);
+        v1 = v1.max(d);
+    }
+    if cfg.log_y {
+        v0 = v0.max(1e-9);
+        v1 = v1.max(v0 * 10.0);
+    }
+    if t1 <= t0 {
+        t1 = t0 + 1.0;
+    }
+    if v1 <= v0 {
+        v1 = v0 + 1.0;
+    }
+
+    let y_of = |v: f64| -> usize {
+        let frac = if cfg.log_y {
+            ((v.max(v0)).ln() - v0.ln()) / (v1.ln() - v0.ln())
+        } else {
+            (v - v0) / (v1 - v0)
+        };
+        let row = (frac * (cfg.height - 1) as f64).round() as usize;
+        (cfg.height - 1).saturating_sub(row.min(cfg.height - 1))
+    };
+    let x_of = |t: f64| -> usize {
+        let frac = (t - t0) / (t1 - t0);
+        ((frac * (cfg.width - 1) as f64).round() as usize).min(cfg.width - 1)
+    };
+
+    let mut grid = vec![vec![' '; cfg.width]; cfg.height];
+    for (i, s) in nonempty.iter().enumerate() {
+        let mark = MARKS[i % MARKS.len()];
+        for &(t, v) in s.points() {
+            grid[y_of(v)][x_of(t)] = mark;
+        }
+    }
+
+    let label_hi = format!("{v1:>10.3}");
+    let label_lo = format!("{v0:>10.3}");
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 {
+            &label_hi
+        } else if row == cfg.height - 1 {
+            &label_lo
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{label:>10} |{}\n",
+            line.iter().collect::<String>()
+        ));
+    }
+    out.push_str(&format!(
+        "{:>10} +{}\n",
+        "",
+        "-".repeat(cfg.width)
+    ));
+    out.push_str(&format!(
+        "{:>10}  {:<width$.1}{:>.1}\n",
+        "",
+        t0,
+        t1,
+        width = cfg.width - 4
+    ));
+    let legend: Vec<String> = nonempty
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKS[i % MARKS.len()], s.name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(name: &str) -> Series {
+        let mut s = Series::new(name);
+        for i in 0..10 {
+            s.push(i as f64, i as f64 * 2.0);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_nonempty_chart() {
+        let s = ramp("throughput");
+        let text = render(
+            &[&s],
+            &PlotConfig {
+                title: "test".into(),
+                ..PlotConfig::default()
+            },
+        );
+        assert!(text.contains("test"));
+        assert!(text.contains('*'));
+        assert!(text.contains("throughput"));
+        // Monotone ramp: first column marker is on a lower row than last.
+        let rows: Vec<&str> = text.lines().collect();
+        assert!(rows.len() > 10);
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let s = Series::new("empty");
+        let text = render(&[&s], &PlotConfig::default());
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn log_scale_compresses_large_ranges() {
+        let mut s = Series::new("rtt");
+        s.push(0.0, 0.1);
+        s.push(1.0, 10.0);
+        let text = render(
+            &[&s],
+            &PlotConfig {
+                log_y: true,
+                ..PlotConfig::default()
+            },
+        );
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_markers() {
+        let a = ramp("a");
+        let b = ramp("b");
+        let text = render(&[&a, &b], &PlotConfig::default());
+        assert!(text.contains("* a"));
+        assert!(text.contains("+ b"));
+    }
+}

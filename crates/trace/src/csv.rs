@@ -1,0 +1,97 @@
+//! CSV export of series — one file per figure, loadable by any plotting
+//! tool. Hand-rolled on `std` (no dependency needed for numbers and
+//! simple labels).
+
+use crate::series::Series;
+use std::io::{self, Write};
+
+/// Write several series as long-format CSV: `series,t,value`.
+pub fn write_long<W: Write>(mut w: W, series: &[&Series]) -> io::Result<()> {
+    writeln!(w, "series,t,value")?;
+    for s in series {
+        for (t, v) in s.points() {
+            writeln!(w, "{},{t},{v}", escape(&s.name))?;
+        }
+    }
+    Ok(())
+}
+
+/// Write aligned columns: `t,<name1>,<name2>,…` using step interpolation
+/// at the union of all sample times.
+pub fn write_wide<W: Write>(mut w: W, series: &[&Series]) -> io::Result<()> {
+    write!(w, "t")?;
+    for s in series {
+        write!(w, ",{}", escape(&s.name))?;
+    }
+    writeln!(w)?;
+    let mut times: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points().iter().map(|(t, _)| *t))
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times.dedup();
+    for t in times {
+        write!(w, "{t}")?;
+        for s in series {
+            match s.value_at(t) {
+                Some(v) => write!(w, ",{v}")?,
+                None => write!(w, ",")?,
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Quote a CSV field if needed.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new(name);
+        for &(t, v) in pts {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn long_format() {
+        let a = series("a", &[(0.0, 1.0), (1.0, 2.0)]);
+        let mut out = Vec::new();
+        write_long(&mut out, &[&a]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "series,t,value\na,0,1\na,1,2\n");
+    }
+
+    #[test]
+    fn wide_format_aligns_on_time_union() {
+        let a = series("a", &[(0.0, 1.0), (2.0, 3.0)]);
+        let b = series("b", &[(1.0, 10.0)]);
+        let mut out = Vec::new();
+        write_wide(&mut out, &[&a, &b]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,1,10");
+        assert_eq!(lines[3], "2,3,10");
+    }
+
+    #[test]
+    fn escapes_commas_in_names() {
+        let a = series("x,y", &[(0.0, 1.0)]);
+        let mut out = Vec::new();
+        write_long(&mut out, &[&a]).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("\"x,y\""));
+    }
+}

@@ -1,0 +1,106 @@
+//! Time series: the raw material of every figure.
+
+/// A time series of `(seconds, value)` samples, in nondecreasing time
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    /// Axis label used by writers and plots.
+    pub name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty named series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last sample's time.
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some((last, _)) = self.points.last() {
+            assert!(t >= *last, "series {}: time going backwards", self.name);
+        }
+        self.points.push((t, value));
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last value at or before `t` (step interpolation), if any.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        match self.points.partition_point(|(pt, _)| *pt <= t) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// The values alone.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|(_, v)| *v)
+    }
+
+    /// Minimum and maximum value, if non-empty.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.values();
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Time span `(first, last)`, if non-empty.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        Some((self.points.first()?.0, self.points.last()?.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Series::new("rtt");
+        s.push(0.0, 0.1);
+        s.push(1.0, 0.2);
+        s.push(1.0, 0.25); // equal time allowed
+        s.push(2.0, 0.15);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.value_at(-0.5), None);
+        assert_eq!(s.value_at(0.0), Some(0.1));
+        assert_eq!(s.value_at(1.5), Some(0.25));
+        assert_eq!(s.value_at(10.0), Some(0.15));
+        assert_eq!(s.value_range(), Some((0.1, 0.25)));
+        assert_eq!(s.time_range(), Some((0.0, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time going backwards")]
+    fn rejects_backwards_time() {
+        let mut s = Series::new("x");
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Summary statistics for experiment reporting.
+
+/// Summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// Summarize a sample set.
+///
+/// # Panics
+/// Panics on an empty input.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "summarize of empty sample set");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        median: percentile_of_sorted(&sorted, 50.0),
+        p95: percentile_of_sorted(&sorted, 95.0),
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of pre-sorted data.
+///
+/// # Panics
+/// Panics on empty data or a percentile outside `[0, 100]`.
+pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&pct), "percentile {pct} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_of_sorted(&sorted, 50.0) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_of_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = summarize(&[]);
+    }
+}

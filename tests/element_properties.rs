@@ -1,0 +1,139 @@
+//! Property-based tests on the element language: conservation, ordering
+//! and rate conformance must hold for arbitrary topneck parameters and
+//! arbitrary workloads.
+
+use augur::prelude::*;
+use proptest::prelude::*;
+
+/// Build buffer → link → receiver and push a workload through it.
+fn run_path(
+    capacity_bits: u64,
+    rate_bps: u64,
+    sends: &[(u64, u64)], // (time_ms, size_bits)
+    horizon_s: u64,
+) -> (Vec<(u64, Time)>, usize, usize) {
+    let mut b = NetworkBuilder::new();
+    let buf = b.add(Element::Buffer(augur::elements::Buffer::drop_tail(
+        Bits::new(capacity_bits),
+    )));
+    let link = b.add(Element::Link(augur::elements::Link::constant(
+        BitRate::from_bps(rate_bps),
+    )));
+    let rx = b.add(Element::Receiver(ReceiverEl));
+    b.connect(buf, link);
+    b.connect(link, rx);
+    let mut net = b.build();
+
+    for (i, &(t_ms, bits)) in sends.iter().enumerate() {
+        net.run_until(Time::from_millis(t_ms));
+        net.inject(
+            buf,
+            Packet::new(FlowId::SELF, i as u64, Bits::new(bits.max(1)), Time::from_millis(t_ms)),
+        );
+    }
+    net.run_until(Time::from_secs(horizon_s));
+    let deliveries: Vec<(u64, Time)> = net
+        .take_deliveries()
+        .into_iter()
+        .map(|(_, d)| (d.packet.seq, d.at))
+        .collect();
+    let drops = net.take_drops().len();
+    let in_flight = sends.len() - deliveries.len() - drops;
+    (deliveries, drops, in_flight)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every injected packet is delivered, dropped, or still in flight.
+    #[test]
+    fn conservation(
+        capacity in 12_000u64..200_000,
+        rate in 1_000u64..1_000_000,
+        sends in prop::collection::vec((0u64..5_000, 100u64..12_000), 1..40),
+    ) {
+        let mut sends = sends;
+        sends.sort();
+        let n = sends.len();
+        let (deliveries, drops, in_flight) = run_path(capacity, rate, &sends, 10_000);
+        prop_assert_eq!(deliveries.len() + drops + in_flight, n);
+        // 10,000 s is far beyond any queue's drain time here.
+        prop_assert_eq!(in_flight, 0, "packets vanished in flight");
+    }
+
+    /// FIFO: deliveries leave in injection order with nondecreasing times.
+    #[test]
+    fn fifo_ordering(
+        rate in 1_000u64..100_000,
+        sends in prop::collection::vec((0u64..3_000, 1_000u64..12_000), 1..30),
+    ) {
+        let mut sends = sends;
+        sends.sort();
+        // Huge buffer: no drops, pure queueing.
+        let (deliveries, drops, _) = run_path(10_000_000, rate, &sends, 10_000);
+        prop_assert_eq!(drops, 0);
+        for w in deliveries.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "sequence order violated");
+            prop_assert!(w[0].1 <= w[1].1, "delivery times non-monotone");
+        }
+    }
+
+    /// The link never delivers faster than its rate allows: the k-th
+    /// delivery cannot complete before the serialization time of
+    /// everything delivered up to and including it.
+    #[test]
+    fn rate_conformance(
+        rate in 1_000u64..200_000,
+        sends in prop::collection::vec((0u64..1_000, 1_000u64..12_000), 1..25),
+    ) {
+        let mut sends = sends;
+        sends.sort();
+        let (deliveries, _, _) = run_path(10_000_000, rate, &sends, 10_000);
+        let mut bits_so_far = 0u64;
+        for (i, &(seq, at)) in deliveries.iter().enumerate() {
+            bits_so_far += sends[seq as usize].1.max(1);
+            // Serialization of `bits_so_far` bits takes at least this long.
+            let min_us = bits_so_far as u128 * 1_000_000 / rate as u128;
+            prop_assert!(
+                at.as_micros() as u128 >= min_us,
+                "delivery {i} at {at} beats the link rate"
+            );
+        }
+    }
+
+    /// Tail-drop honors capacity: with sends batched at t=0, everything
+    /// beyond (capacity + one in service) drops.
+    #[test]
+    fn tail_drop_capacity(
+        pkts in 2u64..30,
+        capacity_pkts in 1u64..10,
+    ) {
+        let sends: Vec<(u64, u64)> = (0..pkts).map(|_| (0u64, 12_000u64)).collect();
+        let (deliveries, drops, _) =
+            run_path(capacity_pkts * 12_000, 12_000, &sends, 10_000);
+        let kept = (capacity_pkts + 1).min(pkts); // queue + in service
+        prop_assert_eq!(deliveries.len() as u64, kept);
+        prop_assert_eq!(drops as u64, pkts - kept);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The utility identity the paper quotes (TXT3):
+    /// Σ e^(−t/(1000r)) = 1/(1 − e^(−1/(1000r))) ≈ 1000r + 0.5.
+    #[test]
+    fn utility_stream_identity(r in 0.01f64..1_000.0) {
+        let exact = augur::core::discounted_stream_sum(r);
+        let approx = 1000.0 * r + 0.5;
+        let rel = (exact - approx).abs() / exact;
+        prop_assert!(rel < 0.01, "r={r}: exact={exact}, approx={approx}");
+    }
+
+    /// Discounting is monotone: later delivery is never worth more.
+    #[test]
+    fn discount_monotone(tau1 in 0.0f64..1e6, dtau in 0.0f64..1e6) {
+        let u = augur::core::DiscountedThroughput::own_only();
+        prop_assert!(u.discount(tau1) >= u.discount(tau1 + dtau));
+    }
+}
