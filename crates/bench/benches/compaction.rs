@@ -64,9 +64,8 @@ fn bench_compaction(c: &mut Criterion) {
     c.bench_function("compact_10k_branches_100_states", |b| {
         let base = forky_prior(100);
         b.iter(|| {
-            let mut pop: Vec<Hypothesis<ModelParams>> = (0..10_000)
-                .map(|i| base[i % base.len()].clone())
-                .collect();
+            let mut pop: Vec<Hypothesis<ModelParams>> =
+                (0..10_000).map(|i| base[i % base.len()].clone()).collect();
             black_box(compact(&mut pop))
         })
     });

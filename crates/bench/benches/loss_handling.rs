@@ -58,7 +58,10 @@ fn script() -> Vec<(Time, Vec<Observation>, Option<Packet>)> {
             .take_deliveries()
             .into_iter()
             .filter(|(n, d)| *n == truth.rx_self && d.packet.flow == FlowId::SELF)
-            .map(|(_, d)| Observation { seq: d.packet.seq, at: d.at })
+            .map(|(_, d)| Observation {
+                seq: d.packet.seq,
+                at: d.at,
+            })
             .collect();
         truth.net.take_drops();
         let send = (s % 2 == 0 && s < 30).then(|| {

@@ -8,9 +8,7 @@
 //! comparable (within ~2× of drop-tail).
 
 use augur_bench::{check, save_csv};
-use augur_elements::{
-    Buffer, CellularParams, DelayEl, Element, Link, NetworkBuilder, ReceiverEl,
-};
+use augur_elements::{Buffer, CellularParams, DelayEl, Element, Link, NetworkBuilder, ReceiverEl};
 use augur_sim::{Bits, Dur, Ppm, Time};
 use augur_tcp::{TcpConfig, TcpRunner, TcpTrace};
 use augur_trace::{summarize, Series, Summary};

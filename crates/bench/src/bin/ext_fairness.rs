@@ -9,8 +9,10 @@
 //! fairness index, and the restart counts (a direct measurement of how
 //! badly the pinger model fits an adaptive peer).
 
-use augur_bench::coexist::{build_two_flow, coexist_belief, run_coexistence, Agent, RestartingSender};
 use augur_bench::check;
+use augur_bench::coexist::{
+    build_two_flow, coexist_belief, run_coexistence, Agent, RestartingSender,
+};
 use augur_core::{DiscountedThroughput, ISenderConfig};
 use augur_sim::{BitRate, Bits, Ppm, Time};
 
@@ -47,15 +49,29 @@ fn main() {
     };
     println!("  flow A: {ra:.0} bit/s ({restarts_a} belief restarts)");
     println!("  flow B: {rb:.0} bit/s ({restarts_b} belief restarts)");
-    println!("  combined: {:.0} bit/s of {link_bps} ({:.0}%)", ra + rb, (ra + rb) / link_bps as f64 * 100.0);
+    println!(
+        "  combined: {:.0} bit/s of {link_bps} ({:.0}%)",
+        ra + rb,
+        (ra + rb) / link_bps as f64 * 100.0
+    );
     println!("  Jain fairness index: {jain:.3}");
 
     println!("\nShape checks:");
-    check("both senders make progress", ra > 1_000.0 && rb > 1_000.0,
-        format!("{ra:.0} / {rb:.0} bit/s"));
-    check("link not overdriven", ra + rb <= link_bps as f64 * 1.05,
-        format!("{:.0} <= {link_bps}", ra + rb));
-    check("rough fairness (Jain >= 0.7)", jain >= 0.7, format!("{jain:.3}"));
+    check(
+        "both senders make progress",
+        ra > 1_000.0 && rb > 1_000.0,
+        format!("{ra:.0} / {rb:.0} bit/s"),
+    );
+    check(
+        "link not overdriven",
+        ra + rb <= link_bps as f64 * 1.05,
+        format!("{:.0} <= {link_bps}", ra + rb),
+    );
+    check(
+        "rough fairness (Jain >= 0.7)",
+        jain >= 0.7,
+        format!("{jain:.3}"),
+    );
     check(
         "misspecification measured: restarts occurred (open question of §3.5)",
         restarts_a + restarts_b > 0,

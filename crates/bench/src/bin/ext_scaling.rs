@@ -5,217 +5,125 @@
 //! scheme would use the approximate techniques of Bayesian inference …"
 //!
 //! We sweep the hypothesis count of the exact engine across four decades
-//! and compare one belief-update step against the particle filter at a
-//! fixed budget, measuring wall time per simulated second and the
-//! posterior-mean error on the link rate.
+//! and compare against the particle filter at a fixed 1,000-particle
+//! budget, measuring wall time per simulated second and the
+//! posterior-mean error on the link rate. The sweep is the
+//! `presets::ext_scaling` grid — engine × prior size under the scripted
+//! 2 s ping workload — executed *serially* so the wall-clock comparison
+//! is not distorted by core contention; this binary adds the scaling
+//! shape checks.
 
-use augur_bench::{check, save_csv};
-use augur_elements::{build_model, GateSpec, ModelParams, Step};
-use augur_inference::{
-    Belief, BeliefConfig, Hypothesis, Observation, ParticleConfig, ParticleFilter,
-};
-use augur_sim::{BitRate, Bits, FlowId, Packet, Ppm, SimRng, Time};
-use augur_trace::Series;
-use std::time::Instant;
+use augur_bench::{check, out_dir};
+use augur_scenario::{presets, Axis, RunStatus, RunSummary, SweepRunner};
+use std::fs;
+use std::io::BufWriter;
 
-/// A prior with exactly `n` hypotheses: link rates on a fine grid around
-/// the truth (12,000 bps), everything else pinned.
-fn fine_prior(n: usize) -> Vec<Hypothesis<ModelParams>> {
-    (0..n)
-        .map(|i| {
-            // 8,000..16,000 bps in n steps; includes 12,000 when n is odd.
-            let bps = 8_000 + (i as u64 * 8_000) / (n.max(2) as u64 - 1);
-            let params = ModelParams {
-                link_rate: BitRate::from_bps(bps.max(1)),
-                cross_rate: BitRate::from_bps(bps * 7 / 10),
-                gate: GateSpec::AlwaysOn,
-                loss: Ppm::ZERO,
-                buffer_capacity: Bits::new(96_000),
-                initial_fullness: Bits::ZERO,
-                packet_size: Bits::from_bytes(1_500),
-                cross_active: true,
-            };
-            Hypothesis {
-                net: build_model(params).net,
-                meta: params,
-                weight: 1.0,
-            }
-        })
-        .collect()
-}
+/// Seed replicates per (engine, prior size) cell: particle survival at
+/// large priors is seed luck, so each cell is measured a few times and
+/// aggregated over the survivors.
+const REPLICATES: usize = 3;
 
-/// Scripted 30 s drive: send every 2 s, collect ground-truth ACKs, feed
-/// `update`. Returns wall seconds spent inside `update`.
-fn drive<F: FnMut(Time, &[Observation], Option<Packet>)>(mut update: F) -> f64 {
-    let truth_params = ModelParams {
-        link_rate: BitRate::from_bps(12_000),
-        cross_rate: BitRate::from_bps(8_400),
-        gate: GateSpec::AlwaysOn,
-        loss: Ppm::ZERO,
-        buffer_capacity: Bits::new(96_000),
-        initial_fullness: Bits::ZERO,
-        packet_size: Bits::from_bytes(1_500),
-        cross_active: true,
-    };
-    let mut truth = build_model(truth_params);
-    let mut rng = SimRng::seed_from_u64(0xE57);
-    let mut seq = 0u64;
-    let mut wall = 0.0;
-    for s in 0..=30u64 {
-        let t = Time::from_secs(s);
-        truth.net.run_until_sampled(t, &mut rng);
-        let acks: Vec<Observation> = truth
-            .net
-            .take_deliveries()
-            .into_iter()
-            .filter(|(n, d)| *n == truth.rx_self && d.packet.flow == FlowId::SELF)
-            .map(|(_, d)| Observation {
-                seq: d.packet.seq,
-                at: d.at,
-            })
-            .collect();
-        truth.net.take_drops();
-        let send = if s % 2 == 0 && s < 30 {
-            let pkt = Packet::new(FlowId::SELF, seq, Bits::from_bytes(1_500), t);
-            seq += 1;
-            Some(pkt)
-        } else {
-            None
-        };
-        let start = Instant::now();
-        update(t, &acks, send);
-        wall += start.elapsed().as_secs_f64();
-        if let Some(pkt) = send {
-            truth.net.inject(truth.entry, pkt);
-            while let Step::Pending(spec) = truth.net.run_until(t) {
-                let pick = usize::from(rng.bernoulli(spec.p1));
-                truth.net.resolve(pick);
-            }
-        }
+/// Mean wall and rate error over a cell's surviving replicates, if any.
+fn survivors(cell: &[RunSummary]) -> Option<(f64, f64)> {
+    let ok: Vec<&RunSummary> = cell.iter().filter(|r| r.status == RunStatus::Ok).collect();
+    if ok.is_empty() {
+        return None;
     }
-    wall
+    let n = ok.len() as f64;
+    Some((
+        ok.iter().map(|r| r.wall_s).sum::<f64>() / n,
+        ok.iter().map(|r| r.rate_err_bps).sum::<f64>() / n,
+    ))
 }
 
 fn main() {
     println!("EXT-C: exact enumeration vs particle filter, 30 s of inference\n");
-    let probe = build_model(ModelParams {
-        link_rate: BitRate::from_bps(12_000),
-        cross_rate: BitRate::from_bps(8_400),
-        gate: GateSpec::AlwaysOn,
-        loss: Ppm::ZERO,
-        buffer_capacity: Bits::new(96_000),
-        initial_fullness: Bits::ZERO,
-        packet_size: Bits::from_bytes(1_500),
-        cross_active: true,
-    });
+    let sizes = vec![101usize, 1_001, 10_001, 100_001];
+    let grid = presets::ext_scaling(sizes.clone(), 1_000).axis(Axis::Seeds(REPLICATES));
+    let runs = grid.expand();
+    let report = SweepRunner::serial().run(&runs);
+    // Group replicates by what each run actually was — the spec carries
+    // the engine and prior size, so axis ordering cannot mislabel cells.
+    let cell_of = |sender: &str, n: usize| -> Vec<RunSummary> {
+        runs.iter()
+            .zip(&report.runs)
+            .filter(|(run, _)| run.spec.sender.label() == sender && run.spec.prior.size() == n)
+            .map(|(_, summary)| summary.clone())
+            .collect()
+    };
+    let exact: Vec<Vec<RunSummary>> = sizes.iter().map(|&n| cell_of("isender-exact", n)).collect();
+    let particle: Vec<Vec<RunSummary>> = sizes
+        .iter()
+        .map(|&n| cell_of("isender-particle", n))
+        .collect();
+    assert!(
+        exact.iter().chain(&particle).all(|c| c.len() == REPLICATES),
+        "every (engine, prior size) cell must have its replicates"
+    );
+    let duration_s = report.runs[0].duration_s;
 
-    let mut cost = Series::new("exact_wall_seconds");
-    let mut err = Series::new("exact_rate_error_bps");
     println!(
         "  {:>12} {:>14} {:>16} {:>12}",
         "hypotheses", "wall (s)", "us per hyp-sec", "rate err bps"
     );
-    let sizes = [101usize, 1_001, 10_001, 100_001];
     let mut exact_walls = Vec::new();
-    for &n in &sizes {
-        let mut belief = Belief::new(
-            fine_prior(n),
-            probe.entry,
-            probe.rx_self,
-            BeliefConfig {
-                fold_loss_node: Some(probe.loss),
-                max_branches: n * 2,
-                ..BeliefConfig::default()
-            },
-        );
-        let wall = drive(|t, acks, send| {
-            belief.advance(t, acks).expect("belief died");
-            if let Some(pkt) = send {
-                belief.inject(pkt);
-            }
-        });
-        let mean = belief.expected(|h| h.meta.link_rate.as_bps() as f64);
-        let e = (mean - 12_000.0).abs();
+    for (n, cell) in sizes.iter().zip(&exact) {
+        let (wall, err) = survivors(cell).expect("exact engine never degenerates here");
         println!(
             "  {:>12} {:>14.3} {:>16.2} {:>12.1}",
             n,
             wall,
-            wall * 1e6 / (n as f64 * 30.0),
-            e
+            wall * 1e6 / (*n as f64 * duration_s),
+            err
         );
-        cost.push(n as f64, wall);
-        err.push(n as f64, e);
-        exact_walls.push((n, wall));
+        exact_walls.push((wall, err));
     }
 
-    // Particle filter at a fixed 1,000-particle budget across prior sizes:
-    // cost should stay flat where the exact engine's grows.
-    println!("\n  particle filter, fixed 1,000-particle budget:");
+    println!("\n  particle filter, fixed 1,000-particle budget (mean over surviving replicates):");
     println!(
         "  {:>12} {:>14} {:>12} {:>10}",
         "prior size", "wall (s)", "rate err", "outcome"
     );
-    let mut pf_results = Vec::new();
-    for &n in &sizes {
-        let pf_prior = fine_prior(n);
-        let mut pf = ParticleFilter::from_prior(
-            &pf_prior,
-            probe.entry,
-            probe.rx_self,
-            ParticleConfig {
-                n_particles: 1_000,
-                resample_frac: 0.5,
-                fold_loss_node: Some(probe.loss),
-                own_flow: FlowId::SELF,
-            },
-            7,
-        );
-        let mut died = false;
-        let wall = drive(|t, acks, send| {
-            if died {
-                return;
+    let mut particle_cells = Vec::new();
+    for (n, cell) in sizes.iter().zip(&particle) {
+        match survivors(cell) {
+            Some((wall, err)) => {
+                let ok = cell.iter().filter(|r| r.status == RunStatus::Ok).count();
+                println!(
+                    "  {:>12} {:>14.3} {:>12.1} {:>7}/{REPLICATES} ok",
+                    n, wall, err, ok
+                );
+                particle_cells.push(Some((wall, err)));
             }
-            match pf.advance(t, acks) {
-                Ok(_) => {
-                    if let Some(pkt) = send {
-                        pf.inject(pkt);
-                    }
-                }
-                Err(_) => died = true,
-            }
-        });
-        if died {
             // With exact-time matching, a particle survives only if it
             // sits on the true grid point; 1,000 particles over a prior
             // much larger than the budget lose coverage — a measured
             // limitation of the bootstrap filter the paper's "belief
             // compression" remark anticipates.
-            println!("  {n:>12} {:>14} {:>12} {:>10}", "-", "-", "degenerate");
-            pf_results.push((n, None));
-        } else {
-            let mean = pf.expected(|h| h.meta.link_rate.as_bps() as f64);
-            println!(
-                "  {:>12} {:>14.3} {:>12.1} {:>10}",
-                n,
-                wall,
-                (mean - 12_000.0).abs(),
-                "ok"
-            );
-            pf_results.push((n, Some((wall, mean))));
+            None => {
+                println!("  {n:>12} {:>14} {:>12} {:>10}", "-", "-", "degenerate");
+                particle_cells.push(None);
+            }
         }
     }
-    save_csv("ext_scaling", &[&cost, &err]);
+
+    let path = out_dir().join("ext_scaling_sweep.csv");
+    let file = fs::File::create(&path).expect("create csv");
+    report
+        .write_csv(BufWriter::new(file))
+        .expect("write sweep csv");
+    println!("\n  wrote {}", path.display());
 
     println!("\nShape checks:");
-    let (n0, w0) = exact_walls[0];
-    let (n2, w2) = exact_walls[2];
+    let (n0, w0) = (sizes[0], exact_walls[0].0);
+    let (n2, w2) = (sizes[2], exact_walls[2].0);
     let scale = (w2 / w0) / (n2 as f64 / n0 as f64);
     check(
         "exact cost grows ~linearly while the population survives",
         (0.2..5.0).contains(&scale),
         format!("{n0}→{n2} hypotheses: {w0:.3}s→{w2:.3}s (per-hyp ratio {scale:.2})"),
     );
-    let per_hyp_sec = w2 / (n2 as f64 * 30.0);
+    let per_hyp_sec = w2 / (n2 as f64 * duration_s);
     check(
         "extrapolated: millions of hypotheses are impractical (paper §3.2)",
         per_hyp_sec * 2e6 > 0.5,
@@ -224,9 +132,14 @@ fn main() {
             per_hyp_sec * 2e6
         ),
     );
-    let ok_walls: Vec<f64> = pf_results
+    check(
+        "exact posterior locates the link rate",
+        exact_walls.iter().all(|(_, err)| *err < 1_000.0),
+        "posterior means within 1 kbps of truth",
+    );
+    let ok_walls: Vec<f64> = particle_cells
         .iter()
-        .filter_map(|(_, r)| r.map(|(w, _)| w))
+        .filter_map(|c| c.map(|(w, _)| w))
         .collect();
     check(
         "particle cost flat across prior sizes (where it survives)",
@@ -235,10 +148,10 @@ fn main() {
                 < 5.0 * ok_walls.iter().cloned().fold(f64::MAX, f64::min).max(1e-4),
         format!("walls: {ok_walls:?}"),
     );
-    let accurate = pf_results
+    let accurate = particle_cells
         .iter()
-        .filter_map(|(_, r)| r.map(|(_, m)| m))
-        .all(|m| (m - 12_000.0).abs() < 1_000.0);
+        .filter_map(|c| c.map(|(_, err)| err))
+        .all(|err| err < 1_000.0);
     check(
         "particle filter accurate where coverage suffices",
         accurate,
@@ -246,7 +159,9 @@ fn main() {
     );
     check(
         "bootstrap filter degenerates when prior >> particle budget",
-        pf_results.iter().any(|(_, r)| r.is_none()),
+        particle
+            .iter()
+            .any(|cell| cell.iter().all(|r| r.status == RunStatus::BeliefDied)),
         "exact-match likelihood needs coverage (motivates belief compression)",
     );
 }

@@ -9,8 +9,10 @@
 //! quantifying the paper's worry that a deferential sender may be
 //! out-competed by a loss-based one.
 
-use augur_bench::coexist::{build_two_flow, coexist_belief, run_coexistence, Agent, AimdSender, RestartingSender};
 use augur_bench::check;
+use augur_bench::coexist::{
+    build_two_flow, coexist_belief, run_coexistence, Agent, AimdSender, RestartingSender,
+};
 use augur_core::{DiscountedThroughput, ISenderConfig};
 use augur_sim::{BitRate, Bits, Dur, Ppm, Time};
 
@@ -46,10 +48,16 @@ fn main() {
     println!("  combined {:.0} of {link_bps} bit/s", rm + rt);
 
     println!("\nShape checks:");
-    check("both flows make progress", rm > 500.0 && rt > 500.0,
-        format!("{rm:.0} / {rt:.0} bit/s"));
-    check("link well utilized (> 60%)", rm + rt > link_bps as f64 * 0.6,
-        format!("{:.0} bit/s", rm + rt));
+    check(
+        "both flows make progress",
+        rm > 500.0 && rt > 500.0,
+        format!("{rm:.0} / {rt:.0} bit/s"),
+    );
+    check(
+        "link well utilized (> 60%)",
+        rm + rt > link_bps as f64 * 0.6,
+        format!("{:.0} bit/s", rm + rt),
+    );
     check(
         "loss-based sender out-competes the deferential ISender (the paper's worry)",
         rt > rm,

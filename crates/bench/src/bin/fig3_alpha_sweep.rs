@@ -7,7 +7,9 @@
 //! deterministic square wave, while the sender *believes* the gate is
 //! memoryless with a 100 s mean. One run per α ∈ {0.9, 1.0, 2.5, 5}.
 //!
-//! Shape targets (EXPERIMENTS.md):
+//! The sweep itself is the `presets::fig3` scenario grid executed by the
+//! parallel `SweepRunner`; this binary only adds the Figure-3 plot and
+//! the shape checks EXPERIMENTS.md records:
 //! * α < 1 sends at the (discovered) link speed regardless of cross
 //!   traffic and floods the shared buffer;
 //! * α = 1 fills the residual ~30 % while cross traffic is on, 100 % when
@@ -17,44 +19,30 @@
 //! * no buffer overflows for α ≥ 1;
 //! * every sender starts tentatively while the prior is wide.
 
-use augur_bench::{check, paper_sender, paper_truth, save_csv};
-use augur_core::run_closed_loop;
-use augur_sim::Time;
+use augur_bench::{check, save_csv};
+use augur_core::RunTrace;
+use augur_scenario::{presets, SweepRunner};
+use augur_sim::{Dur, Time};
 use augur_trace::{render, PlotConfig, Series};
 
 fn main() {
-    let alphas = [0.9, 1.0, 2.5, 5.0];
     let t_end = Time::from_secs(300);
     let max_branches = branch_budget();
-    println!("FIG3: α sweep over {alphas:?}, 300 s, branch cap {max_branches}");
+    println!("FIG3: α sweep over [0.9, 1.0, 2.5, 5.0], 300 s, branch cap {max_branches}");
 
-    let mut results: Vec<(f64, augur_core::RunTrace)> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = alphas
-            .iter()
-            .map(|&alpha| {
-                scope.spawn(move || {
-                    let mut truth = paper_truth(0xF13 + (alpha * 10.0) as u64);
-                    let mut sender = paper_sender(alpha, max_branches);
-                    let start = std::time::Instant::now();
-                    let trace = run_closed_loop(&mut truth, &mut sender, t_end)
-                        .expect("belief died — prior must contain the truth");
-                    eprintln!(
-                        "  α={alpha}: {} sends, {} acks, {} wakes, {:.1}s wall",
-                        trace.sends.len(),
-                        trace.acks.len(),
-                        trace.wakes.len(),
-                        start.elapsed().as_secs_f64()
-                    );
-                    (alpha, trace)
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("alpha run panicked"));
-        }
-    });
-    results.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let grid = presets::fig3(Dur::from_secs(300), max_branches);
+    let runs = grid.expand();
+    let (report, traces) = SweepRunner::parallel().verbose().run_traced(&runs);
+    let results: Vec<(f64, RunTrace)> = runs
+        .iter()
+        .zip(traces)
+        .map(|(run, trace)| {
+            (
+                run.spec.sender.alpha().expect("fig3 senders carry α"),
+                trace.expect("closed-loop ISender runs produce traces"),
+            )
+        })
+        .collect();
 
     // Figure 3: sequence number vs time.
     let mut series: Vec<Series> = Vec::new();
@@ -71,26 +59,26 @@ fn main() {
         render(
             &refs,
             &PlotConfig {
-                title: "Figure 3: sequence number vs time (cross ON 0-100s, OFF 100-200s, ON 200-300s)"
-                    .into(),
+                title:
+                    "Figure 3: sequence number vs time (cross ON 0-100s, OFF 100-200s, ON 200-300s)"
+                        .into(),
                 ..PlotConfig::default()
             }
         )
     );
     save_csv("fig3_seq_vs_time", &refs);
 
-    // Phase rates and overflow counts.
-    println!("\n  {:>6} {:>12} {:>12} {:>12} {:>10}", "alpha", "rate 0-100", "rate 100-200", "rate 200-300", "overflows");
+    // Phase rates and overflow counts, straight from the sweep summaries.
+    println!(
+        "\n  {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "alpha", "rate 0-100", "rate 100-200", "rate 200-300", "overflows"
+    );
     let mut phase_rates = Vec::new();
-    for (alpha, trace) in &results {
+    for ((alpha, trace), summary) in results.iter().zip(&report.runs) {
         let r1 = trace.send_rate(Time::ZERO, Time::from_secs(100));
         let r2 = trace.send_rate(Time::from_secs(100), Time::from_secs(200));
-        let r3 = trace.send_rate(Time::from_secs(200), Time::from_secs(300));
-        let overflows = trace
-            .drops
-            .iter()
-            .filter(|d| d.reason == augur_elements::DropReason::BufferFull)
-            .count();
+        let r3 = trace.send_rate(Time::from_secs(200), t_end);
+        let overflows = summary.overflow_drops as usize;
         println!("  {alpha:>6} {r1:>12.3} {r2:>12.3} {r3:>12.3} {overflows:>10}");
         phase_rates.push((*alpha, r1, r2, r3, overflows));
     }

@@ -1,0 +1,189 @@
+//! `sweep` — run any preset parameter sweep from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin sweep -- fig3
+//! cargo run --release --bin sweep -- fig3 --duration 60 --branches 2000 --workers 1
+//! cargo run --release --bin sweep -- scaling --jsonl
+//! cargo run --release --bin sweep -- smoke --replicates 8
+//! ```
+//!
+//! Presets: `fig3` (α sweep, Figure 3), `txt2` (latency penalty, §4),
+//! `scaling` (exact vs particle across prior sizes, EXT-C), `smoke` (a
+//! quick exact-vs-particle grid for CI). Every run's seed derives from
+//! `(base seed, run index)`, so the CSV is byte-identical for any
+//! `--workers` value — `--workers 1` is the reference execution.
+
+use augur_bench::out_dir;
+use augur_scenario::{presets, SweepGrid, SweepRunner};
+use augur_sim::Dur;
+use std::fs;
+use std::io::BufWriter;
+use std::process::exit;
+
+struct Options {
+    preset: String,
+    workers: Option<usize>,
+    duration: Option<u64>,
+    branches: Option<usize>,
+    replicates: Option<usize>,
+    jsonl: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep <fig3|txt2|scaling|smoke> [--workers N] [--duration SECS] \
+         [--branches B] [--replicates K] [--jsonl]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let preset = match args.next() {
+        Some(p) if !p.starts_with("--") => p,
+        _ => usage(),
+    };
+    let mut opts = Options {
+        preset,
+        workers: None,
+        duration: None,
+        branches: None,
+        replicates: None,
+        jsonl: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        fn numeric<T: std::str::FromStr>(name: &str, raw: String) -> T {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("bad value {raw:?} for {name}");
+                usage()
+            })
+        }
+        match flag.as_str() {
+            "--workers" => {
+                let n: usize = numeric("--workers", value("--workers"));
+                if n == 0 {
+                    eprintln!("--workers must be at least 1");
+                    usage()
+                }
+                opts.workers = Some(n);
+            }
+            "--duration" => opts.duration = Some(numeric("--duration", value("--duration"))),
+            "--branches" => opts.branches = Some(numeric("--branches", value("--branches"))),
+            "--replicates" => {
+                opts.replicates = Some(numeric("--replicates", value("--replicates")))
+            }
+            "--jsonl" => opts.jsonl = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Branch cap, overridable for quick runs: `--branches` or
+/// `AUGUR_BRANCHES=2000`.
+fn branch_budget(opts: &Options) -> usize {
+    opts.branches
+        .or_else(|| {
+            std::env::var("AUGUR_BRANCHES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(50_000)
+}
+
+/// Reject flags the chosen preset does not consume — a silently ignored
+/// parameter yields a sweep that does not match what was asked for.
+fn reject_unused(opts: &Options, duration: bool, branches: bool, replicates: bool) {
+    let mut bad = Vec::new();
+    if opts.duration.is_some() && !duration {
+        bad.push("--duration");
+    }
+    if opts.branches.is_some() && !branches {
+        bad.push("--branches");
+    }
+    if opts.replicates.is_some() && !replicates {
+        bad.push("--replicates");
+    }
+    if !bad.is_empty() {
+        eprintln!("preset {:?} does not take {}", opts.preset, bad.join(", "));
+        usage()
+    }
+}
+
+fn build_grid(opts: &Options) -> SweepGrid {
+    match opts.preset.as_str() {
+        "fig3" => {
+            reject_unused(opts, true, true, false);
+            presets::fig3(
+                Dur::from_secs(opts.duration.unwrap_or(300)),
+                branch_budget(opts),
+            )
+        }
+        "txt2" => {
+            reject_unused(opts, true, false, false);
+            presets::txt2(Dur::from_secs(opts.duration.unwrap_or(120)))
+        }
+        "scaling" => {
+            reject_unused(opts, false, false, false);
+            presets::ext_scaling(vec![101, 1_001, 10_001], 1_000)
+        }
+        "smoke" => {
+            reject_unused(opts, true, false, true);
+            presets::smoke(
+                Dur::from_secs(opts.duration.unwrap_or(20)),
+                opts.replicates.unwrap_or(4),
+            )
+        }
+        other => {
+            eprintln!("unknown preset {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let grid = build_grid(&opts);
+    let runs = grid.expand();
+    let runner = match opts.workers {
+        Some(n) => SweepRunner::with_workers(n),
+        None => SweepRunner::parallel(),
+    }
+    .verbose();
+    println!(
+        "SWEEP {}: {} runs ({}), {} workers, base seed {:#x}",
+        opts.preset,
+        runs.len(),
+        grid.axes
+            .iter()
+            .map(|a| format!("{}×{}", a.name(), a.len()))
+            .collect::<Vec<_>>()
+            .join(" "),
+        runner.workers,
+        grid.base.base_seed
+    );
+
+    let report = runner.run(&runs);
+    println!("\n{}", report.render_text());
+
+    let csv_path = out_dir().join(format!("{}_sweep.csv", opts.preset));
+    let file = fs::File::create(&csv_path).expect("create sweep csv");
+    report
+        .write_csv(BufWriter::new(file))
+        .expect("write sweep csv");
+    println!("  wrote {}", csv_path.display());
+    if opts.jsonl {
+        let path = out_dir().join(format!("{}_sweep.jsonl", opts.preset));
+        let file = fs::File::create(&path).expect("create sweep jsonl");
+        report
+            .write_jsonl(BufWriter::new(file))
+            .expect("write sweep jsonl");
+        println!("  wrote {}", path.display());
+    }
+}

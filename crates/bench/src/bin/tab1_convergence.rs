@@ -13,13 +13,34 @@ use augur_trace::Series;
 
 fn main() {
     println!("TAB1: prior vs actual (Figure 2 table), posterior over time\n");
-    println!("  {:<22} {:<28} {:>10}", "parameter", "prior belief", "actual");
-    println!("  {:<22} {:<28} {:>10}", "c (link speed)", "10,000..=16,000 bps", "12,000");
-    println!("  {:<22} {:<28} {:>10}", "r (cross rate)", "0.4c..=0.7c", "0.7c");
-    println!("  {:<22} {:<28} {:>10}", "t (mean switch)", "100 s (believed)", "n/a");
-    println!("  {:<22} {:<28} {:>10}", "p (loss rate)", "0.00..=0.20", "0.20");
-    println!("  {:<22} {:<28} {:>10}", "buffer capacity", "72,000..=108,000 bits", "96,000");
-    println!("  {:<22} {:<28} {:>10}", "initial fullness", "0..=capacity", "0");
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "parameter", "prior belief", "actual"
+    );
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "c (link speed)", "10,000..=16,000 bps", "12,000"
+    );
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "r (cross rate)", "0.4c..=0.7c", "0.7c"
+    );
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "t (mean switch)", "100 s (believed)", "n/a"
+    );
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "p (loss rate)", "0.00..=0.20", "0.20"
+    );
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "buffer capacity", "72,000..=108,000 bits", "96,000"
+    );
+    println!(
+        "  {:<22} {:<28} {:>10}",
+        "initial fullness", "0..=capacity", "0"
+    );
 
     // Run in 10 s stages so we can snapshot the posterior as it sharpens.
     let mut truth = paper_truth(0x7AB1);
@@ -53,7 +74,10 @@ fn main() {
         checkpoints.push((secs, c, r, p, b, sender.belief.branch_count()));
     }
 
-    println!("\n  {:>5} {:>12} {:>10} {:>10} {:>14} {:>10}", "t(s)", "P(c=12000)", "P(r=0.7c)", "P(p=0.2)", "P(buf=96000)", "branches");
+    println!(
+        "\n  {:>5} {:>12} {:>10} {:>10} {:>14} {:>10}",
+        "t(s)", "P(c=12000)", "P(r=0.7c)", "P(p=0.2)", "P(buf=96000)", "branches"
+    );
     for (t, c, r, p, b, n) in &checkpoints {
         println!("  {t:>5} {c:>12.3} {r:>10.3} {p:>10.3} {b:>14.3} {n:>10}");
     }

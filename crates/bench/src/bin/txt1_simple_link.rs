@@ -78,8 +78,7 @@ fn main() {
         Box::new(DiscountedThroughput::with_alpha(1.0)),
         ISenderConfig::default(),
     );
-    let trace =
-        run_closed_loop(&mut truth, &mut sender, Time::from_secs(90)).expect("belief died");
+    let trace = run_closed_loop(&mut truth, &mut sender, Time::from_secs(90)).expect("belief died");
 
     let mut seq = Series::new("sequence number");
     for (i, (_, t)) in trace.sends.iter().enumerate() {

@@ -6,100 +6,63 @@
 //! buffer that starts half full): one with the pure α = 1 utility, one
 //! with an added latency penalty on cross traffic. The penalized sender
 //! must hold back while the backlog drains and keep the standing queue
-//! shallower.
+//! shallower. The experiment is the `presets::txt2` scenario grid (the
+//! latency penalty is a sweep axis); this binary adds the plot and the
+//! shape checks.
 
 use augur_bench::{check, save_csv};
-use augur_core::{
-    run_closed_loop, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, RunTrace,
-};
-use augur_elements::{build_model, GateSpec, ModelParams};
-use augur_inference::{Belief, BeliefConfig, Hypothesis, ModelPrior};
-use augur_sim::{BitRate, Bits, Dur, Ppm, SimRng, Time};
+use augur_core::RunTrace;
+use augur_scenario::{presets, SweepRunner};
+use augur_sim::{Dur, Time};
 use augur_trace::{render, PlotConfig, Series};
 
-fn truth_params() -> ModelParams {
-    ModelParams {
-        link_rate: BitRate::from_bps(12_000),
-        cross_rate: BitRate::from_bps(4_200), // 0.35c: room to work with
-        gate: GateSpec::AlwaysOn,
-        loss: Ppm::ZERO,
-        buffer_capacity: Bits::new(96_000),
-        initial_fullness: Bits::new(48_000), // half-full backlog to drain
-        packet_size: Bits::from_bytes(1_500),
-        cross_active: true,
-    }
-}
-
-fn build_sender(latency_penalty: f64) -> ISender<ModelParams> {
-    let prior = ModelPrior {
-        link_rates: vec![BitRate::from_bps(10_000), BitRate::from_bps(12_000)],
-        cross_fracs_ppm: vec![350_000, 700_000],
-        losses: vec![Ppm::ZERO],
-        buffer_capacities: vec![Bits::new(96_000)],
-        fullness_step: Some(Bits::new(24_000)),
-        mtts: Dur::from_secs(100),
-        epoch: Dur::from_secs(1),
-        gate_initial: vec![true],
-        packet_size: Bits::from_bytes(1_500),
-    };
-    let hyps: Vec<Hypothesis<ModelParams>> = prior
-        .grid()
-        .into_iter()
-        .map(|p| Hypothesis {
-            net: build_model(p).net,
-            meta: p,
-            weight: 1.0,
-        })
-        .collect();
-    let probe = build_model(truth_params());
-    let belief = Belief::new(
-        hyps,
-        probe.entry,
-        probe.rx_self,
-        BeliefConfig {
-            fold_loss_node: Some(probe.loss),
-            ..BeliefConfig::default()
-        },
-    );
-    let mut utility = DiscountedThroughput::with_alpha(1.0);
-    utility.latency_penalty = latency_penalty;
-    ISender::new(belief, Box::new(utility), ISenderConfig::default())
-}
-
-fn run(latency_penalty: f64) -> (RunTrace, f64) {
-    let m = build_model(truth_params());
-    let mut truth = GroundTruth {
-        net: m.net,
-        entry: m.entry,
-        rx_self: m.rx_self,
-        rng: SimRng::seed_from_u64(0x72),
-    };
-    let mut sender = build_sender(latency_penalty);
-    let trace =
-        run_closed_loop(&mut truth, &mut sender, Time::from_secs(120)).expect("belief died");
-    // Mean cross-traffic delay in the second minute (steady state).
+/// Mean cross-traffic delay in the second minute (steady state). Cross
+/// packets are emitted isochronously, one packet-service-time apart at
+/// the cross rate — derive the period from the scenario's topology so a
+/// preset retune cannot desynchronize this measurement.
+fn mean_cross_delay(trace: &RunTrace, topology: &augur_elements::ModelParams) -> f64 {
+    let period_s = topology.packet_size.as_f64() / topology.cross_rate.as_bps() as f64;
     let delays: Vec<f64> = trace
         .cross_deliveries
         .iter()
         .filter(|(_, t, _)| *t >= Time::from_secs(60))
         .map(|(seq, t, _)| {
-            // Cross packets are emitted isochronously every 12000/4200 s.
-            let sent = *seq as f64 * (12_000.0 / 4_200.0);
+            let sent = *seq as f64 * period_s;
             t.as_secs_f64() - sent
         })
         .collect();
-    let mean_delay = if delays.is_empty() {
+    if delays.is_empty() {
         f64::NAN
     } else {
         delays.iter().sum::<f64>() / delays.len() as f64
-    };
-    (trace, mean_delay)
+    }
 }
 
 fn main() {
     println!("TXT2: latency-penalty utility drains the buffer before filling the link, 120 s");
-    let (plain, plain_delay) = run(0.0);
-    let (penalized, pen_delay) = run(0.5);
+    let runs = presets::txt2(Dur::from_secs(120)).expand();
+    let (_, traces) = SweepRunner::parallel().verbose().run_traced(&runs);
+    // Match traces to runs by the spec's latency penalty, not by
+    // position, so reordering the preset axis cannot swap them.
+    let trace_with = |lp: f64| -> RunTrace {
+        runs.iter()
+            .zip(&traces)
+            .find(|(run, _)| match run.spec.sender {
+                augur_scenario::SenderSpec::IsenderExact {
+                    latency_penalty, ..
+                } => latency_penalty == lp,
+                _ => false,
+            })
+            .and_then(|(_, trace)| trace.clone())
+            .unwrap_or_else(|| panic!("latency_penalty={lp} run produces a trace"))
+    };
+    let plain = trace_with(0.0);
+    let penalized = trace_with(0.5);
+    let topology = &runs[0].spec.topology;
+    let (plain_delay, pen_delay) = (
+        mean_cross_delay(&plain, topology),
+        mean_cross_delay(&penalized, topology),
+    );
 
     let series = |name: &str, trace: &RunTrace| {
         let mut s = Series::new(name);
@@ -128,7 +91,9 @@ fn main() {
     let early_pen = penalized.send_rate(Time::ZERO, Time::from_secs(8));
     let steady_pen = penalized.send_rate(Time::from_secs(60), Time::from_secs(120));
     println!("\n  first send: plain {first_plain:?}s, penalized {first_pen:?}s");
-    println!("  rate 0-8s (backlog draining): plain {early_plain:.2}, penalized {early_pen:.2} pkt/s");
+    println!(
+        "  rate 0-8s (backlog draining): plain {early_plain:.2}, penalized {early_pen:.2} pkt/s"
+    );
     println!("  penalized steady rate 60-120s: {steady_pen:.2} pkt/s");
     println!("  mean cross delay 60-120s: plain {plain_delay:.2}s, penalized {pen_delay:.2}s");
 

@@ -299,7 +299,9 @@ pub fn run_coexistence(
 
         let send = |truth: &mut TwoFlowTruth, flow: FlowId, seqs: Vec<(u64, Bits)>| {
             for (seq, size) in seqs {
-                truth.net.inject(truth.entry, Packet::new(flow, seq, size, now));
+                truth
+                    .net
+                    .inject(truth.entry, Packet::new(flow, seq, size, now));
                 while let Step::Pending(spec) = truth.net.run_until(now) {
                     let pick = usize::from(truth.rng.bernoulli(spec.p1));
                     truth.net.resolve(pick);
@@ -324,7 +326,9 @@ pub fn run_coexistence(
                     send(
                         truth,
                         FLOW_A,
-                        seqs.into_iter().map(|q| (q, Bits::from_bytes(1_500))).collect(),
+                        seqs.into_iter()
+                            .map(|q| (q, Bits::from_bytes(1_500)))
+                            .collect(),
                     );
                     wake_a = now + Dur::from_millis(250);
                 }
@@ -346,7 +350,9 @@ pub fn run_coexistence(
                     send(
                         truth,
                         FLOW_B,
-                        seqs.into_iter().map(|q| (q, Bits::from_bytes(1_500))).collect(),
+                        seqs.into_iter()
+                            .map(|q| (q, Bits::from_bytes(1_500)))
+                            .collect(),
                     );
                     wake_b = now + Dur::from_millis(250);
                 }

@@ -74,10 +74,7 @@ pub fn paper_sender(alpha: f64, max_branches: usize) -> ISender<ModelParams> {
 
 /// Render a one-line pass/fail check.
 pub fn check(name: &str, ok: bool, detail: impl std::fmt::Display) {
-    println!(
-        "  [{}] {name}: {detail}",
-        if ok { "PASS" } else { "FAIL" }
-    );
+    println!("  [{}] {name}: {detail}", if ok { "PASS" } else { "FAIL" });
 }
 
 pub mod coexist;

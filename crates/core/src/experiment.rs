@@ -8,11 +8,10 @@
 //! modeling are future work in the paper and here); the sender wakes on
 //! each acknowledgment and on its own timer.
 
-use crate::isender::ISender;
+use crate::isender::SenderAgent;
 use augur_elements::{DropRecord, Network, NodeId, Step};
 use augur_inference::{BeliefError, Observation};
 use augur_sim::{FlowId, SimRng, Time};
-use std::hash::Hash;
 
 /// A completed run's record.
 #[derive(Debug, Clone, Default)]
@@ -66,9 +65,7 @@ impl RunTrace {
     pub fn overflows_at(&self, node: NodeId) -> Vec<&DropRecord> {
         self.drops
             .iter()
-            .filter(|d| {
-                d.node == node && d.reason == augur_elements::DropReason::BufferFull
-            })
+            .filter(|d| d.node == node && d.reason == augur_elements::DropReason::BufferFull)
             .collect()
     }
 }
@@ -136,11 +133,12 @@ impl GroundTruth {
     }
 }
 
-/// Run sender against ground truth until `t_end`. The sender makes its
-/// first decision at time zero.
-pub fn run_closed_loop<M: Clone + Eq + Hash>(
+/// Run any [`SenderAgent`] (exact-belief [`crate::ISender`], particle
+/// [`crate::ParticleSender`], …) against ground truth until `t_end`. The
+/// sender makes its first decision at time zero.
+pub fn run_closed_loop<S: SenderAgent + ?Sized>(
     truth: &mut GroundTruth,
-    sender: &mut ISender<M>,
+    sender: &mut S,
     t_end: Time,
 ) -> Result<RunTrace, BeliefError> {
     let mut trace = RunTrace::default();
@@ -166,8 +164,8 @@ pub fn run_closed_loop<M: Clone + Eq + Hash>(
             at: wake_at,
             acks: pending_acks.len(),
             sent: outcome.sent.len(),
-            branches: sender.belief.branch_count(),
-            effective: sender.belief.effective_count(),
+            branches: sender.population(),
+            effective: sender.effective_population(),
         });
         pending_acks.clear();
         for pkt in &outcome.sent {

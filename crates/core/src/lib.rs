@@ -26,8 +26,8 @@ pub mod planner;
 pub mod utility;
 
 pub use experiment::{run_closed_loop, GroundTruth, RunTrace, WakeRecord};
-pub use isender::{ISender, ISenderConfig, WakeOutcome};
-pub use planner::{decide, rollout, Action, Decision, PlannerConfig};
-pub use utility::{
-    discounted_stream_sum, DiscountedThroughput, RolloutReport, Utility, THETA_MS,
+pub use isender::{ISender, ISenderConfig, ParticleSender, SenderAgent, WakeOutcome};
+pub use planner::{
+    decide, decide_weighted, rollout, subsample_weighted, Action, Decision, PlannerConfig,
 };
+pub use utility::{discounted_stream_sum, DiscountedThroughput, RolloutReport, Utility, THETA_MS};

@@ -111,27 +111,48 @@ pub fn decide<M: Clone + Eq + Hash>(
     seq: u64,
     size: Bits,
 ) -> Decision {
+    let branches = subsample_weighted(belief.branches(), cfg.max_planning_branches);
+    decide_weighted(
+        &branches,
+        belief.now(),
+        belief.entry,
+        belief.config().fold_loss_node,
+        cfg,
+        utility,
+        own_flow,
+        seq,
+        size,
+    )
+}
+
+/// [`decide`] over an explicit weighted branch set — the engine-agnostic
+/// core shared by the exact belief and the particle filter. `branches`
+/// must already be subsampled/normalized (see [`subsample_weighted`]);
+/// `now` is the decision instant, `entry` the injection node, `fold_node`
+/// the last-mile loss element folded analytically during rollouts.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_weighted<M>(
+    branches: &[(&Hypothesis<M>, f64)],
+    now: Time,
+    entry: NodeId,
+    fold_node: Option<NodeId>,
+    cfg: &PlannerConfig,
+    utility: &dyn Utility,
+    own_flow: FlowId,
+    seq: u64,
+    size: Bits,
+) -> Decision {
     assert!(
         cfg.delay_grid.first() == Some(&Dur::ZERO),
         "delay grid must start with ZERO (send now)"
     );
-    let now = belief.now();
     let t_end = now + cfg.horizon;
-    let branches = planning_branches(belief, cfg.max_planning_branches);
-    let fold_node = belief.config().fold_loss_node;
 
     let eu_of = |send_at: Option<Time>| -> f64 {
         let mut eu = 0.0;
-        for (h, w) in &branches {
+        for (h, w) in branches {
             let report = rollout(
-                &h.net,
-                belief.entry,
-                fold_node,
-                own_flow,
-                send_at,
-                t_end,
-                seq,
-                size,
+                &h.net, entry, fold_node, own_flow, send_at, t_end, seq, size,
             );
             eu += w * utility.evaluate(&report, now, own_flow);
         }
@@ -160,7 +181,6 @@ pub fn decide<M: Clone + Eq + Hash>(
     }
     // Report the true EU of the chosen action, not the margin-inflated
     // incumbent value.
-    let mut best = best;
     if best.0.is_none() {
         best.1 = idle_eu;
     }
@@ -184,12 +204,9 @@ pub fn decide<M: Clone + Eq + Hash>(
 /// Instead we *systematically resample*: `max` equally-spaced positions
 /// over the cumulative weights, deterministic (fixed half-step offset),
 /// each selected branch weighted by how many positions landed on it. This
-/// is an unbiased, reproducible quadrature of the belief.
-fn planning_branches<M: Clone + Eq + Hash>(
-    belief: &Belief<M>,
-    max: usize,
-) -> Vec<(&Hypothesis<M>, f64)> {
-    let branches = belief.branches();
+/// is an unbiased, reproducible quadrature of the belief — and works the
+/// same over an exact belief's branches or a particle population.
+pub fn subsample_weighted<M>(branches: &[Hypothesis<M>], max: usize) -> Vec<(&Hypothesis<M>, f64)> {
     let total: f64 = branches.iter().map(|h| h.weight).sum();
     if branches.len() <= max {
         return branches.iter().map(|h| (h, h.weight / total)).collect();

@@ -47,7 +47,12 @@ fn empty_known_network_sends_immediately() {
         0,
         Bits::from_bytes(1_500),
     );
-    assert_eq!(d.action, Action::SendNow, "evaluations: {:?}", d.evaluations);
+    assert_eq!(
+        d.action,
+        Action::SendNow,
+        "evaluations: {:?}",
+        d.evaluations
+    );
     // Sending must beat idling by roughly one delivered packet.
     let idle = d.evaluations[0].1;
     assert!(d.expected_utility > idle + 10_000.0);
@@ -74,7 +79,12 @@ fn full_buffer_prefers_waiting_over_a_wasted_send() {
         1,
         Bits::from_bytes(1_500),
     );
-    assert_ne!(d.action, Action::SendNow, "evaluations: {:?}", d.evaluations);
+    assert_ne!(
+        d.action,
+        Action::SendNow,
+        "evaluations: {:?}",
+        d.evaluations
+    );
     // And the idle baseline ties exactly with send-now (the dropped
     // packet contributes nothing).
     let idle = d.evaluations[0].1;

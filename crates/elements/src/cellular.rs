@@ -135,14 +135,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(42);
         let n = 200;
         for i in 0..n {
-            c.net.run_until_sampled(Time::from_millis(100 * i), &mut rng);
+            c.net
+                .run_until_sampled(Time::from_millis(100 * i), &mut rng);
             c.net.inject(
                 c.entry,
                 Packet::new(FlowId::SELF, i, Bits::from_bytes(1_500), c.net.now()),
             );
         }
-        c.net
-            .run_until_sampled(Time::from_secs(1_000), &mut rng);
+        c.net.run_until_sampled(Time::from_secs(1_000), &mut rng);
         let deliveries = c.net.take_deliveries();
         let drops = c.net.take_drops();
         // Every packet is eventually delivered: ARQ hides all loss.

@@ -103,9 +103,11 @@ mod tests {
 
     #[test]
     fn stateless_elements_have_no_timer() {
-        assert!(Element::Loss(Loss { p: Ppm::from_prob(0.5) })
-            .next_timer()
-            .is_none());
+        assert!(Element::Loss(Loss {
+            p: Ppm::from_prob(0.5)
+        })
+        .next_timer()
+        .is_none());
         assert!(Element::Diverter(Diverter { flow: FlowId::SELF })
             .next_timer()
             .is_none());
@@ -135,9 +137,6 @@ mod tests {
             Element::Gate(Gate::square_wave(Dur::from_secs(1), true)).kind_name(),
             "Gate"
         );
-        assert_eq!(
-            Element::Delay(DelayEl::new(Dur::ZERO)).kind_name(),
-            "Delay"
-        );
+        assert_eq!(Element::Delay(DelayEl::new(Dur::ZERO)).kind_name(), "Delay");
     }
 }

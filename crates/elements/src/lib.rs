@@ -36,8 +36,6 @@ pub use element::{Diverter, Element, Loss, ReceiverEl};
 pub use gate::{Either, Gate, GateKind};
 pub use link::{Link, RateProcess};
 pub use model::{build_model, GateSpec, ModelNet, ModelParams};
-pub use network::{
-    DropReason, DropRecord, Network, NetworkBuilder, Step, BACKLOG_FLOW,
-};
+pub use network::{DropReason, DropRecord, Network, NetworkBuilder, Step, BACKLOG_FLOW};
 pub use node::{Node, NodeId};
 pub use source::Pinger;

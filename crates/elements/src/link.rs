@@ -130,7 +130,9 @@ impl Link {
 
     /// Begin a retransmission of the current packet at `now` (ARQ).
     pub fn start_retransmission(&mut self, now: Time) {
-        let pkt = self.in_service.expect("retransmission with nothing in service");
+        let pkt = self
+            .in_service
+            .expect("retransmission with nothing in service");
         let rate = self.rate.rate_at(now);
         self.busy_until = now + self.arq_retry_delay + rate.service_time(pkt.size);
     }

@@ -105,6 +105,61 @@ impl ModelParams {
             cross_active: true,
         }
     }
+
+    /// A bare pipe: the given link behind the given buffer, no cross
+    /// traffic, no loss, 1500-byte packets — the simple configurations of
+    /// §4 and the natural base point for scenario specs that then override
+    /// fields with the `with_*` builders.
+    pub fn simple_link(link_rate: BitRate, buffer_capacity: Bits) -> ModelParams {
+        ModelParams {
+            link_rate,
+            cross_rate: BitRate::from_bps(1),
+            gate: GateSpec::AlwaysOn,
+            loss: Ppm::ZERO,
+            buffer_capacity,
+            initial_fullness: Bits::ZERO,
+            packet_size: Bits::from_bytes(1_500),
+            cross_active: false,
+        }
+    }
+
+    /// Builder-style override of the bottleneck link speed.
+    pub fn with_link_rate(mut self, link_rate: BitRate) -> ModelParams {
+        self.link_rate = link_rate;
+        self
+    }
+
+    /// Builder-style override of the cross-traffic rate (also enables the
+    /// cross source).
+    pub fn with_cross_rate(mut self, cross_rate: BitRate) -> ModelParams {
+        self.cross_rate = cross_rate;
+        self.cross_active = true;
+        self
+    }
+
+    /// Builder-style override of the cross-traffic gate.
+    pub fn with_gate(mut self, gate: GateSpec) -> ModelParams {
+        self.gate = gate;
+        self
+    }
+
+    /// Builder-style override of the last-mile loss rate.
+    pub fn with_loss(mut self, loss: Ppm) -> ModelParams {
+        self.loss = loss;
+        self
+    }
+
+    /// Builder-style override of the shared buffer capacity.
+    pub fn with_buffer_capacity(mut self, capacity: Bits) -> ModelParams {
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Builder-style override of the initial buffer backlog.
+    pub fn with_initial_fullness(mut self, fullness: Bits) -> ModelParams {
+        self.initial_fullness = fullness;
+        self
+    }
 }
 
 /// A built Figure-2 network with named nodes.
@@ -239,8 +294,7 @@ mod tests {
         params.gate = GateSpec::AlwaysOn;
         let mut m = build_model(params);
         let mut rng = SimRng::seed_from_u64(3);
-        m.net
-            .run_until_sampled(Time::from_secs(3_000), &mut rng);
+        m.net.run_until_sampled(Time::from_secs(3_000), &mut rng);
         let delivered = m
             .net
             .take_deliveries()
@@ -293,6 +347,21 @@ mod tests {
         let ours: Vec<_> = d.iter().filter(|(n, _)| *n == m.rx_self).collect();
         assert_eq!(ours.len(), 1);
         assert_eq!(ours[0].1.at, Time::from_secs(3));
+    }
+
+    #[test]
+    fn simple_link_builders_compose() {
+        let p = ModelParams::simple_link(BitRate::from_bps(24_000), Bits::new(48_000))
+            .with_cross_rate(BitRate::from_bps(8_400))
+            .with_loss(Ppm::from_prob(0.1))
+            .with_initial_fullness(Bits::new(12_000));
+        assert_eq!(p.link_rate, BitRate::from_bps(24_000));
+        assert_eq!(p.buffer_capacity, Bits::new(48_000));
+        assert!(p.cross_active, "with_cross_rate enables the source");
+        assert_eq!(p.loss, Ppm::from_prob(0.1));
+        // And the result builds a runnable network.
+        let m = build_model(p);
+        assert_eq!(m.net.node_count(), 8);
     }
 
     #[test]

@@ -166,7 +166,11 @@ impl Network {
     /// # Panics
     /// Panics if `until` is in the past.
     pub fn run_until(&mut self, until: Time) -> Step {
-        assert!(until >= self.now, "run_until({until}) is before now ({})", self.now);
+        assert!(
+            until >= self.now,
+            "run_until({until}) is before now ({})",
+            self.now
+        );
         loop {
             if let Some(p) = &self.pending {
                 return Step::Pending(*p);
@@ -614,10 +618,7 @@ impl NetworkBuilder {
         // Successor discipline per element type.
         for (i, node) in self.nodes.iter().enumerate() {
             let id = NodeId(i);
-            let needs_alt = matches!(
-                node.element,
-                Element::Diverter(_) | Element::Either(_)
-            );
+            let needs_alt = matches!(node.element, Element::Diverter(_) | Element::Either(_));
             match node.element {
                 Element::Receiver(_) => {
                     assert!(node.next.is_none(), "{id}: receiver must be terminal");
@@ -659,16 +660,10 @@ impl NetworkBuilder {
                 let next = node.next.unwrap();
                 match &self.nodes[next.0].element {
                     Element::Link(_) => {
-                        assert!(
-                            feeds[next.0].is_none(),
-                            "link {next} fed by two buffers"
-                        );
+                        assert!(feeds[next.0].is_none(), "link {next} fed by two buffers");
                         feeds[next.0] = Some(NodeId(i));
                     }
-                    other => panic!(
-                        "buffer n{i} must feed a Link, found {}",
-                        other.kind_name()
-                    ),
+                    other => panic!("buffer n{i} must feed a Link, found {}", other.kind_name()),
                 }
             }
         }
@@ -710,7 +705,10 @@ impl NetworkBuilder {
 
         // Prefills: backlog packets with synthetic sequence numbers.
         for (buf_id, fill, pkt_size) in self.prefills {
-            assert!(pkt_size > Bits::ZERO, "prefill packet size must be positive");
+            assert!(
+                pkt_size > Bits::ZERO,
+                "prefill packet size must be positive"
+            );
             let buf = net.buffer_mut(buf_id);
             assert!(
                 fill <= buf.capacity,
@@ -721,10 +719,7 @@ impl NetworkBuilder {
             let mut seq = 0u64;
             while remaining > Bits::ZERO {
                 let size = remaining.min(pkt_size);
-                buf.force_enqueue(
-                    Packet::new(BACKLOG_FLOW, seq, size, Time::ZERO),
-                    Time::ZERO,
-                );
+                buf.force_enqueue(Packet::new(BACKLOG_FLOW, seq, size, Time::ZERO), Time::ZERO);
                 seq += 1;
                 remaining = remaining.saturating_sub(size);
             }
@@ -1105,7 +1100,10 @@ mod tests {
             }
             s => panic!("expected pending switch, got {s:?}"),
         }
-        assert!(matches!(net.run_until(Time::from_secs(2)), Step::Pending(_)));
+        assert!(matches!(
+            net.run_until(Time::from_secs(2)),
+            Step::Pending(_)
+        ));
         net.resolve(0); // second epoch: stay switched
         net.inject(either, pkt(1));
         let d = net.take_deliveries();
@@ -1119,10 +1117,7 @@ mod tests {
         use crate::delay::JitterEl;
         let mut b = NetworkBuilder::new();
         let (entry, _) = b.chain(vec![
-            Element::Jitter(JitterEl::new(
-                Ppm::from_prob(0.5),
-                Dur::from_millis(200),
-            )),
+            Element::Jitter(JitterEl::new(Ppm::from_prob(0.5), Dur::from_millis(200))),
             Element::Receiver(ReceiverEl),
         ]);
         let mut net = b.build();

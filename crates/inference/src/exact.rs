@@ -237,7 +237,11 @@ impl<M: Clone + Eq + Hash> Belief<M> {
         until: Time,
         obs: &[Observation],
     ) -> Result<AdvanceStats, BeliefError> {
-        assert!(until >= self.now, "advance({until}) before now ({})", self.now);
+        assert!(
+            until >= self.now,
+            "advance({until}) before now ({})",
+            self.now
+        );
         let idx = ObservationIndex::new(obs);
         let mut stats = AdvanceStats::default();
         let frontier: Vec<Work<M>> = self
@@ -336,12 +340,7 @@ impl<M: Clone + Eq + Hash> Belief<M> {
         }
     }
 
-    fn resolution(
-        &self,
-        spec: &ChoiceSpec,
-        idx: &ObservationIndex,
-        injecting: bool,
-    ) -> Resolution {
+    fn resolution(&self, spec: &ChoiceSpec, idx: &ObservationIndex, injecting: bool) -> Resolution {
         if spec.kind == ChoiceKind::LossFate && Some(spec.node) == self.cfg.fold_loss_node {
             let pkt = spec.packet.expect("loss fate carries its packet");
             if pkt.flow == self.cfg.own_flow {

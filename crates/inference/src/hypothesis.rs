@@ -42,7 +42,10 @@ pub fn compact<M: Clone + Eq + Hash>(branches: &mut Vec<Hypothesis<M>>) -> usize
     let before = branches.len();
     let mut merged: HashMap<(Network, M), f64> = HashMap::with_capacity(before);
     for h in branches.drain(..) {
-        debug_assert!(h.net.logs_empty(), "compacting a network with undrained logs");
+        debug_assert!(
+            h.net.logs_empty(),
+            "compacting a network with undrained logs"
+        );
         *merged.entry((h.net, h.meta)).or_insert(0.0) += h.weight;
     }
     branches.extend(merged.into_iter().map(|((net, meta), weight)| Hypothesis {

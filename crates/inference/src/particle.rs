@@ -111,6 +111,11 @@ impl<M: Clone> ParticleFilter<M> {
         self.now
     }
 
+    /// The filter's configuration.
+    pub fn config(&self) -> &ParticleConfig {
+        &self.cfg
+    }
+
     /// The particle population.
     pub fn particles(&self) -> &[Hypothesis<M>] {
         &self.particles
@@ -218,8 +223,8 @@ impl<M: Clone> ParticleFilter<M> {
                     return injecting || matched == idx.len();
                 }
                 Step::Pending(spec) => {
-                    let fold = spec.kind == ChoiceKind::LossFate
-                        && Some(spec.node) == cfg.fold_loss_node;
+                    let fold =
+                        spec.kind == ChoiceKind::LossFate && Some(spec.node) == cfg.fold_loss_node;
                     if fold {
                         let pkt = spec.packet.expect("loss fate carries its packet");
                         if pkt.flow == cfg.own_flow && !injecting {

@@ -7,9 +7,7 @@
 //! parameters".
 
 use augur_elements::{build_model, GateSpec, ModelParams, Step};
-use augur_inference::{
-    BeliefConfig, ModelPrior, Observation, ParticleConfig, ParticleFilter,
-};
+use augur_inference::{BeliefConfig, ModelPrior, Observation, ParticleConfig, ParticleFilter};
 use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Ppm, SimRng, Time};
 
 /// Ground truth matching one grid point of `ModelPrior::small()`:

@@ -1,0 +1,42 @@
+//! `augur-scenario` — experiments as data.
+//!
+//! The paper's results are all parameter sweeps over (topology, prior,
+//! sender, utility α, seed) tuples. This crate turns such an experiment
+//! into a value instead of a hand-rolled binary:
+//!
+//! * [`ScenarioSpec`] describes one experiment — ground-truth topology
+//!   ([`augur_elements::ModelParams`]), prior ([`PriorSpec`]), sender
+//!   kind ([`SenderSpec`]: exact ISender, particle ISender, TCP Reno or
+//!   CUBIC), workload ([`WorkloadSpec`]), duration and base seed;
+//! * [`SweepGrid`] expands [`Axis`] lists (α values × buffer sizes ×
+//!   seed replicates × …) into a cartesian run list, each run's seed
+//!   derived deterministically from `(base_seed, run_index)`;
+//! * [`SweepRunner`] executes runs in parallel on scoped worker threads
+//!   — results are byte-identical to a serial execution because every
+//!   run is a pure function of its spec and derived seed;
+//! * [`SweepReport`] collects per-run [`RunSummary`]s (throughput, delay
+//!   percentiles, realized utility, overflow counts) and exports
+//!   deterministic CSV / JSON-lines through [`augur_trace::Table`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use augur_scenario::{presets, SweepRunner};
+//! use augur_sim::Dur;
+//!
+//! // Figure 3's α sweep, executed across all cores.
+//! let runs = presets::fig3(Dur::from_secs(300), 50_000).expand();
+//! let report = SweepRunner::parallel().run(&runs);
+//! print!("{}", report.to_csv_string());
+//! ```
+
+pub mod grid;
+pub mod presets;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use grid::{Axis, RunSpec, SweepGrid};
+pub use report::{RunStatus, RunSummary, SweepReport};
+pub use runner::{execute_run, execute_run_traced, SweepRunner};
+pub use spec::{PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};

@@ -1,0 +1,158 @@
+//! The paper's sweeps as one-line grid declarations — shared by the
+//! generic `sweep` CLI and the per-figure experiment binaries.
+
+use crate::grid::{Axis, SweepGrid};
+use crate::spec::{PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
+use augur_elements::ModelParams;
+use augur_inference::ModelPrior;
+use augur_sim::{BitRate, Bits, Dur, Ppm};
+
+/// Figure 3: one 300 s closed-loop run per α ∈ {0.9, 1, 2.5, 5} over the
+/// paper's ground truth (square-wave cross traffic) and prior.
+pub fn fig3(duration: Dur, max_branches: usize) -> SweepGrid {
+    let mut base = ScenarioSpec::paper_baseline("fig3");
+    base.duration = duration;
+    base.sender = SenderSpec::IsenderExact {
+        alpha: 1.0,
+        latency_penalty: 0.0,
+        max_branches,
+    };
+    SweepGrid::new(base).axis(Axis::Alpha(vec![0.9, 1.0, 2.5, 5.0]))
+}
+
+/// TXT2 (§4): α = 1 with and without the latency penalty, against cross
+/// traffic at 0.35 c and a half-full buffer to drain.
+pub fn txt2(duration: Dur) -> SweepGrid {
+    let topology = ModelParams::simple_link(BitRate::from_bps(12_000), Bits::new(96_000))
+        .with_cross_rate(BitRate::from_bps(4_200)) // 0.35c: room to work with
+        .with_initial_fullness(Bits::new(48_000)); // half-full backlog to drain
+    let prior = ModelPrior {
+        link_rates: vec![BitRate::from_bps(10_000), BitRate::from_bps(12_000)],
+        cross_fracs_ppm: vec![350_000, 700_000],
+        losses: vec![Ppm::ZERO],
+        buffer_capacities: vec![Bits::new(96_000)],
+        fullness_step: Some(Bits::new(24_000)),
+        mtts: Dur::from_secs(100),
+        epoch: Dur::from_secs(1),
+        gate_initial: vec![true],
+        packet_size: Bits::from_bytes(1_500),
+    };
+    let base = ScenarioSpec {
+        name: "txt2".into(),
+        topology,
+        prior: PriorSpec::Custom(prior),
+        sender: SenderSpec::IsenderExact {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            max_branches: 50_000,
+        },
+        workload: WorkloadSpec::ClosedLoop,
+        duration,
+        base_seed: 0x72,
+    };
+    SweepGrid::new(base).axis(Axis::LatencyPenalty(vec![0.0, 0.5]))
+}
+
+/// EXT-C (§3.2's cost remark): exact enumeration vs a fixed-budget
+/// particle filter across prior sizes, under a scripted 2 s ping
+/// workload for 30 simulated seconds.
+pub fn ext_scaling(sizes: Vec<usize>, n_particles: usize) -> SweepGrid {
+    let base = ScenarioSpec {
+        name: "ext_scaling".into(),
+        topology: ModelParams::simple_link(BitRate::from_bps(12_000), Bits::new(96_000))
+            .with_cross_rate(BitRate::from_bps(8_400)),
+        prior: PriorSpec::FineLinkRate {
+            n: 101,
+            lo_bps: 8_000,
+            hi_bps: 16_000,
+        },
+        sender: SenderSpec::IsenderExact {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            max_branches: 1 << 20,
+        },
+        workload: WorkloadSpec::ScriptedPing {
+            interval: Dur::from_secs(2),
+        },
+        duration: Dur::from_secs(30),
+        base_seed: 0xE57,
+    };
+    SweepGrid::new(base)
+        .axis(Axis::Sender(vec![
+            SenderSpec::IsenderExact {
+                alpha: 1.0,
+                latency_penalty: 0.0,
+                max_branches: 1 << 20,
+            },
+            SenderSpec::IsenderParticle {
+                alpha: 1.0,
+                latency_penalty: 0.0,
+                n_particles,
+            },
+        ]))
+        .axis(Axis::PriorSize(sizes))
+}
+
+/// A quick smoke sweep: the Small prior over a short closed loop, exact
+/// vs particle, a few seed replicates — small enough for CI.
+pub fn smoke(duration: Dur, replicates: usize) -> SweepGrid {
+    let mut base = ScenarioSpec::paper_baseline("smoke");
+    base.prior = PriorSpec::Small;
+    base.duration = duration;
+    base.base_seed = 0x5A0E;
+    SweepGrid::new(base)
+        .axis(Axis::Sender(vec![
+            SenderSpec::IsenderExact {
+                alpha: 1.0,
+                latency_penalty: 0.0,
+                max_branches: 4_096,
+            },
+            SenderSpec::IsenderParticle {
+                alpha: 1.0,
+                latency_penalty: 0.0,
+                n_particles: 64,
+            },
+        ]))
+        .axis(Axis::Seeds(replicates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_grid_matches_the_paper() {
+        let grid = fig3(Dur::from_secs(300), 50_000);
+        assert_eq!(grid.len(), 4);
+        let runs = grid.expand();
+        let alphas: Vec<f64> = runs
+            .iter()
+            .map(|r| r.spec.sender.alpha().unwrap())
+            .collect();
+        assert_eq!(alphas, vec![0.9, 1.0, 2.5, 5.0]);
+        assert!(runs
+            .iter()
+            .all(|r| r.spec.workload == WorkloadSpec::ClosedLoop));
+    }
+
+    #[test]
+    fn ext_scaling_crosses_engines_with_sizes() {
+        let grid = ext_scaling(vec![101, 1_001], 1_000);
+        let runs = grid.expand();
+        assert_eq!(runs.len(), 4);
+        // Sender is the slow axis: exact×both sizes first, then particle.
+        assert_eq!(runs[0].spec.sender.label(), "isender-exact");
+        assert_eq!(runs[1].spec.sender.label(), "isender-exact");
+        assert_eq!(runs[2].spec.sender.label(), "isender-particle");
+        assert_eq!(runs[0].spec.prior.size(), 101);
+        assert_eq!(runs[1].spec.prior.size(), 1_001);
+    }
+
+    #[test]
+    fn txt2_sweeps_the_latency_penalty() {
+        let runs = txt2(Dur::from_secs(120)).expand();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].point(), "latency_penalty=0");
+        assert_eq!(runs[1].point(), "latency_penalty=0.5");
+    }
+}

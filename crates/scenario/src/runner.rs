@@ -1,0 +1,526 @@
+//! The sweep executor.
+//!
+//! [`SweepRunner`] pulls [`RunSpec`]s off a shared work queue onto
+//! `std::thread::scope` worker threads. Every run is self-contained: its
+//! ground truth, belief engine, and RNGs are all (re)built inside
+//! [`execute_run`] from the spec and the run's derived seed, and results
+//! land in a per-run slot. No state is shared between runs, so a sweep
+//! executed with one worker or N workers produces identical
+//! [`SweepReport`]s — the determinism test pins this.
+
+use crate::grid::RunSpec;
+use crate::report::{RunStatus, RunSummary, SweepReport};
+use crate::spec::{ScenarioSpec, SenderSpec, WorkloadSpec};
+use augur_core::{
+    run_closed_loop, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, ParticleSender,
+    RunTrace, SenderAgent,
+};
+use augur_elements::{DropReason, ModelParams};
+use augur_inference::{
+    Belief, BeliefConfig, Hypothesis, Observation, ParticleConfig, ParticleFilter,
+};
+use augur_sim::{FlowId, Packet, SimRng, Time};
+use augur_trace::percentile_of_sorted;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Seed sub-stream for the ground-truth network's sampled choices.
+const STREAM_TRUTH: u64 = 0;
+/// Seed sub-stream for the belief engine (particle sampling/resampling).
+const STREAM_ENGINE: u64 = 1;
+
+/// Executes expanded run lists across worker threads.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    /// Worker thread count (≥ 1).
+    pub workers: usize,
+    /// Print one progress line per completed run to stderr.
+    pub verbose: bool,
+}
+
+impl SweepRunner {
+    /// One worker: the serial reference execution.
+    pub fn serial() -> SweepRunner {
+        SweepRunner {
+            workers: 1,
+            verbose: false,
+        }
+    }
+
+    /// One worker per available core.
+    pub fn parallel() -> SweepRunner {
+        SweepRunner {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            verbose: false,
+        }
+    }
+
+    /// An explicit worker count.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> SweepRunner {
+        assert!(workers > 0, "a sweep needs at least one worker");
+        SweepRunner {
+            workers,
+            verbose: false,
+        }
+    }
+
+    /// Enable per-run progress lines on stderr.
+    pub fn verbose(mut self) -> SweepRunner {
+        self.verbose = true;
+        self
+    }
+
+    /// Execute every run, in parallel, and collect summaries in run-index
+    /// order. The report is a pure function of the run list: worker count
+    /// and scheduling order cannot affect it.
+    pub fn run(&self, runs: &[RunSpec]) -> SweepReport {
+        self.run_impl(runs, false).0
+    }
+
+    /// [`SweepRunner::run`], additionally keeping each run's full
+    /// [`RunTrace`] (where the run kind produces one) in run-index order.
+    /// Traces cover the whole simulated duration; summary-only sweeps
+    /// should use [`SweepRunner::run`], which drops each trace as soon as
+    /// its run completes.
+    pub fn run_traced(&self, runs: &[RunSpec]) -> (SweepReport, Vec<Option<RunTrace>>) {
+        self.run_impl(runs, true)
+    }
+
+    fn run_impl(
+        &self,
+        runs: &[RunSpec],
+        keep_traces: bool,
+    ) -> (SweepReport, Vec<Option<RunTrace>>) {
+        type Slot = Mutex<Option<(RunSummary, Option<RunTrace>)>>;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Slot> = runs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(runs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs.len() {
+                        break;
+                    }
+                    let (summary, trace) = execute_run_traced(&runs[i]);
+                    let trace = if keep_traces { trace } else { None };
+                    if self.verbose {
+                        eprintln!(
+                            "  [{}/{}] {} {} — {}: {} sends, {} acked, {:.1}s wall",
+                            i + 1,
+                            runs.len(),
+                            summary.sender,
+                            summary.point,
+                            summary.status.label(),
+                            summary.sends,
+                            summary.delivered,
+                            summary.wall_s
+                        );
+                    }
+                    *slots[i].lock().expect("slot poisoned") = Some((summary, trace));
+                });
+            }
+        });
+        let mut summaries = Vec::with_capacity(runs.len());
+        let mut traces = Vec::with_capacity(runs.len());
+        for slot in slots {
+            let (summary, trace) = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("every run executed");
+            summaries.push(summary);
+            traces.push(trace);
+        }
+        (SweepReport { runs: summaries }, traces)
+    }
+}
+
+/// Execute one run to completion and summarize it.
+pub fn execute_run(run: &RunSpec) -> RunSummary {
+    execute_run_traced(run).0
+}
+
+/// [`execute_run`], additionally returning the full closed-loop
+/// [`RunTrace`] when the run kind produces one (ISender closed loops do;
+/// TCP and scripted workloads summarize inline). Figure binaries use the
+/// trace for time-resolved plots and shape checks on top of the summary.
+pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
+    let start = Instant::now();
+    let (mut summary, trace) = match (&run.spec.workload, &run.spec.sender) {
+        (WorkloadSpec::ClosedLoop, SenderSpec::IsenderExact { .. })
+        | (WorkloadSpec::ClosedLoop, SenderSpec::IsenderParticle { .. }) => {
+            closed_loop_isender(run)
+        }
+        (WorkloadSpec::ClosedLoop, SenderSpec::TcpReno { .. })
+        | (WorkloadSpec::ClosedLoop, SenderSpec::TcpCubic { .. }) => (closed_loop_tcp(run), None),
+        (WorkloadSpec::ScriptedPing { interval }, _) => (scripted_ping(run, *interval), None),
+    };
+    // Scripted runs meter their own wall clock (belief updates only);
+    // everything else reports whole-run wall time.
+    if summary.wall_s == 0.0 {
+        summary.wall_s = start.elapsed().as_secs_f64();
+    }
+    (summary, trace)
+}
+
+/// A summary skeleton with everything not-yet-measured marked missing.
+fn blank_summary(run: &RunSpec) -> RunSummary {
+    RunSummary {
+        index: run.index,
+        scenario: run.spec.name.clone(),
+        sender: run.spec.sender.label().to_string(),
+        point: run.point(),
+        seed: run.seed,
+        status: RunStatus::Ok,
+        duration_s: run.spec.duration.as_secs_f64(),
+        sends: 0,
+        delivered: 0,
+        throughput_pps: f64::NAN,
+        goodput_bps: f64::NAN,
+        delay_p50_s: f64::NAN,
+        delay_p95_s: f64::NAN,
+        delay_p99_s: f64::NAN,
+        utility: f64::NAN,
+        overflow_drops: 0,
+        population: 0,
+        rate_err_bps: f64::NAN,
+        wall_s: 0.0,
+    }
+}
+
+fn ground_truth(spec: &ScenarioSpec, seed: u64) -> GroundTruth {
+    let m = spec.build_truth();
+    GroundTruth {
+        net: m.net,
+        entry: m.entry,
+        rx_self: m.rx_self,
+        rng: SimRng::derive(seed, STREAM_TRUTH),
+    }
+}
+
+/// Build the exact belief for a spec. All Figure-2 models share node ids,
+/// so the truth instance doubles as the topology probe.
+fn build_belief(spec: &ScenarioSpec, max_branches: usize) -> Belief<ModelParams> {
+    let probe = spec.build_truth();
+    Belief::new(
+        spec.prior.hypotheses(),
+        probe.entry,
+        probe.rx_self,
+        BeliefConfig {
+            max_branches,
+            fold_loss_node: Some(probe.loss),
+            ..BeliefConfig::default()
+        },
+    )
+}
+
+fn build_filter(spec: &ScenarioSpec, n_particles: usize, seed: u64) -> ParticleFilter<ModelParams> {
+    let probe = spec.build_truth();
+    ParticleFilter::from_prior(
+        &spec.prior.hypotheses(),
+        probe.entry,
+        probe.rx_self,
+        ParticleConfig {
+            n_particles,
+            fold_loss_node: Some(probe.loss),
+            ..ParticleConfig::default()
+        },
+        SimRng::derive_seed(seed, STREAM_ENGINE),
+    )
+}
+
+fn utility_of(alpha: f64, latency_penalty: f64) -> Box<DiscountedThroughput> {
+    let mut u = DiscountedThroughput::with_alpha(alpha);
+    u.latency_penalty = latency_penalty;
+    Box::new(u)
+}
+
+fn sender_config(spec: &ScenarioSpec) -> ISenderConfig {
+    ISenderConfig {
+        packet_size: spec.topology.packet_size,
+        ..ISenderConfig::default()
+    }
+}
+
+fn closed_loop_isender(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
+    let spec = &run.spec;
+    let mut truth = ground_truth(spec, run.seed);
+    let t_end = Time::ZERO + spec.duration;
+
+    // The two engines share the decision cycle via SenderAgent; only the
+    // belief construction differs.
+    let (result, sends, population, alpha) = match &spec.sender {
+        SenderSpec::IsenderExact {
+            alpha,
+            latency_penalty,
+            max_branches,
+        } => {
+            let mut sender = ISender::new(
+                build_belief(spec, *max_branches),
+                utility_of(*alpha, *latency_penalty),
+                sender_config(spec),
+            );
+            let result = run_closed_loop(&mut truth, &mut sender, t_end);
+            (
+                result,
+                sender.sent_log.len() as u64,
+                sender.population() as u64,
+                *alpha,
+            )
+        }
+        SenderSpec::IsenderParticle {
+            alpha,
+            latency_penalty,
+            n_particles,
+        } => {
+            let mut sender = ParticleSender::new(
+                build_filter(spec, *n_particles, run.seed),
+                utility_of(*alpha, *latency_penalty),
+                sender_config(spec),
+            );
+            let result = run_closed_loop(&mut truth, &mut sender, t_end);
+            (
+                result,
+                sender.sent_log.len() as u64,
+                sender.population() as u64,
+                *alpha,
+            )
+        }
+        other => unreachable!("closed_loop_isender over {}", other.label()),
+    };
+
+    let mut summary = blank_summary(run);
+    summary.sends = sends;
+    summary.population = population;
+    match result {
+        Ok(trace) => {
+            summarize_closed_loop(&mut summary, &trace, spec, alpha);
+            (summary, Some(trace))
+        }
+        Err(_) => {
+            summary.status = RunStatus::BeliefDied;
+            (summary, None)
+        }
+    }
+}
+
+fn summarize_closed_loop(
+    summary: &mut RunSummary,
+    trace: &RunTrace,
+    spec: &ScenarioSpec,
+    alpha: f64,
+) {
+    let dur_s = spec.duration.as_secs_f64();
+    let pkt_bits = spec.topology.packet_size.as_f64();
+    summary.delivered = trace.acks.len() as u64;
+    summary.throughput_pps = trace.acks.len() as f64 / dur_s;
+    summary.goodput_bps = trace.acks.len() as f64 * pkt_bits / dur_s;
+    let cross_bits: u64 = trace.cross_deliveries.iter().map(|(_, _, b)| *b).sum();
+    summary.utility = summary.goodput_bps + alpha * cross_bits as f64 / dur_s;
+    summary.overflow_drops = trace
+        .drops
+        .iter()
+        .filter(|d| d.reason == DropReason::BufferFull)
+        .count() as u64;
+    let send_at: HashMap<u64, Time> = trace.sends.iter().map(|&(seq, t)| (seq, t)).collect();
+    let mut delays: Vec<f64> = trace
+        .acks
+        .iter()
+        .filter_map(|o| send_at.get(&o.seq).map(|t| o.at.since(*t).as_secs_f64()))
+        .collect();
+    delays.sort_by(|a, b| a.total_cmp(b));
+    set_delay_percentiles(summary, &delays);
+}
+
+fn closed_loop_tcp(run: &RunSpec) -> RunSummary {
+    use augur_tcp::{Cubic, Reno, TcpConfig, TcpRunner};
+    let spec = &run.spec;
+    let t_end = Time::ZERO + spec.duration;
+    let (max_window, cc): (u64, Box<dyn augur_tcp::CongestionControl>) = match &spec.sender {
+        SenderSpec::TcpReno { max_window } => (*max_window, Box::new(Reno::default())),
+        SenderSpec::TcpCubic { max_window } => (*max_window, Box::new(Cubic::default())),
+        other => unreachable!("closed_loop_tcp over {}", other.label()),
+    };
+    let cfg = TcpConfig {
+        packet_size: spec.topology.packet_size,
+        max_window,
+        ..TcpConfig::default()
+    };
+    let mut runner = TcpRunner::over_model(
+        spec.build_truth(),
+        cfg,
+        SimRng::derive_seed(run.seed, STREAM_TRUTH),
+        cc,
+    );
+    let trace = runner.run(t_end);
+
+    let mut summary = blank_summary(run);
+    let dur_s = spec.duration.as_secs_f64();
+    let pkt_bits = spec.topology.packet_size.as_f64();
+    let received_bits = trace.goodput.last().map_or(0, |(_, bits)| *bits);
+    summary.sends = trace.segments_sent;
+    summary.delivered = (received_bits as f64 / pkt_bits) as u64;
+    summary.throughput_pps = summary.delivered as f64 / dur_s;
+    summary.goodput_bps = received_bits as f64 / dur_s;
+    summary.overflow_drops = trace
+        .drops
+        .iter()
+        .filter(|d| d.reason == DropReason::BufferFull)
+        .count() as u64;
+    let mut rtts: Vec<f64> = trace
+        .rtt_samples
+        .iter()
+        .map(|(_, r)| r.as_secs_f64())
+        .collect();
+    rtts.sort_by(|a, b| a.total_cmp(b));
+    set_delay_percentiles(&mut summary, &rtts);
+    summary
+}
+
+fn set_delay_percentiles(summary: &mut RunSummary, sorted: &[f64]) {
+    if sorted.is_empty() {
+        return; // leave the NaN "missing" markers
+    }
+    summary.delay_p50_s = percentile_of_sorted(sorted, 50.0);
+    summary.delay_p95_s = percentile_of_sorted(sorted, 95.0);
+    summary.delay_p99_s = percentile_of_sorted(sorted, 99.0);
+}
+
+/// The belief engines behind one dispatch for the scripted workload.
+enum Engine {
+    Exact(Belief<ModelParams>),
+    Particle(ParticleFilter<ModelParams>),
+}
+
+impl Engine {
+    fn advance(&mut self, t: Time, acks: &[Observation]) -> bool {
+        match self {
+            Engine::Exact(b) => b.advance(t, acks).is_ok(),
+            Engine::Particle(p) => p.advance(t, acks).is_ok(),
+        }
+    }
+
+    fn inject(&mut self, pkt: Packet) {
+        match self {
+            Engine::Exact(b) => b.inject(pkt),
+            Engine::Particle(p) => p.inject(pkt),
+        }
+    }
+
+    fn expected_link_bps(&self) -> f64 {
+        let f = |h: &Hypothesis<ModelParams>| h.meta.link_rate.as_bps() as f64;
+        match self {
+            Engine::Exact(b) => b.expected(f),
+            Engine::Particle(p) => p.expected(f),
+        }
+    }
+
+    fn population(&self) -> usize {
+        match self {
+            Engine::Exact(b) => b.branch_count(),
+            Engine::Particle(p) => p.particles().len(),
+        }
+    }
+}
+
+/// Open-loop scripted drive (EXT-C): transmit every `interval`, update
+/// the belief on the resulting acknowledgments, and measure how well the
+/// posterior locates the true link rate. TCP senders have no belief to
+/// measure, so a scripted TCP spec is an authoring error.
+fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
+    assert!(
+        interval > augur_sim::Dur::ZERO,
+        "scripted workload needs a positive interval"
+    );
+    let spec = &run.spec;
+    let mut engine = match &spec.sender {
+        SenderSpec::IsenderExact { max_branches, .. } => {
+            Engine::Exact(build_belief(spec, *max_branches))
+        }
+        SenderSpec::IsenderParticle { n_particles, .. } => {
+            Engine::Particle(build_filter(spec, *n_particles, run.seed))
+        }
+        other => panic!(
+            "scripted workload over belief-free sender {}",
+            other.label()
+        ),
+    };
+
+    let mut truth = ground_truth(spec, run.seed);
+    let t_end = Time::ZERO + spec.duration;
+    let pkt_size = spec.topology.packet_size;
+    let mut summary = blank_summary(run);
+    let mut seq = 0u64;
+    let mut alive = true;
+
+    let mut t = Time::ZERO;
+    loop {
+        // Advance ground truth to t, harvesting this window's acks.
+        let mut acks: Vec<Observation> = Vec::new();
+        truth.net.run_until_sampled(t, &mut truth.rng);
+        for (node, d) in truth.net.take_deliveries() {
+            if node == truth.rx_self && d.packet.flow == FlowId::SELF {
+                acks.push(Observation {
+                    seq: d.packet.seq,
+                    at: d.at,
+                });
+            }
+        }
+        summary.overflow_drops += truth
+            .net
+            .take_drops()
+            .iter()
+            .filter(|d| d.reason == DropReason::BufferFull)
+            .count() as u64;
+        summary.delivered += acks.len() as u64;
+
+        let send = if t < t_end {
+            let pkt = Packet::new(FlowId::SELF, seq, pkt_size, t);
+            seq += 1;
+            Some(pkt)
+        } else {
+            None
+        };
+
+        if alive {
+            // Wall-clock here measures the belief update alone — the cost
+            // EXT-C studies — not prior construction or truth stepping.
+            let update_start = Instant::now();
+            alive = engine.advance(t, &acks);
+            if let (true, Some(pkt)) = (alive, send) {
+                engine.inject(pkt);
+            }
+            summary.wall_s += update_start.elapsed().as_secs_f64();
+        }
+        if let Some(pkt) = send {
+            summary.sends += 1;
+            truth.net.inject(truth.entry, pkt);
+            // Settle any synchronous choices the injection reached.
+            truth.net.run_until_sampled(t, &mut truth.rng);
+        }
+
+        if t >= t_end {
+            break;
+        }
+        t = (t + interval).min(t_end);
+    }
+
+    summary.population = engine.population() as u64;
+    if alive {
+        summary.rate_err_bps =
+            (engine.expected_link_bps() - spec.topology.link_rate.as_bps() as f64).abs();
+        let dur_s = spec.duration.as_secs_f64();
+        summary.throughput_pps = summary.delivered as f64 / dur_s;
+        summary.goodput_bps = summary.delivered as f64 * pkt_size.as_f64() / dur_s;
+    } else {
+        summary.status = RunStatus::BeliefDied;
+    }
+    summary
+}

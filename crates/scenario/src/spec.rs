@@ -1,0 +1,271 @@
+//! Declarative experiment descriptions.
+//!
+//! A [`ScenarioSpec`] is a *value* describing one experiment: the ground
+//! truth topology, the sender's prior, which sender runs, what workload
+//! drives it, for how long, and under which base seed. Everything the
+//! paper's experiment binaries used to hand-wire becomes data that the
+//! sweep runner can expand, parallelize, and reproduce.
+
+use augur_elements::{build_model, ModelNet, ModelParams};
+use augur_inference::{Hypothesis, ModelPrior};
+use augur_sim::{BitRate, Bits, Dur};
+
+/// Which sender runs the scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SenderSpec {
+    /// The paper's ISender over the exact enumeration engine.
+    IsenderExact {
+        /// Utility weight on cross traffic (§4's α).
+        alpha: f64,
+        /// Latency penalty λ on cross traffic (0 disables).
+        latency_penalty: f64,
+        /// Branch cap of the exact belief.
+        max_branches: usize,
+    },
+    /// The ISender over the bootstrap particle filter.
+    IsenderParticle {
+        /// Utility weight on cross traffic.
+        alpha: f64,
+        /// Latency penalty λ on cross traffic.
+        latency_penalty: f64,
+        /// Particle population size.
+        n_particles: usize,
+    },
+    /// TCP Reno bulk transfer (the paper's baseline).
+    TcpReno {
+        /// Receiver-window stand-in (packets).
+        max_window: u64,
+    },
+    /// TCP CUBIC bulk transfer.
+    TcpCubic {
+        /// Receiver-window stand-in (packets).
+        max_window: u64,
+    },
+}
+
+impl SenderSpec {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SenderSpec::IsenderExact { .. } => "isender-exact",
+            SenderSpec::IsenderParticle { .. } => "isender-particle",
+            SenderSpec::TcpReno { .. } => "tcp-reno",
+            SenderSpec::TcpCubic { .. } => "tcp-cubic",
+        }
+    }
+
+    /// The utility's α, if this sender has one.
+    pub fn alpha(&self) -> Option<f64> {
+        match self {
+            SenderSpec::IsenderExact { alpha, .. } | SenderSpec::IsenderParticle { alpha, .. } => {
+                Some(*alpha)
+            }
+            _ => None,
+        }
+    }
+
+    /// Override α.
+    ///
+    /// # Panics
+    /// Panics for TCP senders, which have no utility function — sweeping α
+    /// over them is a spec authoring error, not a runtime condition.
+    pub fn set_alpha(&mut self, a: f64) {
+        match self {
+            SenderSpec::IsenderExact { alpha, .. } | SenderSpec::IsenderParticle { alpha, .. } => {
+                *alpha = a
+            }
+            other => panic!("alpha axis over utility-free sender {}", other.label()),
+        }
+    }
+
+    /// Override the latency penalty λ.
+    ///
+    /// # Panics
+    /// Panics for TCP senders (see [`SenderSpec::set_alpha`]).
+    pub fn set_latency_penalty(&mut self, lp: f64) {
+        match self {
+            SenderSpec::IsenderExact {
+                latency_penalty, ..
+            }
+            | SenderSpec::IsenderParticle {
+                latency_penalty, ..
+            } => *latency_penalty = lp,
+            other => panic!(
+                "latency-penalty axis over utility-free sender {}",
+                other.label()
+            ),
+        }
+    }
+}
+
+/// The sender's prior over network configurations.
+#[derive(Debug, Clone)]
+pub enum PriorSpec {
+    /// The paper's Figure-2 table prior (≈4,800 configurations).
+    Paper,
+    /// The reduced 8-point grid used by unit tests.
+    Small,
+    /// An explicit [`ModelPrior`] grid.
+    Custom(ModelPrior),
+    /// `n` hypotheses on a fine link-rate grid with everything else
+    /// pinned and the gate always on — the inference-scaling prior
+    /// (EXT-C): posterior quality and update cost as pure functions of
+    /// hypothesis count.
+    FineLinkRate {
+        /// Hypothesis count.
+        n: usize,
+        /// Lowest link rate on the grid (bits/s).
+        lo_bps: u64,
+        /// Highest link rate on the grid (bits/s).
+        hi_bps: u64,
+    },
+}
+
+impl PriorSpec {
+    /// Number of grid points without building any networks.
+    pub fn size(&self) -> usize {
+        match self {
+            PriorSpec::Paper => ModelPrior::paper().grid().len(),
+            PriorSpec::Small => ModelPrior::small().grid().len(),
+            PriorSpec::Custom(p) => p.grid().len(),
+            PriorSpec::FineLinkRate { n, .. } => *n,
+        }
+    }
+
+    /// Enumerate the prior as uniformly-weighted hypotheses.
+    pub fn hypotheses(&self) -> Vec<Hypothesis<ModelParams>> {
+        match self {
+            PriorSpec::Paper => ModelPrior::paper().hypotheses(),
+            PriorSpec::Small => ModelPrior::small().hypotheses(),
+            PriorSpec::Custom(p) => p.hypotheses(),
+            PriorSpec::FineLinkRate { n, lo_bps, hi_bps } => {
+                let n = *n;
+                assert!(n > 0, "FineLinkRate prior needs at least one hypothesis");
+                let w = 1.0 / n as f64;
+                (0..n)
+                    .map(|i| {
+                        let bps = if n == 1 {
+                            (*lo_bps + *hi_bps) / 2
+                        } else {
+                            lo_bps + (i as u64 * (hi_bps - lo_bps)) / (n as u64 - 1)
+                        };
+                        let params = ModelParams::simple_link(
+                            BitRate::from_bps(bps.max(1)),
+                            Bits::new(96_000),
+                        )
+                        .with_cross_rate(BitRate::from_bps((bps * 7 / 10).max(1)));
+                        Hypothesis {
+                            net: build_model(params).net,
+                            meta: params,
+                            weight: w,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// What drives the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// The paper's closed loop (§4): the sender decides when to transmit,
+    /// woken by acknowledgments and its own timer.
+    ClosedLoop,
+    /// Open-loop scripted sends every `interval`, with the belief update
+    /// measured but never consulted for scheduling — the
+    /// inference-scaling workload (EXT-C / §3.2's cost remark).
+    ScriptedPing {
+        /// Gap between scripted transmissions.
+        interval: Dur,
+    },
+}
+
+/// One fully-described experiment.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Report label.
+    pub name: String,
+    /// Ground-truth network (built via `augur_elements::build_model`).
+    pub topology: ModelParams,
+    /// The sender's prior.
+    pub prior: PriorSpec,
+    /// Which sender runs.
+    pub sender: SenderSpec,
+    /// What drives it.
+    pub workload: WorkloadSpec,
+    /// Simulated duration.
+    pub duration: Dur,
+    /// Base seed; per-run seeds derive from `(base_seed, run_index)`.
+    pub base_seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A closed-loop α = 1 exact-ISender scenario over the paper's ground
+    /// truth and prior — the common starting point presets then override.
+    pub fn paper_baseline(name: impl Into<String>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            topology: ModelParams::paper_ground_truth(),
+            prior: PriorSpec::Paper,
+            sender: SenderSpec::IsenderExact {
+                alpha: 1.0,
+                latency_penalty: 0.0,
+                max_branches: 50_000,
+            },
+            workload: WorkloadSpec::ClosedLoop,
+            duration: Dur::from_secs(300),
+            base_seed: 0xF13,
+        }
+    }
+
+    /// The ground-truth network this scenario runs against.
+    pub fn build_truth(&self) -> ModelNet {
+        build_model(self.topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_link_rate_prior_contains_truth_and_is_uniform() {
+        let p = PriorSpec::FineLinkRate {
+            n: 101,
+            lo_bps: 8_000,
+            hi_bps: 16_000,
+        };
+        assert_eq!(p.size(), 101);
+        let hyps = p.hypotheses();
+        assert_eq!(hyps.len(), 101);
+        assert!(hyps
+            .iter()
+            .any(|h| h.meta.link_rate == BitRate::from_bps(12_000)));
+        let total: f64 = hyps.iter().map(|h| h.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_fine_prior_sits_mid_range() {
+        let p = PriorSpec::FineLinkRate {
+            n: 1,
+            lo_bps: 8_000,
+            hi_bps: 16_000,
+        };
+        assert_eq!(p.hypotheses()[0].meta.link_rate, BitRate::from_bps(12_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "utility-free")]
+    fn alpha_over_tcp_is_a_spec_error() {
+        let mut s = SenderSpec::TcpReno { max_window: 64 };
+        s.set_alpha(1.0);
+    }
+
+    #[test]
+    fn prior_sizes_match_model_prior_grids() {
+        assert_eq!(PriorSpec::Small.size(), 8);
+        assert_eq!(PriorSpec::Paper.size(), ModelPrior::paper().grid().len());
+    }
+}

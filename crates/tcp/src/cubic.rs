@@ -87,8 +87,8 @@ impl Cubic {
         let rtt = self.srtt.as_secs_f64().max(1e-3);
         let target = self.w_cubic(t + rtt);
         // TCP-friendly region: never grow slower than AIMD would.
-        let w_aimd = self.w_max * self.beta
-            + 3.0 * (1.0 - self.beta) / (1.0 + self.beta) * (t / rtt);
+        let w_aimd =
+            self.w_max * self.beta + 3.0 * (1.0 - self.beta) / (1.0 + self.beta) * (t / rtt);
         let target = target.max(w_aimd);
         if target > self.cwnd {
             // Standard per-ACK increment toward the cubic target.
@@ -171,10 +171,7 @@ mod tests {
         for _ in 0..2 {
             assert_eq!(c.on_dup_ack(Time::from_secs(1)), RenoSignal::None);
         }
-        assert_eq!(
-            c.on_dup_ack(Time::from_secs(1)),
-            RenoSignal::FastRetransmit
-        );
+        assert_eq!(c.on_dup_ack(Time::from_secs(1)), RenoSignal::FastRetransmit);
         assert!((c.cwnd - 70.0).abs() < 1e-9);
         assert!((c.w_max - 100.0).abs() < 1e-9);
         assert!(c.in_recovery);

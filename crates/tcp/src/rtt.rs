@@ -40,9 +40,7 @@ impl RttEstimator {
             Some(srtt) => {
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
                 let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = Dur::from_micros(
-                    (3 * self.rttvar.as_micros() + err.as_micros()) / 4,
-                );
+                self.rttvar = Dur::from_micros((3 * self.rttvar.as_micros() + err.as_micros()) / 4);
                 // SRTT = 7/8 SRTT + 1/8 R
                 self.srtt = Some(Dur::from_micros(
                     (7 * srtt.as_micros() + rtt.as_micros()) / 8,

@@ -4,14 +4,17 @@
 //! receiver attached to the network's terminal receiver node, and the
 //! network itself (with sampled nondeterminism). The reverse path is a
 //! fixed delay, lossless — the same simplification the paper makes for
-//! the ISender (§3.4) — so the measured RTT is (queueing + service + ARQ
-//! + propagation) + reverse delay. This is the harness that reproduces
+//! the ISender (§3.4) — so the measured RTT is the sum of queueing,
+//! service, ARQ, propagation, and the reverse delay. This reproduces
 //! Figure 1 (see `augur-bench`, `fig1_bufferbloat`).
+//!
+//! [`TcpRunner::over_model`] wires a runner over the built Figure-2
+//! topology, which is how scenario specs dispatch to the TCP baselines.
 
 use crate::cc::CongestionControl;
 use crate::reno::{Reno, RenoSignal};
 use crate::rtt::RttEstimator;
-use augur_elements::{DropRecord, Network, NodeId};
+use augur_elements::{DropRecord, ModelNet, Network, NodeId};
 use augur_sim::{Bits, Dur, EventQueue, FlowId, Packet, SimRng, Time};
 use std::collections::{BTreeSet, HashMap};
 
@@ -129,6 +132,18 @@ impl TcpRunner {
     /// A runner over the given forward path, using TCP Reno.
     pub fn new(net: Network, entry: NodeId, rx: NodeId, cfg: TcpConfig, seed: u64) -> TcpRunner {
         TcpRunner::with_congestion_control(net, entry, rx, cfg, seed, Box::new(Reno::default()))
+    }
+
+    /// A runner over a built Figure-2 model: inject at the shared buffer,
+    /// observe the self receiver — the wiring every scenario spec and
+    /// paper experiment uses.
+    pub fn over_model(
+        m: ModelNet,
+        cfg: TcpConfig,
+        seed: u64,
+        cc: Box<dyn CongestionControl>,
+    ) -> TcpRunner {
+        TcpRunner::with_congestion_control(m.net, m.entry, m.rx_self, cfg, seed, cc)
     }
 
     /// A runner with an explicit congestion-control algorithm (e.g.
@@ -273,8 +288,7 @@ impl TcpRunner {
             }
         }
         // Every arrival generates a (possibly duplicate) cumulative ACK.
-        self.acks
-            .push(at + self.cfg.reverse_delay, self.rcv_next);
+        self.acks.push(at + self.cfg.reverse_delay, self.rcv_next);
     }
 
     fn sender_on_ack(&mut self, ack: u64, now: Time, trace: &mut TcpTrace) {
@@ -353,9 +367,7 @@ mod tests {
         let buf = b.add(Element::Buffer(Buffer::drop_tail(Bits::new(
             buffer_pkts * 12_000,
         ))));
-        let link = b.add(Element::Link(Link::constant(BitRate::from_kbps(
-            rate_kbps,
-        ))));
+        let link = b.add(Element::Link(Link::constant(BitRate::from_kbps(rate_kbps))));
         let rx = b.add(Element::Receiver(ReceiverEl));
         b.connect(buf, link);
         b.connect(link, rx);
@@ -449,9 +461,7 @@ mod cubic_runner_tests {
         let buf = b.add(Element::Buffer(Buffer::drop_tail(Bits::new(
             buffer_pkts * 12_000,
         ))));
-        let link = b.add(Element::Link(Link::constant(BitRate::from_kbps(
-            rate_kbps,
-        ))));
+        let link = b.add(Element::Link(Link::constant(BitRate::from_kbps(rate_kbps))));
         let rx = b.add(Element::Receiver(ReceiverEl));
         b.connect(buf, link);
         b.connect(link, rx);
@@ -465,14 +475,8 @@ mod cubic_runner_tests {
             max_window: 64,
             ..TcpConfig::default()
         };
-        let mut runner = TcpRunner::with_congestion_control(
-            net,
-            entry,
-            rx,
-            cfg,
-            1,
-            Box::new(Cubic::default()),
-        );
+        let mut runner =
+            TcpRunner::with_congestion_control(net, entry, rx, cfg, 1, Box::new(Cubic::default()));
         let trace = runner.run(Time::from_secs(60));
         let goodput = trace.mean_goodput_bps(Time::from_secs(60));
         assert!(goodput > 800_000.0, "goodput {goodput} on a 1 Mbps link");
@@ -485,14 +489,8 @@ mod cubic_runner_tests {
         // after recovery should on average be at least Reno's.
         let run = |cc: Box<dyn CongestionControl>| {
             let (net, entry, rx) = path(2_000, 20);
-            let mut runner = TcpRunner::with_congestion_control(
-                net,
-                entry,
-                rx,
-                TcpConfig::default(),
-                5,
-                cc,
-            );
+            let mut runner =
+                TcpRunner::with_congestion_control(net, entry, rx, TcpConfig::default(), 5, cc);
             let trace = runner.run(Time::from_secs(120));
             let tail: Vec<f64> = trace
                 .cwnd_samples
@@ -502,8 +500,8 @@ mod cubic_runner_tests {
                 .collect();
             tail.iter().sum::<f64>() / tail.len().max(1) as f64
         };
-        let reno_avg = run(Box::new(crate::reno::Reno::default()));
-        let cubic_avg = run(Box::new(Cubic::default()));
+        let reno_avg = run(Box::<crate::reno::Reno>::default());
+        let cubic_avg = run(Box::<Cubic>::default());
         assert!(
             cubic_avg > reno_avg * 0.8,
             "cubic mean cwnd {cubic_avg:.1} vs reno {reno_avg:.1}"

@@ -100,11 +100,7 @@ pub fn render(series: &[&Series], cfg: &PlotConfig) -> String {
             line.iter().collect::<String>()
         ));
     }
-    out.push_str(&format!(
-        "{:>10} +{}\n",
-        "",
-        "-".repeat(cfg.width)
-    ));
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(cfg.width)));
     out.push_str(&format!(
         "{:>10}  {:<width$.1}{:>.1}\n",
         "",

@@ -17,6 +17,8 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 /// Summarize a sample set.
@@ -38,6 +40,7 @@ pub fn summarize(samples: &[f64]) -> Summary {
         max: sorted[n - 1],
         median: percentile_of_sorted(&sorted, 50.0),
         p95: percentile_of_sorted(&sorted, 95.0),
+        p99: percentile_of_sorted(&sorted, 99.0),
     }
 }
 
@@ -47,7 +50,10 @@ pub fn summarize(samples: &[f64]) -> Summary {
 /// Panics on empty data or a percentile outside `[0, 100]`.
 pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty data");
-    assert!((0.0..=100.0).contains(&pct), "percentile {pct} out of range");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile {pct} out of range"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -9,7 +9,9 @@
 //! cargo run --release --example custom_topology
 //! ```
 
-use augur::elements::{Buffer, DelayEl, Diverter, Element, Gate, JitterEl, Link, Loss, Pinger, ReceiverEl};
+use augur::elements::{
+    Buffer, DelayEl, Diverter, Element, Gate, JitterEl, Link, Loss, Pinger, ReceiverEl,
+};
 use augur::prelude::*;
 
 fn main() {
@@ -83,7 +85,10 @@ fn main() {
     let s = augur::trace::summarize(&delays);
 
     println!("our flow:   {}/100 packets delivered", ours.len());
-    println!("            one-way delay min {:.3}s median {:.3}s max {:.3}s", s.min, s.median, s.max);
+    println!(
+        "            one-way delay min {:.3}s median {:.3}s max {:.3}s",
+        s.min, s.median, s.max
+    );
     println!("cross flow: {cross} packets delivered");
     for reason in [
         augur::elements::DropReason::Stochastic,

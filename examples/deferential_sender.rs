@@ -37,7 +37,10 @@ fn run(alpha: f64) -> (f64, usize) {
 fn main() {
     println!("Cross traffic uses 70% of a 12 kbit/s link (1 pkt/s). The sender's α decides");
     println!("how much of that it is willing to displace:\n");
-    println!("  {:>6} {:>16} {:>12}", "alpha", "send rate pkt/s", "overflows");
+    println!(
+        "  {:>6} {:>16} {:>12}",
+        "alpha", "send rate pkt/s", "overflows"
+    );
     for alpha in [0.9, 1.0, 2.5] {
         let (rate, overflows) = run(alpha);
         println!("  {alpha:>6} {rate:>16.2} {overflows:>12}");

@@ -28,8 +28,7 @@ fn main() {
         render(
             &[&rtt],
             &PlotConfig {
-                title: "TCP RTT over an LTE-like path (log y) — the bufferbloat of Figure 1"
-                    .into(),
+                title: "TCP RTT over an LTE-like path (log y) — the bufferbloat of Figure 1".into(),
                 log_y: true,
                 ..PlotConfig::default()
             }

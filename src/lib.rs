@@ -26,6 +26,9 @@
 //! * [`tcp`] — the baseline the paper contrasts with: TCP Reno congestion
 //!   control with Jacobson RTT estimation, over the same element networks.
 //! * [`trace`] — measurement: time series, statistics, CSV, ASCII plots.
+//! * [`scenario`] — experiments as data: declarative scenario specs,
+//!   cartesian sweep grids, a parallel deterministic sweep runner, and
+//!   CSV/JSONL report export.
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@
 pub use augur_core as core;
 pub use augur_elements as elements;
 pub use augur_inference as inference;
+pub use augur_scenario as scenario;
 pub use augur_sim as sim;
 pub use augur_tcp as tcp;
 pub use augur_trace as trace;
@@ -62,8 +66,8 @@ pub use augur_trace as trace;
 /// The commonly-used surface in one import.
 pub mod prelude {
     pub use augur_core::{
-        decide, run_closed_loop, Action, DiscountedThroughput, GroundTruth, ISender,
-        ISenderConfig, PlannerConfig, RunTrace, Utility,
+        decide, run_closed_loop, Action, DiscountedThroughput, GroundTruth, ISender, ISenderConfig,
+        ParticleSender, PlannerConfig, RunTrace, SenderAgent, Utility,
     };
     pub use augur_elements::{
         build_cellular, build_model, Buffer, CellularParams, Element, GateSpec, Link, ModelNet,
@@ -71,6 +75,10 @@ pub mod prelude {
     };
     pub use augur_inference::{
         Belief, BeliefConfig, Hypothesis, ModelPrior, Observation, ParticleConfig, ParticleFilter,
+    };
+    pub use augur_scenario::{
+        Axis, PriorSpec, ScenarioSpec, SenderSpec, SweepGrid, SweepReport, SweepRunner,
+        WorkloadSpec,
     };
     pub use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Ppm, SimRng, Time};
     pub use augur_tcp::{TcpConfig, TcpRunner};

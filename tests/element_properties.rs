@@ -28,7 +28,12 @@ fn run_path(
         net.run_until(Time::from_millis(t_ms));
         net.inject(
             buf,
-            Packet::new(FlowId::SELF, i as u64, Bits::new(bits.max(1)), Time::from_millis(t_ms)),
+            Packet::new(
+                FlowId::SELF,
+                i as u64,
+                Bits::new(bits.max(1)),
+                Time::from_millis(t_ms),
+            ),
         );
     }
     net.run_until(Time::from_secs(horizon_s));
