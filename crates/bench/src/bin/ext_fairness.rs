@@ -2,51 +2,34 @@
 //! any networks that contain more than one ISENDER … whether starting
 //! with the same or different assumptions … will be of great importance."
 //!
-//! Two ISenders (same prior, same α = 1 utility) share one 24 kbit/s
-//! bottleneck. Each models the other as an isochronous pinger — a
-//! misspecification, handled by the belief-restart protocol
-//! (`augur_bench::coexist`). Reported: per-flow throughput, Jain's
+//! A thin wrapper over the `coexist-fairness` scenario preset: two
+//! ISenders (same coexistence prior, same α = 1 utility) share one
+//! 24 kbit/s bottleneck through the multi-agent loop
+//! (`augur_core::run_multi_agent`). Each models the other as an
+//! isochronous pinger — a misspecification, handled by the
+//! belief-restart protocol. Reported: per-flow throughput, Jain's
 //! fairness index, and the restart counts (a direct measurement of how
 //! badly the pinger model fits an adaptive peer).
 
-use augur_bench::check;
-use augur_bench::coexist::{
-    build_two_flow, coexist_belief, run_coexistence, Agent, RestartingSender,
-};
-use augur_core::{DiscountedThroughput, ISenderConfig};
-use augur_sim::{BitRate, Bits, Ppm, Time};
+use augur_bench::{check, out_dir};
+use augur_scenario::{presets, SweepRunner};
+use augur_sim::Dur;
+use std::fs;
+use std::io::BufWriter;
 
 fn main() {
     println!("EXT-A: two ISenders sharing a 24 kbit/s bottleneck, 200 s\n");
-    let link_bps = 24_000;
-    let buffer_bits = 96_000;
-    let mut truth = build_two_flow(
-        BitRate::from_bps(link_bps),
-        Bits::new(buffer_bits),
-        Ppm::ZERO,
-        0xFA1,
-    );
-    let make = || {
-        Box::new(RestartingSender::new(
-            Box::new(move || coexist_belief(link_bps, buffer_bits)),
-            Box::new(DiscountedThroughput::with_alpha(1.0)),
-            ISenderConfig::default(),
-        ))
-    };
-    let mut a = Agent::Model(make());
-    let mut b = Agent::Model(make());
-    let t_end = Time::from_secs(200);
-    let (bits_a, bits_b) = run_coexistence(&mut truth, &mut a, &mut b, t_end);
+    let grid = presets::coexist_fairness(Dur::from_secs(200), 1, 50_000);
+    let runs = grid.expand();
+    let link_bps = runs[0].spec.topology.link_rate.as_bps();
+    let report = SweepRunner::serial().run(&runs);
+    let r = &report.runs[0];
 
-    let (ra, rb) = (
-        bits_a as f64 / t_end.as_secs_f64(),
-        bits_b as f64 / t_end.as_secs_f64(),
+    let (ra, rb) = (r.goodput_bps, r.goodput_b_bps);
+    let (restarts_a, restarts_b) = (
+        r.restarts_a.expect("coexist run reports restarts"),
+        r.restarts_b.expect("coexist run reports restarts"),
     );
-    let jain = (ra + rb).powi(2) / (2.0 * (ra * ra + rb * rb)).max(1e-9);
-    let (restarts_a, restarts_b) = match (&a, &b) {
-        (Agent::Model(x), Agent::Model(y)) => (x.restarts, y.restarts),
-        _ => unreachable!(),
-    };
     println!("  flow A: {ra:.0} bit/s ({restarts_a} belief restarts)");
     println!("  flow B: {rb:.0} bit/s ({restarts_b} belief restarts)");
     println!(
@@ -54,7 +37,12 @@ fn main() {
         ra + rb,
         (ra + rb) / link_bps as f64 * 100.0
     );
-    println!("  Jain fairness index: {jain:.3}");
+    println!("  Jain fairness index: {:.3}", r.jain);
+
+    let csv_path = out_dir().join("ext_fairness.csv");
+    let file = fs::File::create(&csv_path).expect("create csv");
+    report.write_csv(BufWriter::new(file)).expect("write csv");
+    println!("  wrote {}", csv_path.display());
 
     println!("\nShape checks:");
     check(
@@ -69,8 +57,8 @@ fn main() {
     );
     check(
         "rough fairness (Jain >= 0.7)",
-        jain >= 0.7,
-        format!("{jain:.3}"),
+        r.jain >= 0.7,
+        format!("{:.3}", r.jain),
     );
     check(
         "misspecification measured: restarts occurred (open question of §3.5)",

@@ -1,53 +1,50 @@
 //! EXT-B — §3.5's second open question: an ISender sharing a bottleneck
-//! with a TCP-like loss-based sender. The competitor here is a compact
-//! AIMD window sender (additive increase per delivery, halve on an
-//! RTO-style gap) — the congestion-control core that all the paper's §2
-//! TCP variants share.
+//! with loss-based senders. A thin wrapper over the `coexist-vs-tcp`
+//! scenario preset, whose peer axis runs the compact AIMD core (the
+//! congestion-control structure all of §2's TCP variants share) plus
+//! full TCP Reno and CUBIC endpoints.
 //!
-//! Expected shape: AIMD fills queues by design, the deferential ISender
-//! (α = 1) backs off, so the split is unequal but both make progress —
-//! quantifying the paper's worry that a deferential sender may be
-//! out-competed by a loss-based one.
+//! Expected shape: loss-based senders fill queues by design, the
+//! deferential ISender (α = 1) backs off, so the split is unequal but
+//! both make progress — quantifying the paper's worry that a
+//! deferential sender may be out-competed by a loss-based one.
 
-use augur_bench::check;
-use augur_bench::coexist::{
-    build_two_flow, coexist_belief, run_coexistence, Agent, AimdSender, RestartingSender,
-};
-use augur_core::{DiscountedThroughput, ISenderConfig};
-use augur_sim::{BitRate, Bits, Dur, Ppm, Time};
+use augur_bench::{check, out_dir};
+use augur_scenario::{presets, SweepRunner};
+use augur_sim::Dur;
+use std::fs;
+use std::io::BufWriter;
 
 fn main() {
-    println!("EXT-B: ISender (alpha=1) vs AIMD sender on a 24 kbit/s bottleneck, 200 s\n");
-    let link_bps = 24_000;
-    let buffer_bits = 96_000;
-    let mut truth = build_two_flow(
-        BitRate::from_bps(link_bps),
-        Bits::new(buffer_bits),
-        Ppm::ZERO,
-        0xFB2,
-    );
-    let mut a = Agent::Model(Box::new(RestartingSender::new(
-        Box::new(move || coexist_belief(link_bps, buffer_bits)),
-        Box::new(DiscountedThroughput::with_alpha(1.0)),
-        ISenderConfig::default(),
-    )));
-    let mut b = Agent::Aimd(AimdSender::new(Dur::from_secs(8)));
-    let t_end = Time::from_secs(200);
-    let (bits_model, bits_aimd) = run_coexistence(&mut truth, &mut a, &mut b, t_end);
+    println!("EXT-B: ISender (alpha=1) vs loss-based senders on a 24 kbit/s bottleneck, 200 s\n");
+    let grid = presets::coexist_vs_tcp(Dur::from_secs(200), 1, 50_000);
+    let runs = grid.expand();
+    let link_bps = runs[0].spec.topology.link_rate.as_bps();
+    let report = SweepRunner::serial().run(&runs);
 
-    let (rm, rt) = (
-        bits_model as f64 / t_end.as_secs_f64(),
-        bits_aimd as f64 / t_end.as_secs_f64(),
-    );
-    let restarts = match &a {
-        Agent::Model(x) => x.restarts,
-        _ => unreachable!(),
-    };
-    println!("  ISender: {rm:.0} bit/s ({restarts} belief restarts)");
-    println!("  AIMD:    {rt:.0} bit/s");
-    println!("  combined {:.0} of {link_bps} bit/s", rm + rt);
+    for r in &report.runs {
+        println!(
+            "  vs {:<9}  ISender {:>6.0} bit/s ({} restarts) | peer {:>6.0} bit/s | Jain {:.3}",
+            r.peer,
+            r.goodput_bps,
+            r.restarts_a.unwrap_or(0),
+            r.goodput_b_bps,
+            r.jain,
+        );
+    }
 
-    println!("\nShape checks:");
+    let csv_path = out_dir().join("ext_vs_tcp.csv");
+    let file = fs::File::create(&csv_path).expect("create csv");
+    report.write_csv(BufWriter::new(file)).expect("write csv");
+    println!("  wrote {}", csv_path.display());
+
+    let aimd = report
+        .runs
+        .iter()
+        .find(|r| r.peer == "aimd")
+        .expect("aimd point present");
+    let (rm, rt) = (aimd.goodput_bps, aimd.goodput_b_bps);
+    println!("\nShape checks (vs AIMD):");
     check(
         "both flows make progress",
         rm > 500.0 && rt > 500.0,
@@ -62,5 +59,15 @@ fn main() {
         "loss-based sender out-competes the deferential ISender (the paper's worry)",
         rt > rm,
         format!("AIMD {rt:.0} > ISender {rm:.0}"),
+    );
+    let max_combined = report
+        .runs
+        .iter()
+        .map(|r| r.goodput_bps + r.goodput_b_bps)
+        .fold(0.0_f64, f64::max);
+    check(
+        "no pairing overdrives the link",
+        max_combined <= link_bps as f64 * 1.05,
+        format!("max combined {max_combined:.0} bit/s of {link_bps}"),
     );
 }

@@ -9,7 +9,10 @@
 //!
 //! Presets: `fig3` (α sweep, Figure 3), `txt2` (latency penalty, §4),
 //! `scaling` (exact vs particle across prior sizes, EXT-C), `smoke` (a
-//! quick exact-vs-particle grid for CI). Every run's seed derives from
+//! quick exact-vs-particle grid for CI), `coexist-fairness` (two
+//! ISenders sharing a bottleneck, EXT-A) and `coexist-vs-tcp` (ISender
+//! vs AIMD / TCP Reno / CUBIC, EXT-B). The preset may be given
+//! positionally or via `--preset`. Every run's seed derives from
 //! `(base seed, run index)`, so the CSV is byte-identical for any
 //! `--workers` value — `--workers 1` is the reference execution.
 
@@ -31,16 +34,21 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep <fig3|txt2|scaling|smoke> [--workers N] [--duration SECS] \
-         [--branches B] [--replicates K] [--jsonl]"
+        "usage: sweep [--preset] <fig3|txt2|scaling|smoke|coexist-fairness|coexist-vs-tcp> \
+         [--workers N] [--duration SECS] [--branches B] [--replicates K] [--jsonl]"
     );
     exit(2)
 }
 
 fn parse_args() -> Options {
-    let mut args = std::env::args().skip(1);
-    let preset = match args.next() {
-        Some(p) if !p.starts_with("--") => p,
+    let mut args = std::env::args().skip(1).peekable();
+    // The preset names the sweep; accept it positionally or as --preset.
+    let preset = match args.peek().map(String::as_str) {
+        Some("--preset") => {
+            args.next();
+            args.next().unwrap_or_else(|| usage())
+        }
+        Some(p) if !p.starts_with("--") => args.next().unwrap(),
         _ => usage(),
     };
     let mut opts = Options {
@@ -138,6 +146,22 @@ fn build_grid(opts: &Options) -> SweepGrid {
             presets::smoke(
                 Dur::from_secs(opts.duration.unwrap_or(20)),
                 opts.replicates.unwrap_or(4),
+            )
+        }
+        "coexist-fairness" => {
+            reject_unused(opts, true, true, true);
+            presets::coexist_fairness(
+                Dur::from_secs(opts.duration.unwrap_or(60)),
+                opts.replicates.unwrap_or(4),
+                branch_budget(opts),
+            )
+        }
+        "coexist-vs-tcp" => {
+            reject_unused(opts, true, true, true);
+            presets::coexist_vs_tcp(
+                Dur::from_secs(opts.duration.unwrap_or(60)),
+                opts.replicates.unwrap_or(2),
+                branch_budget(opts),
             )
         }
         other => {

@@ -9,8 +9,8 @@
 //! | `fig3_alpha_sweep`    | Figure 3: sequence number vs time across α |
 //! | `txt1_simple_link`    | §4: single sender on an unknown link |
 //! | `txt2_latency_penalty`| §4: latency penalty drains the buffer first |
-//! | `ext_fairness`        | §3.5: two ISenders sharing a bottleneck |
-//! | `ext_vs_tcp`          | §3.5: ISender sharing with TCP Reno |
+//! | `ext_fairness`        | §3.5: two ISenders sharing a bottleneck (coexist-fairness preset) |
+//! | `ext_vs_tcp`          | §3.5: ISender vs AIMD / TCP Reno / CUBIC (coexist-vs-tcp preset) |
 //! | `ext_scaling`         | §5: exact enumeration vs particle filter |
 //! | `ext_aqm`             | §3.5: AQM (RED/CoDel) vs deep FIFO under TCP |
 //!
@@ -76,5 +76,3 @@ pub fn paper_sender(alpha: f64, max_branches: usize) -> ISender<ModelParams> {
 pub fn check(name: &str, ok: bool, detail: impl std::fmt::Display) {
     println!("  [{}] {name}: {detail}", if ok { "PASS" } else { "FAIL" });
 }
-
-pub mod coexist;

@@ -1,0 +1,531 @@
+//! Co-existing senders: the agents that share a bottleneck in the
+//! multi-sender loop ([`crate::run_multi_agent`]) — the question §3.5
+//! leaves open ("we have not yet experimented with any networks that
+//! contain more than one ISENDER, or any network elements performing
+//! TCP").
+//!
+//! # Misspecification and belief restarts
+//!
+//! An ISender models its competition as an isochronous PINGER. Another
+//! *adaptive* sender is not isochronous, so sooner or later every
+//! hypothesis mispredicts an acknowledgment time and the belief dies —
+//! exactly the failure mode one expects from exact-time conditioning
+//! under model misspecification. [`RestartingSender`] handles this with
+//! a **restart protocol**:
+//!
+//! * rebuild the belief from the prior, with the *time origin shifted to
+//!   the restart instant* — the unknown "initial fullness" grid then
+//!   absorbs whatever is sitting in the real queue (including the
+//!   sender's own still-unacknowledged packets);
+//! * acknowledgments for pre-restart packets are ignored (the fresh
+//!   belief knows nothing about them);
+//! * the utility is rebuilt through the same *factory* that made the
+//!   original, so a restart preserves the configured α and latency
+//!   penalty instead of silently resetting them;
+//! * restarts are counted and reported — they are a *result*, not noise:
+//!   they measure how badly the pinger model fits an adaptive peer.
+
+use crate::isender::SenderAgent;
+use crate::{ISender, ISenderConfig, Utility, WakeOutcome};
+use augur_elements::{build_model, GateSpec, ModelParams};
+use augur_inference::{Belief, BeliefConfig, BeliefError, Hypothesis, Observation};
+use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Ppm, Time};
+
+/// Builds a fresh utility for a (re)started sender. A factory rather
+/// than a value because [`Utility`] is object-safe but not cloneable —
+/// and because a restart must reproduce the *configured* utility, not a
+/// hard-coded default.
+pub type UtilityFactory = Box<dyn Fn() -> Box<dyn Utility + Send> + Send>;
+
+/// Builds the prior belief for a (re)started sender.
+pub type BeliefFactory = Box<dyn Fn() -> Belief<ModelParams> + Send>;
+
+/// The prior an ISender holds about a shared link whose competition is
+/// adaptive: link speed known-ish, competitor modeled as an always-on
+/// pinger of unknown rate (including "absent"), queue fullness unknown.
+pub fn coexist_belief(link_bps: u64, buffer_bits: u64, max_branches: usize) -> Belief<ModelParams> {
+    let mut hyps = Vec::new();
+    for frac_ppm in [0u32, 125_000, 250_000, 375_000, 500_000, 625_000, 750_000] {
+        for fill_steps in 0..=(buffer_bits / 12_000) {
+            let params = ModelParams {
+                link_rate: BitRate::from_bps(link_bps),
+                cross_rate: BitRate::from_bps(
+                    ((link_bps as u128 * frac_ppm as u128 / 1_000_000) as u64).max(1),
+                ),
+                gate: GateSpec::AlwaysOn,
+                loss: Ppm::ZERO,
+                buffer_capacity: Bits::new(buffer_bits),
+                initial_fullness: Bits::new(fill_steps * 12_000),
+                packet_size: Bits::from_bytes(1_500),
+                cross_active: frac_ppm > 0,
+            };
+            hyps.push(Hypothesis {
+                net: build_model(params).net,
+                meta: params,
+                weight: 1.0,
+            });
+        }
+    }
+    let probe = build_model(ModelParams {
+        link_rate: BitRate::from_bps(link_bps),
+        cross_rate: BitRate::from_bps(link_bps / 2),
+        gate: GateSpec::AlwaysOn,
+        loss: Ppm::ZERO,
+        buffer_capacity: Bits::new(buffer_bits),
+        initial_fullness: Bits::ZERO,
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
+    });
+    Belief::new(
+        hyps,
+        probe.entry,
+        probe.rx_self,
+        BeliefConfig {
+            max_branches,
+            fold_loss_node: Some(probe.loss),
+            ..BeliefConfig::default()
+        },
+    )
+}
+
+/// An ISender plus the restart machinery.
+pub struct RestartingSender {
+    inner: ISender<ModelParams>,
+    build: BeliefFactory,
+    make_utility: UtilityFactory,
+    /// Absolute time of the current belief's origin.
+    t0: Time,
+    /// First (absolute) sequence number the current belief knows about.
+    base_seq: u64,
+    /// Next absolute sequence number to transmit.
+    next_abs_seq: u64,
+    /// Number of belief restarts so far.
+    pub restarts: usize,
+    /// Absolute send log.
+    pub sends: Vec<(u64, Time)>,
+}
+
+impl RestartingSender {
+    /// Wrap a fresh sender. Both the belief and the utility come from
+    /// factories: restarts rebuild each identically configured.
+    pub fn new(
+        build: BeliefFactory,
+        make_utility: UtilityFactory,
+        cfg: ISenderConfig,
+    ) -> RestartingSender {
+        RestartingSender {
+            inner: ISender::new(build(), make_utility(), cfg),
+            build,
+            make_utility,
+            t0: Time::ZERO,
+            base_seq: 0,
+            next_abs_seq: 0,
+            restarts: 0,
+            sends: Vec::new(),
+        }
+    }
+
+    /// Absolute time origin of the current belief.
+    pub fn t0(&self) -> Time {
+        self.t0
+    }
+
+    /// First absolute sequence number the current belief knows about.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The wrapped sender (for belief/utility inspection in tests and
+    /// experiments).
+    pub fn inner(&self) -> &ISender<ModelParams> {
+        &self.inner
+    }
+
+    /// Wake with absolute-time acknowledgments; returns packets to inject
+    /// (absolute seq applied; flow stamped by the caller) and the next
+    /// wake time.
+    pub fn wake(&mut self, now: Time, acks: &[Observation]) -> WakeOutcome {
+        // Shift to belief-relative time; drop pre-restart ACKs.
+        let rel_acks: Vec<Observation> = acks
+            .iter()
+            .filter(|o| o.seq >= self.base_seq)
+            .map(|o| Observation {
+                seq: o.seq - self.base_seq,
+                at: o.at - self.t0.since(Time::ZERO),
+            })
+            .collect();
+        let rel_now = now - self.t0.since(Time::ZERO);
+        match self.inner.on_wake(rel_now, &rel_acks) {
+            Ok(mut outcome) => {
+                for pkt in &mut outcome.sent {
+                    // Re-base to absolute identifiers for the caller.
+                    *pkt = Packet::new(pkt.flow, pkt.seq + self.base_seq, pkt.size, now);
+                    self.sends.push((pkt.seq, now));
+                }
+                self.next_abs_seq = self.inner.next_seq() + self.base_seq;
+                outcome.next_wake += self.t0.since(Time::ZERO);
+                outcome
+            }
+            Err(_) => {
+                // Misspecification caught us: restart the belief with the
+                // clock re-zeroed at `now` and the utility rebuilt from
+                // the factory (preserving α / latency-penalty settings).
+                self.restarts += 1;
+                self.t0 = now;
+                self.base_seq = self.next_abs_seq;
+                let cfg = self.inner.config().clone();
+                self.inner = ISender::new((self.build)(), (self.make_utility)(), cfg);
+                WakeOutcome::idle(now + Dur::from_millis(500))
+            }
+        }
+    }
+}
+
+impl SenderAgent for RestartingSender {
+    fn own_flow(&self) -> FlowId {
+        self.inner.own_flow()
+    }
+
+    fn on_wake(&mut self, now: Time, acks: &[Observation]) -> Result<WakeOutcome, BeliefError> {
+        Ok(self.wake(now, acks))
+    }
+
+    fn population(&self) -> usize {
+        self.inner.belief.branch_count()
+    }
+
+    fn effective_population(&self) -> f64 {
+        self.inner.belief.effective_count()
+    }
+}
+
+/// A compact AIMD window sender (TCP-like competitor): additive increase
+/// per delivery, halve on an RTO-style gap. Window in packets,
+/// ACK-clocked; wakes are event-driven — on each delivery, and at the
+/// instant its gap detector would fire.
+pub struct AimdSender {
+    /// Congestion window (packets).
+    pub window: f64,
+    next_seq: u64,
+    acked: u64,
+    /// RTO-style gap detector.
+    timeout: Dur,
+    last_progress: Time,
+    /// Size of every packet transmitted.
+    packet_size: Bits,
+    /// Absolute send log.
+    pub sends: Vec<(u64, Time)>,
+}
+
+impl AimdSender {
+    /// A fresh AIMD sender with the given RTO-like gap detector, sending
+    /// 1500-byte packets.
+    pub fn new(timeout: Dur) -> AimdSender {
+        AimdSender {
+            window: 1.0,
+            next_seq: 0,
+            acked: 0,
+            timeout,
+            last_progress: Time::ZERO,
+            packet_size: Bits::from_bytes(1_500),
+            sends: Vec::new(),
+        }
+    }
+
+    /// Builder-style override of the wire packet size.
+    pub fn with_packet_size(mut self, size: Bits) -> AimdSender {
+        self.packet_size = size;
+        self
+    }
+
+    /// Process deliveries of our flow; returns sequence numbers to send
+    /// now.
+    pub fn on_event(&mut self, now: Time, delivered: usize) -> Vec<u64> {
+        if delivered > 0 {
+            self.acked += delivered as u64;
+            self.window += delivered as f64 / self.window.max(1.0);
+            self.last_progress = now;
+        } else if now.since(self.last_progress) >= self.timeout && self.next_seq > self.acked {
+            // Gap: halve, retransmit-equivalent (we just resume from acked).
+            self.window = (self.window / 2.0).max(1.0);
+            self.next_seq = self.acked;
+            self.last_progress = now;
+        }
+        let mut out = Vec::new();
+        while self.next_seq < self.acked + self.window.floor() as u64 {
+            out.push(self.next_seq);
+            self.sends.push((self.next_seq, now));
+            self.next_seq += 1;
+        }
+        out
+    }
+}
+
+impl SenderAgent for AimdSender {
+    fn own_flow(&self) -> FlowId {
+        FlowId::SELF
+    }
+
+    fn on_wake(&mut self, now: Time, acks: &[Observation]) -> Result<WakeOutcome, BeliefError> {
+        let sent: Vec<Packet> = self
+            .on_event(now, acks.len())
+            .into_iter()
+            .map(|seq| Packet::new(FlowId::SELF, seq, self.packet_size, now))
+            .collect();
+        // Event-driven timer: with packets outstanding the only scheduled
+        // event is the gap detector firing (strictly in the future —
+        // on_event just reset last_progress if it was due); otherwise
+        // idle until an acknowledgment wakes us (with a periodic safety
+        // check).
+        let next_wake = if self.next_seq > self.acked {
+            self.last_progress + self.timeout
+        } else {
+            now + self.timeout
+        };
+        Ok(WakeOutcome {
+            sent,
+            ..WakeOutcome::idle(next_wake)
+        })
+    }
+
+    fn population(&self) -> usize {
+        0
+    }
+
+    fn effective_population(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiscountedThroughput;
+    use crate::{build_shared_bottleneck, jain_index, run_multi_agent};
+
+    const LINK_BPS: u64 = 24_000;
+    const BUFFER_BITS: u64 = 96_000;
+
+    fn restarting(alpha: f64, latency_penalty: f64) -> RestartingSender {
+        RestartingSender::new(
+            Box::new(|| coexist_belief(LINK_BPS, BUFFER_BITS, 50_000)),
+            Box::new(move || {
+                let mut u = DiscountedThroughput::with_alpha(alpha);
+                u.latency_penalty = latency_penalty;
+                Box::new(u)
+            }),
+            ISenderConfig::default(),
+        )
+    }
+
+    /// A single-hypothesis known-link belief: the planner transmits on
+    /// the very first wake, which the rebase tests rely on.
+    fn tiny_belief() -> Belief<ModelParams> {
+        let params = ModelParams::simple_link(BitRate::from_bps(12_000), Bits::new(96_000));
+        let m = build_model(params);
+        Belief::new(
+            vec![Hypothesis {
+                net: m.net,
+                meta: params,
+                weight: 1.0,
+            }],
+            m.entry,
+            m.rx_self,
+            BeliefConfig {
+                fold_loss_node: Some(m.loss),
+                ..BeliefConfig::default()
+            },
+        )
+    }
+
+    fn restarting_tiny(alpha: f64, latency_penalty: f64) -> RestartingSender {
+        RestartingSender::new(
+            Box::new(tiny_belief),
+            Box::new(move || {
+                let mut u = DiscountedThroughput::with_alpha(alpha);
+                u.latency_penalty = latency_penalty;
+                Box::new(u)
+            }),
+            ISenderConfig::default(),
+        )
+    }
+
+    /// Wake the sender with an acknowledgment no hypothesis can explain,
+    /// forcing the restart path.
+    fn force_restart(s: &mut RestartingSender, now: Time) {
+        let bogus = Observation {
+            seq: s.base_seq() + 10_000,
+            at: now,
+        };
+        let before = s.restarts;
+        let _ = s.wake(now, &[bogus]);
+        assert_eq!(s.restarts, before + 1, "bogus ack must kill the belief");
+    }
+
+    #[test]
+    fn restart_rebases_time_and_sequence() {
+        let mut s = restarting_tiny(1.0, 0.0);
+        let o1 = s.wake(Time::ZERO, &[]);
+        assert!(!o1.sent.is_empty(), "fresh sender should transmit");
+        let sent_before = s.sends.len() as u64;
+        assert_eq!(s.base_seq(), 0);
+        assert_eq!(s.t0(), Time::ZERO);
+
+        force_restart(&mut s, Time::from_secs(5));
+        assert_eq!(s.t0(), Time::from_secs(5), "clock re-zeroed at restart");
+        assert_eq!(
+            s.base_seq(),
+            sent_before,
+            "fresh belief starts at the next unsent absolute seq"
+        );
+
+        // The next transmission must carry absolute sequence numbers on
+        // top of the new base.
+        let o2 = s.wake(Time::from_secs(6), &[]);
+        for pkt in &o2.sent {
+            assert!(pkt.seq >= sent_before, "absolute seq {} rebased", pkt.seq);
+        }
+        assert!(
+            o2.next_wake > Time::from_secs(6),
+            "next wake is absolute, not belief-relative"
+        );
+    }
+
+    #[test]
+    fn pre_restart_acks_are_ignored() {
+        let mut s = restarting_tiny(1.0, 0.0);
+        let o1 = s.wake(Time::ZERO, &[]);
+        assert!(!o1.sent.is_empty());
+        force_restart(&mut s, Time::from_secs(5));
+        let restarts = s.restarts;
+
+        // An acknowledgment for a pre-restart packet (seq < base_seq)
+        // must be filtered out, not fed to the fresh belief — feeding it
+        // would either corrupt the posterior or kill it again.
+        let stale = Observation {
+            seq: 0,
+            at: Time::from_secs(5) + Dur::from_millis(100),
+        };
+        let _ = s.wake(Time::from_secs(5) + Dur::from_millis(200), &[stale]);
+        assert_eq!(
+            s.restarts, restarts,
+            "a stale ack must not reach (and kill) the fresh belief"
+        );
+    }
+
+    #[test]
+    fn restart_preserves_the_configured_utility() {
+        // α = 5 with a latency penalty: after a restart the rebuilt
+        // utility must behave identically to the configured one — the
+        // old harness silently reset to α = 1, λ = 0.
+        let mut s = restarting_tiny(5.0, 0.5);
+        force_restart(&mut s, Time::from_secs(1));
+
+        let mut want = DiscountedThroughput::with_alpha(5.0);
+        want.latency_penalty = 0.5;
+        let report = crate::RolloutReport {
+            deliveries: vec![(
+                augur_sim::Delivery {
+                    packet: Packet::new(FlowId::CROSS, 0, Bits::new(12_000), Time::ZERO),
+                    at: Time::from_millis(1_500),
+                },
+                1.0,
+            )],
+            drops: vec![],
+        };
+        let got = s
+            .inner()
+            .utility()
+            .evaluate(&report, Time::ZERO, FlowId::SELF);
+        let expect = want.evaluate(&report, Time::ZERO, FlowId::SELF);
+        assert!(
+            (got - expect).abs() < 1e-9,
+            "restarted utility {got} != configured {expect}"
+        );
+    }
+
+    #[test]
+    fn two_isenders_same_seed_identical_outcome() {
+        // The §3.5 determinism contract: (bits_a, bits_b, restarts) is a
+        // pure function of the seed, including the tie-break coin flips.
+        let run = |seed: u64| {
+            let mut truth = build_shared_bottleneck(
+                BitRate::from_bps(LINK_BPS),
+                Bits::new(BUFFER_BITS),
+                Ppm::ZERO,
+                2,
+                seed,
+            );
+            let mut a = restarting(1.0, 0.0);
+            let mut b = restarting(1.0, 0.0);
+            let traces = run_multi_agent(&mut truth, &mut [&mut a, &mut b], Time::from_secs(40))
+                .expect("restarting senders never propagate belief death");
+            (
+                traces[0].delivered_bits,
+                traces[1].delivered_bits,
+                a.restarts,
+                b.restarts,
+            )
+        };
+        assert_eq!(run(0xFA1), run(0xFA1), "same seed, same outcome");
+        // And the seed genuinely steers the run.
+        assert_ne!(run(1), run(2), "different seeds should diverge");
+    }
+
+    #[test]
+    fn tail_deliveries_are_counted() {
+        // One AIMD sender alone on the link: every injected packet that
+        // the link serves by t_end must be counted, including those that
+        // complete after the sender's last wake.
+        let mut truth = build_shared_bottleneck(
+            BitRate::from_bps(12_000),
+            Bits::new(960_000),
+            Ppm::ZERO,
+            1,
+            3,
+        );
+        let mut a = AimdSender::new(Dur::from_secs(100));
+        // Window grows each ack; at 1 pkt/s service the queue stays busy,
+        // so deliveries continue right up to t_end.
+        let t_end = Time::from_secs(30);
+        let traces = run_multi_agent(&mut truth, &mut [&mut a], t_end).unwrap();
+        let last_ack = traces[0].acks.last().expect("deliveries happened").at;
+        assert!(
+            t_end.since(last_ack) <= Dur::from_secs(2),
+            "tail drained: last delivery {last_ack} sits at the horizon"
+        );
+        assert_eq!(
+            traces[0].delivered_bits,
+            traces[0].acks.len() as u64 * 12_000,
+            "delivered bits track the ack log"
+        );
+    }
+
+    #[test]
+    fn jain_of_symmetric_isenders_is_reasonable() {
+        let mut truth = build_shared_bottleneck(
+            BitRate::from_bps(LINK_BPS),
+            Bits::new(BUFFER_BITS),
+            Ppm::ZERO,
+            2,
+            0xFA1,
+        );
+        let mut a = restarting(1.0, 0.0);
+        let mut b = restarting(1.0, 0.0);
+        let t_end = Time::from_secs(60);
+        let traces = run_multi_agent(&mut truth, &mut [&mut a, &mut b], t_end).unwrap();
+        let ra = traces[0].delivered_bits as f64 / t_end.as_secs_f64();
+        let rb = traces[1].delivered_bits as f64 / t_end.as_secs_f64();
+        assert!(ra > 0.0 && rb > 0.0, "both flows progress: {ra} / {rb}");
+        assert!(
+            ra + rb <= LINK_BPS as f64 * 1.05,
+            "link not overdriven: {}",
+            ra + rb
+        );
+        assert!(
+            jain_index(&[ra, rb]) >= 0.5,
+            "gross unfairness: jain {}",
+            jain_index(&[ra, rb])
+        );
+    }
+}

@@ -20,6 +20,10 @@ pub struct RunTrace {
     pub sends: Vec<(u64, Time)>,
     /// Every acknowledgment: (sequence number, receive time).
     pub acks: Vec<Observation>,
+    /// Total own-flow bits delivered (acknowledged) — per-flow throughput
+    /// accounting for multi-sender runs, where packet sizes may differ
+    /// between agents.
+    pub delivered_bits: u64,
     /// Ground-truth drops, all flows (buffer overflows, stochastic loss,
     /// gate closures).
     pub drops: Vec<DropRecord>,
@@ -122,6 +126,7 @@ impl GroundTruth {
                 };
                 acks.push(o);
                 trace.acks.push(o);
+                trace.delivered_bits += d.packet.size.as_u64();
             } else if d.packet.flow == FlowId::CROSS {
                 trace
                     .cross_deliveries

@@ -60,6 +60,25 @@ pub struct WakeOutcome {
     pub decision: Decision,
 }
 
+impl WakeOutcome {
+    /// An outcome that transmits nothing and carries a placeholder Idle
+    /// decision: wake me at `next_wake` unless an acknowledgment arrives
+    /// first. Used by agents without a planner (AIMD, TCP) and by
+    /// restart paths; senders with packets combine it via
+    /// `WakeOutcome { sent, ..WakeOutcome::idle(t) }`.
+    pub fn idle(next_wake: Time) -> WakeOutcome {
+        WakeOutcome {
+            sent: Vec::new(),
+            next_wake,
+            decision: Decision {
+                action: Action::Idle,
+                expected_utility: 0.0,
+                evaluations: Vec::new(),
+            },
+        }
+    }
+}
+
 /// The model-based sender.
 pub struct ISender<M> {
     /// The belief over network configurations (public for inspection by
@@ -104,6 +123,12 @@ impl<M: Clone + Eq + Hash> ISender<M> {
     /// The sender's configuration.
     pub fn config(&self) -> &ISenderConfig {
         &self.cfg
+    }
+
+    /// The sender's utility function (for inspection by experiments and
+    /// tests — e.g. verifying a restart preserved the configured α).
+    pub fn utility(&self) -> &dyn Utility {
+        self.utility.as_ref()
     }
 
     /// Wake at `now` with the acknowledgments received since the previous

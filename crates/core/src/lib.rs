@@ -18,15 +18,24 @@
 //! * [`isender`] — the event-driven sender agent;
 //! * [`experiment`] — the closed loop embedding the sender in a
 //!   ground-truth simulation (§4), whose receiver acknowledges each
-//!   packet's arrival time (§3.4).
+//!   packet's arrival time (§3.4);
+//! * [`multi`] — the N-sender closed loop over a shared bottleneck
+//!   (§3.5's open question), with per-flow ACK routing, event-driven
+//!   wakes, and seeded tie-breaking;
+//! * [`coexist`] — the agents that share that bottleneck: the
+//!   belief-restarting ISender and a compact AIMD competitor.
 
+pub mod coexist;
 pub mod experiment;
 pub mod isender;
+pub mod multi;
 pub mod planner;
 pub mod utility;
 
+pub use coexist::{coexist_belief, AimdSender, BeliefFactory, RestartingSender, UtilityFactory};
 pub use experiment::{run_closed_loop, GroundTruth, RunTrace, WakeRecord};
 pub use isender::{ISender, ISenderConfig, ParticleSender, SenderAgent, WakeOutcome};
+pub use multi::{build_shared_bottleneck, jain_index, run_multi_agent, MultiFlowTruth};
 pub use planner::{
     decide, decide_weighted, rollout, subsample_weighted, Action, Decision, PlannerConfig,
 };

@@ -8,7 +8,7 @@
 //! the index, executing the run list serially or across any number of
 //! worker threads yields bit-identical results.
 
-use crate::spec::{PriorSpec, ScenarioSpec, SenderSpec};
+use crate::spec::{PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
 use augur_sim::{BitRate, Bits, Ppm, SimRng};
 
 /// One sweep dimension.
@@ -30,6 +30,8 @@ pub enum Axis {
     Loss(Vec<Ppm>),
     /// Whole sender configurations (e.g. exact vs particle vs TCP).
     Sender(Vec<SenderSpec>),
+    /// Coexistence peers (requires a [`WorkloadSpec::Coexist`] workload).
+    Peer(Vec<PeerSpec>),
     /// Prior sizes (requires a [`PriorSpec::FineLinkRate`] prior).
     PriorSize(Vec<usize>),
     /// `k` seed replicates: the spec is unchanged, but each replicate is
@@ -49,6 +51,7 @@ impl Axis {
             Axis::InitialFullness(v) => v.len(),
             Axis::Loss(v) => v.len(),
             Axis::Sender(v) => v.len(),
+            Axis::Peer(v) => v.len(),
             Axis::PriorSize(v) => v.len(),
             Axis::Seeds(k) => *k,
         }
@@ -71,6 +74,7 @@ impl Axis {
             Axis::InitialFullness(_) => "fullness_bits",
             Axis::Loss(_) => "loss_ppm",
             Axis::Sender(_) => "sender",
+            Axis::Peer(_) => "peer",
             Axis::PriorSize(_) => "prior_size",
             Axis::Seeds(_) => "replicate",
         }
@@ -87,6 +91,7 @@ impl Axis {
             Axis::InitialFullness(v) => format!("{}", v[i].as_u64()),
             Axis::Loss(v) => format!("{}", v[i].as_u32()),
             Axis::Sender(v) => v[i].label().to_string(),
+            Axis::Peer(v) => v[i].label().to_string(),
             Axis::PriorSize(v) => format!("{}", v[i]),
             Axis::Seeds(_) => format!("{i}"),
         }
@@ -106,6 +111,10 @@ impl Axis {
             Axis::InitialFullness(v) => spec.topology.initial_fullness = v[i],
             Axis::Loss(v) => spec.topology.loss = v[i],
             Axis::Sender(v) => spec.sender = v[i].clone(),
+            Axis::Peer(v) => match &mut spec.workload {
+                WorkloadSpec::Coexist(cx) => cx.peer = v[i],
+                other => panic!("peer axis over non-coexist workload {other:?}"),
+            },
             Axis::PriorSize(v) => match &mut spec.prior {
                 PriorSpec::FineLinkRate { n, .. } => *n = v[i],
                 other => panic!("prior-size axis over non-scalable prior {other:?}"),
@@ -295,6 +304,15 @@ mod tests {
             .axis(Axis::Seeds(1));
         let runs = grid.expand();
         assert_eq!(runs[0].point(), "alpha=2.5 replicate=0");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-coexist workload")]
+    fn peer_axis_over_plain_workload_is_a_spec_error() {
+        let grid = SweepGrid::new(base()).axis(Axis::Peer(vec![PeerSpec::Aimd {
+            timeout: augur_sim::Dur::from_secs(8),
+        }]));
+        let _ = grid.expand();
     }
 
     #[test]

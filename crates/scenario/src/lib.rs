@@ -38,5 +38,5 @@ pub mod spec;
 
 pub use grid::{Axis, RunSpec, SweepGrid};
 pub use report::{RunStatus, RunSummary, SweepReport};
-pub use runner::{execute_run, execute_run_traced, SweepRunner};
-pub use spec::{PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
+pub use runner::{execute_run, execute_run_traced, SweepRunner, TcpPeerAgent};
+pub use spec::{CoexistSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};

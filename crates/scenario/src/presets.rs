@@ -2,10 +2,75 @@
 //! generic `sweep` CLI and the per-figure experiment binaries.
 
 use crate::grid::{Axis, SweepGrid};
-use crate::spec::{PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
+use crate::spec::{CoexistSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
 use augur_elements::ModelParams;
 use augur_inference::ModelPrior;
 use augur_sim::{BitRate, Bits, Dur, Ppm};
+
+/// The shared base of the coexistence presets: a 24 kbit/s bottleneck
+/// with a 96 kbit drop-tail buffer, an α = 1 exact ISender as flow A,
+/// and the given peer as flow B. The primary's prior is the dedicated
+/// coexistence prior (derived from the topology), so `prior` here is
+/// inert.
+fn coexist_base(
+    name: &str,
+    peer: PeerSpec,
+    duration: Dur,
+    max_branches: usize,
+    base_seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        topology: ModelParams::simple_link(BitRate::from_bps(24_000), Bits::new(96_000)),
+        prior: PriorSpec::Small,
+        sender: SenderSpec::IsenderExact {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            max_branches,
+        },
+        workload: WorkloadSpec::Coexist(CoexistSpec { peer }),
+        duration,
+        base_seed,
+    }
+}
+
+/// EXT-A (§3.5's first open question): two ISenders, same prior and
+/// α = 1 utility, sharing one bottleneck — per-flow throughput, Jain
+/// index, and belief-restart counts across seed replicates.
+pub fn coexist_fairness(duration: Dur, replicates: usize, max_branches: usize) -> SweepGrid {
+    let base = coexist_base(
+        "coexist_fairness",
+        PeerSpec::Isender { alpha: 1.0 },
+        duration,
+        max_branches,
+        0xFA1,
+    );
+    SweepGrid::new(base).axis(Axis::Seeds(replicates))
+}
+
+/// EXT-B (§3.5's second open question): the deferential ISender against
+/// loss-based competitors — AIMD, TCP Reno, and TCP CUBIC — across seed
+/// replicates.
+pub fn coexist_vs_tcp(duration: Dur, replicates: usize, max_branches: usize) -> SweepGrid {
+    let base = coexist_base(
+        "coexist_vs_tcp",
+        PeerSpec::Aimd {
+            timeout: Dur::from_secs(8),
+        },
+        duration,
+        max_branches,
+        0xFB2,
+    );
+    SweepGrid::new(base)
+        .axis(Axis::Peer(vec![
+            PeerSpec::Aimd {
+                timeout: Dur::from_secs(8),
+            },
+            PeerSpec::TcpReno { max_window: 64 },
+            PeerSpec::TcpCubic { max_window: 64 },
+        ]))
+        .axis(Axis::Seeds(replicates))
+}
 
 /// Figure 3: one 300 s closed-loop run per α ∈ {0.9, 1, 2.5, 5} over the
 /// paper's ground truth (square-wave cross traffic) and prior.
@@ -146,6 +211,45 @@ mod tests {
         assert_eq!(runs[2].spec.sender.label(), "isender-particle");
         assert_eq!(runs[0].spec.prior.size(), 101);
         assert_eq!(runs[1].spec.prior.size(), 1_001);
+    }
+
+    #[test]
+    fn coexist_fairness_expands_to_replicates() {
+        let runs = coexist_fairness(Dur::from_secs(60), 3, 50_000).expand();
+        assert_eq!(runs.len(), 3);
+        for r in &runs {
+            match r.spec.workload {
+                WorkloadSpec::Coexist(cx) => {
+                    assert_eq!(cx.peer, PeerSpec::Isender { alpha: 1.0 })
+                }
+                ref other => panic!("unexpected workload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn coexist_vs_tcp_crosses_peers_with_seeds() {
+        let runs = coexist_vs_tcp(Dur::from_secs(60), 2, 50_000).expand();
+        assert_eq!(runs.len(), 6);
+        let peers: Vec<&str> = runs
+            .iter()
+            .map(|r| match r.spec.workload {
+                WorkloadSpec::Coexist(cx) => cx.peer.label(),
+                ref other => panic!("unexpected workload {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            peers,
+            vec![
+                "aimd",
+                "aimd",
+                "tcp-reno",
+                "tcp-reno",
+                "tcp-cubic",
+                "tcp-cubic"
+            ]
+        );
+        assert_eq!(runs[2].point(), "peer=tcp-reno replicate=0");
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct RunSummary {
     pub scenario: String,
     /// Sender label (`isender-exact`, `tcp-reno`, …).
     pub sender: String,
+    /// Coexistence-peer label (`isender`, `aimd`, …); empty for
+    /// single-sender runs.
+    pub peer: String,
     /// Grid coordinates, e.g. `alpha=1 replicate=3`.
     pub point: String,
     /// The run's derived seed.
@@ -55,6 +58,18 @@ pub struct RunSummary {
     pub throughput_pps: f64,
     /// Own-flow delivered bits per second.
     pub goodput_bps: f64,
+    /// Coexistence runs: the peer flow's delivered bits per second
+    /// (`NaN` for single-sender runs).
+    pub goodput_b_bps: f64,
+    /// Coexistence runs: Jain's fairness index over the two flows'
+    /// goodputs (`NaN` for single-sender runs).
+    pub jain: f64,
+    /// Coexistence runs: belief restarts of the primary sender (missing
+    /// for single-sender runs).
+    pub restarts_a: Option<u64>,
+    /// Coexistence runs: belief restarts of the peer (0 for peers with
+    /// no belief; missing for single-sender runs).
+    pub restarts_b: Option<u64>,
     /// Per-packet delay percentiles in seconds (send→ack for the ISender,
     /// RTT for TCP); `NaN` when no packet completed.
     pub delay_p50_s: f64,
@@ -84,10 +99,11 @@ pub struct SweepReport {
 }
 
 /// The export column set, in order.
-pub const COLUMNS: [&str; 17] = [
+pub const COLUMNS: [&str; 22] = [
     "index",
     "scenario",
     "sender",
+    "peer",
     "point",
     "seed",
     "status",
@@ -96,6 +112,10 @@ pub const COLUMNS: [&str; 17] = [
     "delivered",
     "throughput_pps",
     "goodput_bps",
+    "goodput_b_bps",
+    "jain",
+    "restarts_a",
+    "restarts_b",
     "delay_p50_s",
     "delay_p95_s",
     "delay_p99_s",
@@ -114,6 +134,7 @@ impl SweepReport {
                 Cell::Int(r.index as u64),
                 Cell::Str(r.scenario.clone()),
                 Cell::Str(r.sender.clone()),
+                Cell::Str(r.peer.clone()),
                 Cell::Str(r.point.clone()),
                 Cell::Int(r.seed),
                 Cell::Str(r.status.label().to_string()),
@@ -122,6 +143,10 @@ impl SweepReport {
                 Cell::Int(r.delivered),
                 Cell::Num(r.throughput_pps),
                 Cell::Num(r.goodput_bps),
+                Cell::Num(r.goodput_b_bps),
+                Cell::Num(r.jain),
+                r.restarts_a.map_or(Cell::Num(f64::NAN), Cell::Int),
+                r.restarts_b.map_or(Cell::Num(f64::NAN), Cell::Int),
                 Cell::Num(r.delay_p50_s),
                 Cell::Num(r.delay_p95_s),
                 Cell::Num(r.delay_p99_s),
@@ -199,6 +224,7 @@ mod tests {
             index,
             scenario: "s".into(),
             sender: "isender-exact".into(),
+            peer: String::new(),
             point: format!("alpha={index}"),
             seed: 7,
             status: RunStatus::Ok,
@@ -207,6 +233,10 @@ mod tests {
             delivered: 4,
             throughput_pps: 0.4,
             goodput_bps: 4_800.0,
+            goodput_b_bps: f64::NAN,
+            jain: f64::NAN,
+            restarts_a: None,
+            restarts_b: None,
             delay_p50_s: 1.5,
             delay_p95_s: 2.0,
             delay_p99_s: 2.5,
@@ -226,7 +256,7 @@ mod tests {
         let csv = report.to_csv_string();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("index,scenario,sender,point,seed,status"));
+        assert!(lines[0].starts_with("index,scenario,sender,peer,point,seed,status"));
         assert!(
             !csv.contains("0.123"),
             "wall clock must not leak into exports"

@@ -10,16 +10,18 @@
 
 use crate::grid::RunSpec;
 use crate::report::{RunStatus, RunSummary, SweepReport};
-use crate::spec::{ScenarioSpec, SenderSpec, WorkloadSpec};
+use crate::spec::{CoexistSpec, PeerSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
 use augur_core::{
-    run_closed_loop, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, ParticleSender,
-    RunTrace, SenderAgent,
+    build_shared_bottleneck, coexist_belief, jain_index, run_closed_loop, run_multi_agent,
+    AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, ParticleSender,
+    RestartingSender, RunTrace, SenderAgent, Utility, WakeOutcome,
 };
 use augur_elements::{DropReason, ModelParams};
 use augur_inference::{
-    Belief, BeliefConfig, Hypothesis, Observation, ParticleConfig, ParticleFilter,
+    Belief, BeliefConfig, BeliefError, Hypothesis, Observation, ParticleConfig, ParticleFilter,
 };
-use augur_sim::{FlowId, Packet, SimRng, Time};
+use augur_sim::{Dur, FlowId, Packet, SimRng, Time};
+use augur_tcp::{Cubic, Reno, TcpConfig, TcpEndpoint, TcpTrace};
 use augur_trace::percentile_of_sorted;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -161,6 +163,7 @@ pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
         (WorkloadSpec::ClosedLoop, SenderSpec::TcpReno { .. })
         | (WorkloadSpec::ClosedLoop, SenderSpec::TcpCubic { .. }) => (closed_loop_tcp(run), None),
         (WorkloadSpec::ScriptedPing { interval }, _) => (scripted_ping(run, *interval), None),
+        (WorkloadSpec::Coexist(cx), _) => coexist_run(run, cx),
     };
     // Scripted runs meter their own wall clock (belief updates only);
     // everything else reports whole-run wall time.
@@ -176,6 +179,7 @@ fn blank_summary(run: &RunSpec) -> RunSummary {
         index: run.index,
         scenario: run.spec.name.clone(),
         sender: run.spec.sender.label().to_string(),
+        peer: String::new(),
         point: run.point(),
         seed: run.seed,
         status: RunStatus::Ok,
@@ -184,6 +188,10 @@ fn blank_summary(run: &RunSpec) -> RunSummary {
         delivered: 0,
         throughput_pps: f64::NAN,
         goodput_bps: f64::NAN,
+        goodput_b_bps: f64::NAN,
+        jain: f64::NAN,
+        restarts_a: None,
+        restarts_b: None,
         delay_p50_s: f64::NAN,
         delay_p95_s: f64::NAN,
         delay_p99_s: f64::NAN,
@@ -523,4 +531,198 @@ fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
         summary.status = RunStatus::BeliefDied;
     }
     summary
+}
+
+/// TCP as a coexistence peer: the network-free [`TcpEndpoint`] adapted
+/// to the [`SenderAgent`] wake protocol. Deliveries arrive as
+/// observations, the endpoint schedules its own reverse-path ACKs and
+/// retransmission timers, and the multi-agent loop owns injection.
+pub struct TcpPeerAgent {
+    ep: TcpEndpoint,
+    /// The endpoint's measurements (segments, retransmissions, RTTs).
+    pub trace: TcpTrace,
+    /// Timer cap when the endpoint has nothing scheduled.
+    max_sleep: Dur,
+}
+
+impl TcpPeerAgent {
+    /// A fresh peer with the given TCP configuration and congestion
+    /// control.
+    pub fn new(cfg: TcpConfig, cc: Box<dyn augur_tcp::CongestionControl>) -> TcpPeerAgent {
+        TcpPeerAgent {
+            ep: TcpEndpoint::new(cfg, cc),
+            trace: TcpTrace::default(),
+            max_sleep: Dur::from_secs(2),
+        }
+    }
+}
+
+impl SenderAgent for TcpPeerAgent {
+    fn own_flow(&self) -> FlowId {
+        self.ep.cfg().flow
+    }
+
+    fn on_wake(&mut self, now: Time, acks: &[Observation]) -> Result<WakeOutcome, BeliefError> {
+        let (flow, size) = (self.ep.cfg().flow, self.ep.cfg().packet_size);
+        for o in acks {
+            self.ep
+                .on_delivery(Packet::new(flow, o.seq, size, o.at), o.at);
+        }
+        let sent = self.ep.poll(now, &mut self.trace);
+        let next_wake = self
+            .ep
+            .next_event_time()
+            .unwrap_or(now + self.max_sleep)
+            .min(now + self.max_sleep);
+        Ok(WakeOutcome {
+            sent,
+            ..WakeOutcome::idle(next_wake)
+        })
+    }
+
+    fn population(&self) -> usize {
+        0
+    }
+
+    fn effective_population(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The peer side of a coexistence run, kept concrete so restart counts
+/// can be read back after the loop.
+enum PeerAgent {
+    Model(RestartingSender),
+    Aimd(AimdSender),
+    Tcp(TcpPeerAgent),
+}
+
+/// Two senders over one bottleneck (§3.5), via the multi-agent loop.
+/// Flow A is the scenario's sender, flow B the [`PeerSpec`] competitor;
+/// the shared link/buffer/loss come from the spec's topology and the
+/// primary's prior is the dedicated coexistence prior.
+fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, Option<RunTrace>) {
+    let spec = &run.spec;
+    let (alpha, latency_penalty, max_branches) = match spec.sender {
+        SenderSpec::IsenderExact {
+            alpha,
+            latency_penalty,
+            max_branches,
+        } => (alpha, latency_penalty, max_branches),
+        ref other => panic!(
+            "coexist workload needs an exact-belief ISender primary, got {}",
+            other.label()
+        ),
+    };
+    // The coexistence prior models the competitor as a pinger of
+    // 1500-byte packets and grids buffer fullness in 1500-byte steps; a
+    // different wire packet size would make the reported restart counts
+    // measure that mismatch instead of the adaptive-peer misfit.
+    assert_eq!(
+        spec.topology.packet_size,
+        augur_sim::Bits::from_bytes(1_500),
+        "coexist workload requires 1500-byte packets (the coexistence prior's grid)"
+    );
+    let link_bps = spec.topology.link_rate.as_bps();
+    let buffer_bits = spec.topology.buffer_capacity.as_u64();
+    let mut truth = build_shared_bottleneck(
+        spec.topology.link_rate,
+        spec.topology.buffer_capacity,
+        spec.topology.loss,
+        2,
+        SimRng::derive_seed(run.seed, STREAM_TRUTH),
+    );
+    let restarting = |alpha: f64, latency_penalty: f64| {
+        RestartingSender::new(
+            Box::new(move || coexist_belief(link_bps, buffer_bits, max_branches)),
+            Box::new(move || utility_of(alpha, latency_penalty) as Box<dyn Utility + Send>),
+            sender_config(spec),
+        )
+    };
+    let mut primary = restarting(alpha, latency_penalty);
+    let mut peer = match cx.peer {
+        PeerSpec::Isender { alpha } => PeerAgent::Model(restarting(alpha, 0.0)),
+        PeerSpec::Aimd { timeout } => {
+            PeerAgent::Aimd(AimdSender::new(timeout).with_packet_size(spec.topology.packet_size))
+        }
+        PeerSpec::TcpReno { max_window } => PeerAgent::Tcp(TcpPeerAgent::new(
+            TcpConfig {
+                packet_size: spec.topology.packet_size,
+                max_window,
+                ..TcpConfig::default()
+            },
+            Box::new(Reno::default()),
+        )),
+        PeerSpec::TcpCubic { max_window } => PeerAgent::Tcp(TcpPeerAgent::new(
+            TcpConfig {
+                packet_size: spec.topology.packet_size,
+                max_window,
+                ..TcpConfig::default()
+            },
+            Box::new(Cubic::default()),
+        )),
+    };
+
+    let t_end = Time::ZERO + spec.duration;
+    let result = {
+        let peer_dyn: &mut dyn SenderAgent = match &mut peer {
+            PeerAgent::Model(m) => m,
+            PeerAgent::Aimd(a) => a,
+            PeerAgent::Tcp(t) => t,
+        };
+        run_multi_agent(&mut truth, &mut [&mut primary, peer_dyn], t_end)
+    };
+
+    let mut summary = blank_summary(run);
+    summary.peer = cx.peer.label().to_string();
+    summary.population = primary.population() as u64;
+    match result {
+        Ok(traces) => {
+            let dur_s = spec.duration.as_secs_f64();
+            // Goodput counts each sequence number once: loss-based peers
+            // retransmit, and a duplicate delivery of an already-received
+            // segment is not useful throughput (the single-sender TCP
+            // path dedups the same way via the endpoint's in-order
+            // accounting).
+            let pkt_bits = spec.topology.packet_size.as_f64();
+            let unique_bits = |trace: &RunTrace| {
+                let mut seen = std::collections::HashSet::new();
+                trace.acks.iter().filter(|o| seen.insert(o.seq)).count() as f64 * pkt_bits
+            };
+            let ra = unique_bits(&traces[0]) / dur_s;
+            let rb = unique_bits(&traces[1]) / dur_s;
+            summary.sends = traces[0].sends.len() as u64;
+            summary.delivered = traces[0].acks.len() as u64;
+            summary.throughput_pps = summary.delivered as f64 / dur_s;
+            summary.goodput_bps = ra;
+            summary.goodput_b_bps = rb;
+            summary.jain = jain_index(&[ra, rb]);
+            summary.utility = ra + alpha * rb;
+            summary.restarts_a = Some(primary.restarts as u64);
+            summary.restarts_b = Some(match &peer {
+                PeerAgent::Model(m) => m.restarts as u64,
+                _ => 0,
+            });
+            summary.overflow_drops = traces
+                .iter()
+                .flat_map(|t| t.drops.iter())
+                .filter(|d| d.reason == DropReason::BufferFull)
+                .count() as u64;
+            let send_at: HashMap<u64, Time> =
+                traces[0].sends.iter().map(|&(seq, t)| (seq, t)).collect();
+            let mut delays: Vec<f64> = traces[0]
+                .acks
+                .iter()
+                .filter_map(|o| send_at.get(&o.seq).map(|t| o.at.since(*t).as_secs_f64()))
+                .collect();
+            delays.sort_by(|a, b| a.total_cmp(b));
+            set_delay_percentiles(&mut summary, &delays);
+            let [trace_a, _] = <[RunTrace; 2]>::try_from(traces).expect("two agents, two traces");
+            (summary, Some(trace_a))
+        }
+        Err(_) => {
+            summary.status = RunStatus::BeliefDied;
+            (summary, None)
+        }
+    }
 }

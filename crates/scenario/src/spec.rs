@@ -166,8 +166,63 @@ impl PriorSpec {
     }
 }
 
+/// The competitor sharing the bottleneck in a coexistence run (the
+/// second sender, transmitting as `FlowId(1)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeerSpec {
+    /// A second belief-restarting ISender with its own utility weight α
+    /// (same coexistence prior as the primary, no latency penalty) —
+    /// EXT-A, §3.5's "more than one ISENDER".
+    Isender {
+        /// The peer's utility weight on cross traffic.
+        alpha: f64,
+    },
+    /// A compact AIMD window sender: additive increase per delivery,
+    /// halve on an RTO-style gap — the congestion-control core all of
+    /// §2's TCP variants share (EXT-B).
+    Aimd {
+        /// The RTO-like gap detector.
+        timeout: Dur,
+    },
+    /// A full TCP Reno bulk transfer (via the network-free
+    /// `augur_tcp::TcpEndpoint`).
+    TcpReno {
+        /// Receiver-window stand-in (packets).
+        max_window: u64,
+    },
+    /// A full TCP CUBIC bulk transfer.
+    TcpCubic {
+        /// Receiver-window stand-in (packets).
+        max_window: u64,
+    },
+}
+
+impl PeerSpec {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PeerSpec::Isender { .. } => "isender",
+            PeerSpec::Aimd { .. } => "aimd",
+            PeerSpec::TcpReno { .. } => "tcp-reno",
+            PeerSpec::TcpCubic { .. } => "tcp-cubic",
+        }
+    }
+}
+
+/// A two-sender coexistence run (§3.5): the scenario's sender and a
+/// [`PeerSpec`] competitor share one bottleneck built from the
+/// topology's link rate, buffer capacity, and loss. The primary must be
+/// an exact-belief ISender; its prior is the dedicated coexistence
+/// prior (`augur_core::coexist_belief`, derived from the topology), so
+/// [`ScenarioSpec::prior`] is not consulted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoexistSpec {
+    /// Who shares the link.
+    pub peer: PeerSpec,
+}
+
 /// What drives the sender.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkloadSpec {
     /// The paper's closed loop (§4): the sender decides when to transmit,
     /// woken by acknowledgments and its own timer.
@@ -179,6 +234,9 @@ pub enum WorkloadSpec {
         /// Gap between scripted transmissions.
         interval: Dur,
     },
+    /// Two senders share the bottleneck (§3.5): the scenario's sender
+    /// plus the described peer, run through the multi-agent loop.
+    Coexist(CoexistSpec),
 }
 
 /// One fully-described experiment.

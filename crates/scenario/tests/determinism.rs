@@ -113,3 +113,31 @@ fn scripted_sweep_is_reproducible_across_workers() {
         serial.runs[0].rate_err_bps
     );
 }
+
+#[test]
+fn coexist_sweep_is_byte_identical_across_workers() {
+    // The multi-agent loop draws wake tie-breaks from the truth RNG;
+    // those draws must stay inside the per-run seed stream, or worker
+    // scheduling would leak into fairness numbers.
+    let grid = augur_scenario::presets::coexist_vs_tcp(Dur::from_secs(20), 2, 50_000);
+    let runs = grid.expand();
+    let serial = SweepRunner::serial().run(&runs);
+    let parallel = SweepRunner::with_workers(4).run(&runs);
+    assert_eq!(
+        serial.to_csv_string(),
+        parallel.to_csv_string(),
+        "worker count leaked into coexistence results"
+    );
+    for r in &serial.runs {
+        assert!(!r.peer.is_empty(), "coexist rows carry the peer label");
+        assert!(
+            r.restarts_a.is_some() && r.restarts_b.is_some(),
+            "coexist rows carry restart counts"
+        );
+        assert!(
+            r.jain.is_nan() || (0.0..=1.0).contains(&r.jain),
+            "jain index in range: {}",
+            r.jain
+        );
+    }
+}

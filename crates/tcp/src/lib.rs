@@ -10,12 +10,14 @@
 
 pub mod cc;
 pub mod cubic;
+pub mod endpoint;
 pub mod reno;
 pub mod rtt;
 pub mod runner;
 
 pub use cc::CongestionControl;
 pub use cubic::Cubic;
+pub use endpoint::TcpEndpoint;
 pub use reno::{Reno, RenoSignal};
 pub use rtt::RttEstimator;
 pub use runner::{TcpConfig, TcpRunner, TcpTrace};

@@ -12,11 +12,10 @@
 //! topology, which is how scenario specs dispatch to the TCP baselines.
 
 use crate::cc::CongestionControl;
-use crate::reno::{Reno, RenoSignal};
-use crate::rtt::RttEstimator;
+use crate::endpoint::TcpEndpoint;
+use crate::reno::Reno;
 use augur_elements::{DropRecord, ModelNet, Network, NodeId};
-use augur_sim::{Bits, Dur, EventQueue, FlowId, Packet, SimRng, Time};
-use std::collections::{BTreeSet, HashMap};
+use augur_sim::{Bits, Dur, FlowId, SimRng, Time};
 
 /// Configuration of a TCP run.
 #[derive(Debug, Clone)]
@@ -103,29 +102,8 @@ pub struct TcpRunner {
     pub rx: NodeId,
     /// Sampling RNG for the network's choices.
     pub rng: SimRng,
-    /// Connection configuration.
-    pub cfg: TcpConfig,
-
-    // Sender state.
-    cc: Box<dyn CongestionControl>,
-    rtt: RttEstimator,
-    next_seq: u64,
-    high_water: u64,
-    recover: u64,
-    snd_una: u64,
-    sent_at: HashMap<u64, Time>,
-    retransmitted: BTreeSet<u64>,
-    rto_deadline: Option<Time>,
-    rto_backoff: u32,
-
-    // Receiver state.
-    rcv_next: u64,
-    out_of_order: BTreeSet<u64>,
-    received_bits: u64,
-
-    // Reverse path: cumulative-ACK events (ack number = next expected).
-    acks: EventQueue<u64>,
-    last_ack_seen: u64,
+    /// The endpoint state machine (sender, receiver, reverse path).
+    pub ep: TcpEndpoint,
 }
 
 impl TcpRunner {
@@ -161,22 +139,7 @@ impl TcpRunner {
             entry,
             rx,
             rng: SimRng::seed_from_u64(seed),
-            cfg,
-            cc,
-            rtt: RttEstimator::default(),
-            next_seq: 0,
-            high_water: 0,
-            recover: 0,
-            snd_una: 0,
-            sent_at: HashMap::new(),
-            retransmitted: BTreeSet::new(),
-            rto_deadline: None,
-            rto_backoff: 0,
-            rcv_next: 0,
-            out_of_order: BTreeSet::new(),
-            received_bits: 0,
-            acks: EventQueue::new(),
-            last_ack_seen: 0,
+            ep: TcpEndpoint::new(cfg, cc),
         }
     }
 
@@ -184,17 +147,15 @@ impl TcpRunner {
     pub fn run(&mut self, t_end: Time) -> TcpTrace {
         let mut trace = TcpTrace::default();
         let mut now = Time::ZERO;
-        self.fill_window(now, &mut trace);
+        let pkts = self.ep.poll(now, &mut trace); // initial window fill
+        self.inject(pkts, now);
         loop {
             // Next event: network internal, ACK arrival, or RTO.
             let mut t_next = Time::MAX;
             if let Some(t) = self.net.next_event_time() {
                 t_next = t_next.min(t);
             }
-            if let Some(t) = self.acks.peek_time() {
-                t_next = t_next.min(t);
-            }
-            if let Some(t) = self.rto_deadline {
+            if let Some(t) = self.ep.next_event_time() {
                 t_next = t_next.min(t);
             }
             if t_next > t_end {
@@ -207,151 +168,25 @@ impl TcpRunner {
             trace.drops.extend(self.net.take_drops());
             let deliveries = self.net.take_deliveries();
             for (node, d) in deliveries {
-                if node == self.rx && d.packet.flow == self.cfg.flow {
-                    self.receiver_accept(d.packet, d.at);
+                if node == self.rx && d.packet.flow == self.ep.cfg().flow {
+                    self.ep.on_delivery(d.packet, d.at);
                 }
             }
 
-            // 2. ACKs due now.
-            while self.acks.peek_time().is_some_and(|t| t <= now) {
-                let (_, ack) = self.acks.pop().unwrap();
-                self.sender_on_ack(ack, now, &mut trace);
-            }
-
-            // 3. Retransmission timeout.
-            if self.rto_deadline.is_some_and(|t| t <= now) {
-                self.on_timeout(now, &mut trace);
-            }
-
-            // 4. Send whatever the window now allows.
-            self.fill_window(now, &mut trace);
+            // 2–4. ACKs due now, retransmission timeout, window refill.
+            let pkts = self.ep.poll(now, &mut trace);
+            self.inject(pkts, now);
         }
         trace
     }
 
-    fn flight(&self) -> u64 {
-        // After a timeout rewind, a late ACK from an original transmission
-        // can advance snd_una past the rewound send pointer.
-        self.next_seq.saturating_sub(self.snd_una)
-    }
-
-    fn fill_window(&mut self, now: Time, trace: &mut TcpTrace) {
-        let window = self.cc.window().min(self.cfg.max_window);
-        while self.flight() < window {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            // After a timeout the send pointer rewinds (go-back-N), so a
-            // "new" send may be a retransmission of an old sequence.
-            let is_retx = seq < self.high_water;
-            self.transmit(seq, now, is_retx, trace);
+    /// Inject emitted packets, sampling through any stochastic element
+    /// reached synchronously.
+    fn inject(&mut self, pkts: Vec<augur_sim::Packet>, now: Time) {
+        for pkt in pkts {
+            self.net.inject(self.entry, pkt);
+            self.net.run_until_sampled(now, &mut self.rng);
         }
-    }
-
-    fn transmit(&mut self, seq: u64, now: Time, is_retx: bool, trace: &mut TcpTrace) {
-        let pkt = Packet::new(self.cfg.flow, seq, self.cfg.packet_size, now);
-        self.net.inject(self.entry, pkt);
-        // Injection may stop at a stochastic element; sample through it.
-        while let augur_elements::Step::Pending(spec) = self.net.run_until(now) {
-            let pick = usize::from(self.rng.bernoulli(spec.p1));
-            self.net.resolve(pick);
-        }
-        trace.segments_sent += 1;
-        if is_retx {
-            trace.retransmissions += 1;
-            self.retransmitted.insert(seq);
-        } else {
-            self.sent_at.insert(seq, now);
-        }
-        self.high_water = self.high_water.max(seq + 1);
-        if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.backed_off_rto());
-        }
-    }
-
-    fn backed_off_rto(&self) -> Dur {
-        self.rtt
-            .rto()
-            .saturating_mul(1u64 << self.rto_backoff.min(6))
-    }
-
-    fn receiver_accept(&mut self, pkt: Packet, at: Time) {
-        if pkt.seq >= self.rcv_next {
-            if pkt.seq == self.rcv_next {
-                self.rcv_next += 1;
-                self.received_bits += pkt.size.as_u64();
-                while self.out_of_order.remove(&self.rcv_next) {
-                    self.rcv_next += 1;
-                    self.received_bits += pkt.size.as_u64();
-                }
-            } else {
-                self.out_of_order.insert(pkt.seq);
-            }
-        }
-        // Every arrival generates a (possibly duplicate) cumulative ACK.
-        self.acks.push(at + self.cfg.reverse_delay, self.rcv_next);
-    }
-
-    fn sender_on_ack(&mut self, ack: u64, now: Time, trace: &mut TcpTrace) {
-        if ack > self.snd_una {
-            let newly = ack - self.snd_una;
-            // RTT sample from the *first* newly-acked segment — the one
-            // whose delivery triggered this ACK in the in-order case —
-            // and never from a retransmitted one (Karn's algorithm).
-            let sample_seq = self.snd_una;
-            if !self.retransmitted.contains(&sample_seq) {
-                if let Some(sent) = self.sent_at.get(&sample_seq) {
-                    let rtt = now.since(*sent);
-                    self.rtt.observe(rtt);
-                    if let Some(srtt) = self.rtt.srtt() {
-                        self.cc.observe_rtt(srtt);
-                    }
-                    trace.rtt_samples.push((now, rtt));
-                }
-            }
-            for s in self.snd_una..ack {
-                self.sent_at.remove(&s);
-                self.retransmitted.remove(&s);
-            }
-            self.snd_una = ack;
-            self.next_seq = self.next_seq.max(ack);
-            self.rto_backoff = 0;
-            let was_in_recovery = self.cc.in_recovery();
-            if was_in_recovery && ack < self.recover {
-                // NewReno partial ACK: the next hole is at the new
-                // snd_una — retransmit it immediately, stay in recovery.
-                self.transmit(self.snd_una, now, true, trace);
-            } else {
-                self.cc.on_new_ack(newly, now);
-            }
-            self.rto_deadline = if self.flight() > 0 {
-                Some(now + self.backed_off_rto())
-            } else {
-                None
-            };
-            trace.goodput.push((now, self.received_bits));
-        } else if ack == self.last_ack_seen
-            && self.flight() > 0
-            && self.cc.on_dup_ack(now) == RenoSignal::FastRetransmit
-        {
-            self.recover = self.next_seq;
-            self.transmit(self.snd_una, now, true, trace);
-        }
-        self.last_ack_seen = ack;
-        trace.cwnd_samples.push((now, self.cc.cwnd()));
-    }
-
-    fn on_timeout(&mut self, now: Time, trace: &mut TcpTrace) {
-        trace.timeouts += 1;
-        self.cc.on_timeout(now);
-        self.rtt.on_timeout();
-        self.rto_backoff += 1;
-        // Go-back-N: rewind the send pointer; everything unacknowledged
-        // will be resent as the window reopens in slow start.
-        self.next_seq = self.snd_una;
-        self.recover = self.high_water;
-        self.fill_window(now, trace); // window is 1: resends snd_una
-        self.rto_deadline = Some(now + self.backed_off_rto());
-        trace.cwnd_samples.push((now, self.cc.cwnd()));
     }
 }
 
