@@ -3,71 +3,58 @@
 //! show the in-network fix to Figure 1's bufferbloat: the same TCP Reno
 //! download over the same deep buffer, with the queue discipline swapped.
 //!
+//! The experiment is the `presets::ext_aqm` scenario grid — the FIG1
+//! cellular download with a queue-discipline sweep axis (also shipped as
+//! `experiments/specs/ext-aqm.toml`); this binary adds the RTT series
+//! export and the shape checks.
+//!
 //! Expected shape: drop-tail shows multi-second RTTs; CoDel holds the
 //! p95 RTT near its 100 ms interval; RED sits in between; goodput stays
 //! comparable (within ~2× of drop-tail).
 
 use augur_bench::{check, save_csv};
-use augur_elements::{Buffer, CellularParams, DelayEl, Element, Link, NetworkBuilder, ReceiverEl};
-use augur_sim::{Bits, Dur, Ppm, Time};
-use augur_tcp::{TcpConfig, TcpRunner, TcpTrace};
+use augur_scenario::{presets, SweepRunner};
+use augur_sim::{Dur, Time};
+use augur_tcp::TcpTrace;
 use augur_trace::{summarize, Series, Summary};
-
-fn run(label: &str, buffer: Buffer) -> (TcpTrace, Summary) {
-    let params = CellularParams::lte_like();
-    // Rebuild the cellular path with the chosen queue discipline.
-    let mut b = NetworkBuilder::new();
-    let buf = b.add(Element::Buffer(buffer));
-    let link = b.add(Element::Link(Link::new(
-        params.rate.clone(),
-        params.arq_loss,
-        params.arq_retry_delay,
-    )));
-    let delay = b.add(Element::Delay(DelayEl::new(params.propagation)));
-    let rx = b.add(Element::Receiver(ReceiverEl));
-    b.connect(buf, link);
-    b.connect(link, delay);
-    b.connect(delay, rx);
-    let net = b.build();
-
-    let mut runner = TcpRunner::new(net, buf, rx, TcpConfig::default(), 0xA0);
-    let trace = runner.run(Time::from_secs(120));
-    let rtts: Vec<f64> = trace
-        .rtt_samples
-        .iter()
-        .map(|(_, r)| r.as_secs_f64())
-        .collect();
-    let summary = summarize(&rtts);
-    println!(
-        "  {label:<10} median RTT {:>7.3}s  p95 {:>7.3}s  max {:>7.3}s  goodput {:>9.0} bps  drops {:>4}",
-        summary.median,
-        summary.p95,
-        summary.max,
-        trace.mean_goodput_bps(Time::from_secs(120)),
-        trace.drops.len(),
-    );
-    (trace, summary)
-}
 
 fn main() {
     println!("EXT-D: TCP Reno over the LTE-like path, queue discipline swapped, 120 s\n");
-    let capacity = CellularParams::lte_like().buffer_capacity;
+    let runs = presets::ext_aqm(Dur::from_secs(120)).expand();
+    // Goodput windows derive from the spec, not a second literal.
+    let t_end = Time::ZERO + runs[0].spec.duration;
+    let (_, artifacts) = SweepRunner::parallel().run_traced(&runs);
 
-    let (droptail_trace, droptail) = run("drop-tail", Buffer::drop_tail(capacity));
-    let (red_trace, red) = run(
-        "RED",
-        Buffer::red(
-            capacity,
-            Bits::new(capacity.as_u64() / 12), // min_th
-            Bits::new(capacity.as_u64() / 4),  // max_th
-            Ppm::from_prob(0.1),
-            9, // EWMA weight 1/512
-        ),
-    );
-    let (codel_trace, codel) = run(
-        "CoDel",
-        Buffer::codel(capacity, Dur::from_millis(5), Dur::from_millis(100)),
-    );
+    let mut results: Vec<(String, TcpTrace, Summary)> = Vec::new();
+    for (run, artifact) in runs.iter().zip(artifacts) {
+        let label = run.point();
+        let trace = artifact.into_tcp().expect("cellular TCP runs leave traces");
+        let rtts: Vec<f64> = trace
+            .rtt_samples
+            .iter()
+            .map(|(_, r)| r.as_secs_f64())
+            .collect();
+        let summary = summarize(&rtts);
+        println!(
+            "  {label:<16} median RTT {:>7.3}s  p95 {:>7.3}s  max {:>7.3}s  goodput {:>9.0} bps  drops {:>4}",
+            summary.median,
+            summary.p95,
+            summary.max,
+            trace.mean_goodput_bps(t_end),
+            trace.drops.len(),
+        );
+        results.push((label, trace, summary));
+    }
+
+    let by_queue = |q: &str| -> &(String, TcpTrace, Summary) {
+        results
+            .iter()
+            .find(|(label, ..)| label == &format!("queue={q}"))
+            .unwrap_or_else(|| panic!("queue={q} run present"))
+    };
+    let (_, droptail_trace, droptail) = by_queue("drop-tail");
+    let (_, red_trace, red) = by_queue("red");
+    let (_, codel_trace, codel) = by_queue("codel");
 
     // Series for the figure: RTT over time per discipline.
     let series = |name: &str, trace: &TcpTrace| {
@@ -77,9 +64,9 @@ fn main() {
         }
         s
     };
-    let s1 = series("droptail", &droptail_trace);
-    let s2 = series("red", &red_trace);
-    let s3 = series("codel", &codel_trace);
+    let s1 = series("droptail", droptail_trace);
+    let s2 = series("red", red_trace);
+    let s3 = series("codel", codel_trace);
     save_csv("ext_aqm_rtt", &[&s1, &s2, &s3]);
 
     println!("\nShape checks:");
@@ -98,10 +85,10 @@ fn main() {
         red.p95 < droptail.p95,
         format!("{:.3}s vs {:.3}s", red.p95, droptail.p95),
     );
-    let gp = |t: &TcpTrace| t.mean_goodput_bps(Time::from_secs(120));
+    let gp = |t: &TcpTrace| t.mean_goodput_bps(t_end);
     check(
         "CoDel keeps comparable goodput (>= half of drop-tail)",
-        gp(&codel_trace) >= gp(&droptail_trace) / 2.0,
-        format!("{:.0} vs {:.0} bps", gp(&codel_trace), gp(&droptail_trace)),
+        gp(codel_trace) >= gp(droptail_trace) / 2.0,
+        format!("{:.0} vs {:.0} bps", gp(codel_trace), gp(droptail_trace)),
     );
 }

@@ -21,7 +21,12 @@ fn main() {
     println!("EXT-A: two ISenders sharing a 24 kbit/s bottleneck, 200 s\n");
     let grid = presets::coexist_fairness(Dur::from_secs(200), 1, 50_000);
     let runs = grid.expand();
-    let link_bps = runs[0].spec.topology.link_rate.as_bps();
+    let link_bps = runs[0]
+        .spec
+        .topology
+        .model("ext_fairness")
+        .link_rate
+        .as_bps();
     let report = SweepRunner::serial().run(&runs);
     let r = &report.runs[0];
 

@@ -19,7 +19,7 @@ fn main() {
     println!("EXT-B: ISender (alpha=1) vs loss-based senders on a 24 kbit/s bottleneck, 200 s\n");
     let grid = presets::coexist_vs_tcp(Dur::from_secs(200), 1, 50_000);
     let runs = grid.expand();
-    let link_bps = runs[0].spec.topology.link_rate.as_bps();
+    let link_bps = runs[0].spec.topology.model("ext_vs_tcp").link_rate.as_bps();
     let report = SweepRunner::serial().run(&runs);
 
     for r in &report.runs {

@@ -4,25 +4,31 @@
 //! The paper measured a real LTE modem; we substitute the synthetic
 //! cellular path of `augur_elements::cellular` (DESIGN.md §5): a deep
 //! drop-tail buffer feeding a fading radio link whose stochastic losses
-//! are hidden by link-layer ARQ. A TCP Reno bulk download runs for 250 s
-//! and every ACK's RTT is plotted on a log axis, as in the paper.
+//! are hidden by link-layer ARQ. The experiment is the `presets::fig1`
+//! scenario (a `TopologySpec::Cellular` TCP Reno run, also shipped as
+//! `experiments/specs/fig1.toml`); this binary adds the log-axis RTT
+//! plot and the shape checks EXPERIMENTS.md records.
 //!
 //! Shape targets: RTT starts near the propagation floor (~0.1 s) and
 //! climbs beyond several seconds; max/min ratio ≥ 30×.
 
 use augur_bench::{check, save_csv};
-use augur_elements::{build_cellular, CellularParams};
-use augur_sim::Time;
-use augur_tcp::{TcpConfig, TcpRunner};
+use augur_scenario::{presets, SweepRunner};
+use augur_sim::{Dur, Time};
 use augur_trace::{render, PlotConfig, Series};
 
 fn main() {
     println!("FIG1: TCP Reno download over a synthetic LTE-like path, 250 s");
-    let params = CellularParams::lte_like();
-    let cell = build_cellular(&params);
-    let mut runner = TcpRunner::new(cell.net, cell.entry, cell.rx, TcpConfig::default(), 0xF1);
-    let t_end = Time::from_secs(250);
-    let trace = runner.run(t_end);
+    let runs = presets::fig1(Dur::from_secs(250)).expand();
+    // Goodput windows derive from the spec, not a second literal.
+    let t_end = Time::ZERO + runs[0].spec.duration;
+    let (report, artifacts) = SweepRunner::serial().run_traced(&runs);
+    let trace = artifacts
+        .into_iter()
+        .next()
+        .and_then(|a| a.into_tcp())
+        .expect("cellular TCP runs produce a TcpTrace");
+    let summary_row = &report.runs[0];
 
     let mut rtt = Series::new("rtt_seconds");
     for (t, r) in &trace.rtt_samples {
@@ -53,6 +59,10 @@ fn main() {
         trace.segments_sent,
         trace.retransmissions,
         trace.timeouts
+    );
+    println!(
+        "  sweep row: p50 {:.3}s  p95 {:.3}s  {} overflow drops",
+        summary_row.delay_p50_s, summary_row.delay_p95_s, summary_row.overflow_drops
     );
 
     println!("\nShape checks:");

@@ -39,7 +39,9 @@ fn main() {
         .map(|(run, trace)| {
             (
                 run.spec.sender.alpha().expect("fig3 senders carry α"),
-                trace.expect("closed-loop ISender runs produce traces"),
+                trace
+                    .into_closed_loop()
+                    .expect("closed-loop ISender runs produce traces"),
             )
         })
         .collect();

@@ -1,30 +1,52 @@
-//! `sweep` — run any preset parameter sweep from the command line.
+//! `sweep` — run any preset or spec-file parameter sweep from the
+//! command line.
 //!
 //! ```sh
 //! cargo run --release --bin sweep -- fig3
 //! cargo run --release --bin sweep -- fig3 --duration 60 --branches 2000 --workers 1
+//! cargo run --release --bin sweep -- --spec experiments/specs/fig3.toml
+//! cargo run --release --bin sweep -- --spec my_experiment.toml --check
+//! cargo run --release --bin sweep -- --export-specs experiments/specs
 //! cargo run --release --bin sweep -- scaling --jsonl
-//! cargo run --release --bin sweep -- smoke --replicates 8
 //! ```
 //!
-//! Presets: `fig3` (α sweep, Figure 3), `txt2` (latency penalty, §4),
-//! `scaling` (exact vs particle across prior sizes, EXT-C), `smoke` (a
-//! quick exact-vs-particle grid for CI), `coexist-fairness` (two
-//! ISenders sharing a bottleneck, EXT-A) and `coexist-vs-tcp` (ISender
-//! vs AIMD / TCP Reno / CUBIC, EXT-B). The preset may be given
-//! positionally or via `--preset`. Every run's seed derives from
-//! `(base seed, run index)`, so the CSV is byte-identical for any
-//! `--workers` value — `--workers 1` is the reference execution.
+//! Presets (see `augur_scenario::presets::NAMES`): `fig1`, `fig3`,
+//! `tab1`, `txt1`, `txt2`, `scaling`, `smoke`, `coexist-fairness`,
+//! `coexist-vs-tcp`, and `ext-aqm`. The preset may be given positionally
+//! or via `--preset`; `--spec <file.toml>` loads the same grid shape
+//! from a spec file instead (`--export-specs <dir>` writes the
+//! canonical file for every preset). `--check` parses, validates, and
+//! expands the grid without running it.
+//!
+//! `--duration`, `--branches`, and `--replicates` override the grid the
+//! same way for presets and spec files, and are rejected when the grid
+//! has nothing to apply them to (a silently ignored parameter would
+//! yield a sweep that does not match what was asked for). Spec-file
+//! parse and validation failures exit with code 2 — distinct from a run
+//! failure — and name the offending file, line, and column.
+//!
+//! Every run's seed derives from `(base seed, run index)`, so the CSV is
+//! byte-identical for any `--workers` value — `--workers 1` is the
+//! reference execution.
 
 use augur_bench::out_dir;
-use augur_scenario::{presets, SweepGrid, SweepRunner};
+use augur_scenario::{grid_to_toml, load_grid, presets, Axis, SweepGrid, SweepRunner};
 use augur_sim::Dur;
 use std::fs;
 use std::io::BufWriter;
+use std::path::PathBuf;
 use std::process::exit;
 
+/// Where the grid comes from.
+enum Source {
+    Preset(String),
+    Spec(PathBuf),
+}
+
 struct Options {
-    preset: String,
+    source: Option<Source>,
+    export_specs: Option<PathBuf>,
+    check: bool,
     workers: Option<usize>,
     duration: Option<u64>,
     branches: Option<usize>,
@@ -34,31 +56,33 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--preset] <fig3|txt2|scaling|smoke|coexist-fairness|coexist-vs-tcp> \
-         [--workers N] [--duration SECS] [--branches B] [--replicates K] [--jsonl]"
+        "usage: sweep [--preset] <{}>\n\
+         \x20      sweep --spec <file.toml>\n\
+         \x20      sweep --export-specs <dir>\n\
+         \x20 options: [--check] [--workers N] [--duration SECS] [--branches B] \
+         [--replicates K] [--jsonl]",
+        presets::NAMES.join("|")
     );
     exit(2)
 }
 
 fn parse_args() -> Options {
     let mut args = std::env::args().skip(1).peekable();
-    // The preset names the sweep; accept it positionally or as --preset.
-    let preset = match args.peek().map(String::as_str) {
-        Some("--preset") => {
-            args.next();
-            args.next().unwrap_or_else(|| usage())
-        }
-        Some(p) if !p.starts_with("--") => args.next().unwrap(),
-        _ => usage(),
-    };
     let mut opts = Options {
-        preset,
+        source: None,
+        export_specs: None,
+        check: false,
         workers: None,
         duration: None,
         branches: None,
         replicates: None,
         jsonl: false,
     };
+    // The preset names the sweep; accept it positionally as the first
+    // argument or anywhere as --preset/--spec.
+    if matches!(args.peek(), Some(p) if !p.starts_with("--")) {
+        opts.source = Some(Source::Preset(args.next().unwrap()));
+    }
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
             args.next().unwrap_or_else(|| {
@@ -72,7 +96,24 @@ fn parse_args() -> Options {
                 usage()
             })
         }
+        let set_source = |opts: &mut Options, source: Source| {
+            if opts.source.is_some() {
+                eprintln!("give exactly one of a preset or --spec");
+                usage()
+            }
+            opts.source = Some(source);
+        };
         match flag.as_str() {
+            "--preset" => {
+                let name = value("--preset");
+                set_source(&mut opts, Source::Preset(name));
+            }
+            "--spec" => {
+                let path = value("--spec");
+                set_source(&mut opts, Source::Spec(PathBuf::from(path)));
+            }
+            "--export-specs" => opts.export_specs = Some(PathBuf::from(value("--export-specs"))),
+            "--check" => opts.check = true,
             "--workers" => {
                 let n: usize = numeric("--workers", value("--workers"));
                 if n == 0 {
@@ -87,94 +128,160 @@ fn parse_args() -> Options {
                 opts.replicates = Some(numeric("--replicates", value("--replicates")))
             }
             "--jsonl" => opts.jsonl = true,
-            _ => usage(),
+            _ => {
+                eprintln!("unknown flag {flag:?}");
+                usage()
+            }
         }
     }
     opts
 }
 
-/// Branch cap, overridable for quick runs: `--branches` or
-/// `AUGUR_BRANCHES=2000`.
-fn branch_budget(opts: &Options) -> usize {
-    opts.branches
-        .or_else(|| {
-            std::env::var("AUGUR_BRANCHES")
-                .ok()
-                .and_then(|s| s.parse().ok())
-        })
-        .unwrap_or(50_000)
-}
-
-/// Reject flags the chosen preset does not consume — a silently ignored
-/// parameter yields a sweep that does not match what was asked for.
-fn reject_unused(opts: &Options, duration: bool, branches: bool, replicates: bool) {
-    let mut bad = Vec::new();
-    if opts.duration.is_some() && !duration {
-        bad.push("--duration");
+/// Apply `--duration` / `--branches` / `--replicates` to the grid — the
+/// same semantics for presets and spec files — rejecting any override
+/// the grid cannot consume.
+fn apply_overrides(grid: &mut SweepGrid, opts: &Options, label: &str) {
+    if let Some(secs) = opts.duration {
+        grid.base.duration = Dur::from_secs(secs);
     }
-    if opts.branches.is_some() && !branches {
-        bad.push("--branches");
+    // AUGUR_BRANCHES is ambient; only an explicit --branches on a grid
+    // with no branch cap is a hard authoring error.
+    let env_branches = std::env::var("AUGUR_BRANCHES")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    if let Some(b) = opts.branches.or(env_branches) {
+        let mut applied = false;
+        if let Some(cap) = grid.base.sender.max_branches_mut() {
+            *cap = b;
+            applied = true;
+        }
+        for axis in &mut grid.axes {
+            if let Axis::Sender(senders) = axis {
+                for s in senders {
+                    if let Some(cap) = s.max_branches_mut() {
+                        *cap = b;
+                        applied = true;
+                    }
+                }
+            }
+        }
+        if !applied && opts.branches.is_some() {
+            eprintln!("{label} does not take --branches (no exact-belief sender in the grid)");
+            usage()
+        }
     }
-    if opts.replicates.is_some() && !replicates {
-        bad.push("--replicates");
-    }
-    if !bad.is_empty() {
-        eprintln!("preset {:?} does not take {}", opts.preset, bad.join(", "));
-        usage()
-    }
-}
-
-fn build_grid(opts: &Options) -> SweepGrid {
-    match opts.preset.as_str() {
-        "fig3" => {
-            reject_unused(opts, true, true, false);
-            presets::fig3(
-                Dur::from_secs(opts.duration.unwrap_or(300)),
-                branch_budget(opts),
-            )
+    if let Some(k) = opts.replicates {
+        let mut applied = false;
+        for axis in &mut grid.axes {
+            if let Axis::Seeds(count) = axis {
+                *count = k;
+                applied = true;
+            }
         }
-        "txt2" => {
-            reject_unused(opts, true, false, false);
-            presets::txt2(Dur::from_secs(opts.duration.unwrap_or(120)))
-        }
-        "scaling" => {
-            reject_unused(opts, false, false, false);
-            presets::ext_scaling(vec![101, 1_001, 10_001], 1_000)
-        }
-        "smoke" => {
-            reject_unused(opts, true, false, true);
-            presets::smoke(
-                Dur::from_secs(opts.duration.unwrap_or(20)),
-                opts.replicates.unwrap_or(4),
-            )
-        }
-        "coexist-fairness" => {
-            reject_unused(opts, true, true, true);
-            presets::coexist_fairness(
-                Dur::from_secs(opts.duration.unwrap_or(60)),
-                opts.replicates.unwrap_or(4),
-                branch_budget(opts),
-            )
-        }
-        "coexist-vs-tcp" => {
-            reject_unused(opts, true, true, true);
-            presets::coexist_vs_tcp(
-                Dur::from_secs(opts.duration.unwrap_or(60)),
-                opts.replicates.unwrap_or(2),
-                branch_budget(opts),
-            )
-        }
-        other => {
-            eprintln!("unknown preset {other:?}");
+        if !applied {
+            eprintln!("{label} does not take --replicates (no seeds axis in the grid)");
             usage()
         }
     }
 }
 
+/// Write the canonical spec file for every preset into `dir`.
+fn export_specs(dir: &PathBuf) {
+    fs::create_dir_all(dir).expect("create spec dir");
+    for name in presets::NAMES {
+        let grid = presets::by_name(name).expect("registry names resolve");
+        let path = dir.join(format!("{name}.toml"));
+        fs::write(&path, grid_to_toml(&grid)).expect("write spec file");
+        println!("  wrote {}", path.display());
+    }
+}
+
 fn main() {
     let opts = parse_args();
-    let grid = build_grid(&opts);
-    let runs = grid.expand();
+    if let Some(dir) = &opts.export_specs {
+        // Export writes the canonical default grids; a run flag here
+        // would be silently ignored, so reject the combination.
+        if opts.source.is_some()
+            || opts.check
+            || opts.workers.is_some()
+            || opts.duration.is_some()
+            || opts.branches.is_some()
+            || opts.replicates.is_some()
+            || opts.jsonl
+        {
+            eprintln!("--export-specs takes no preset, spec, or run flags");
+            usage()
+        }
+        export_specs(dir);
+        return;
+    }
+    let (mut grid, label) = match &opts.source {
+        Some(Source::Preset(name)) => match presets::by_name(name) {
+            Some(grid) => (grid, format!("preset {name:?}")),
+            None => {
+                eprintln!("unknown preset {name:?}");
+                usage()
+            }
+        },
+        Some(Source::Spec(path)) => match load_grid(path) {
+            Ok(grid) => (grid, format!("spec {}", path.display())),
+            Err(e) => {
+                // Parse/validation failure: exit 2, distinct from a run
+                // failure, naming the file and position. IO errors carry
+                // no position (and already name the path).
+                if e.line == 0 {
+                    eprintln!("{}", e.message);
+                } else {
+                    eprintln!("{}:{e}", path.display());
+                }
+                exit(2)
+            }
+        },
+        None => usage(),
+    };
+    apply_overrides(&mut grid, &opts, &label);
+
+    // Expansion applies every axis to the base spec, so it catches the
+    // grid-level authoring errors the decoder cannot see in isolation
+    // (an alpha axis over a TCP sender, a peer axis without a coexist
+    // workload, …). Run it under a silenced panic hook whether or not
+    // --check was asked for: an invalid grid is always an exit-2
+    // authoring error, never a run failure.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let expanded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| grid.expand()));
+    std::panic::set_hook(prev_hook);
+    let runs = match expanded {
+        Ok(runs) => runs,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("grid expansion panicked");
+            eprintln!("{label}: invalid grid: {msg}");
+            exit(2)
+        }
+    };
+
+    if opts.check {
+        println!(
+            "OK {label}: scenario {:?}, {} runs ({}), base seed {:#x}",
+            grid.base.name,
+            runs.len(),
+            if grid.axes.is_empty() {
+                "no axes".to_string()
+            } else {
+                grid.axes
+                    .iter()
+                    .map(|a| format!("{}×{}", a.name(), a.len()))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            },
+            grid.base.base_seed
+        );
+        return;
+    }
     let runner = match opts.workers {
         Some(n) => SweepRunner::with_workers(n),
         None => SweepRunner::parallel(),
@@ -182,7 +289,7 @@ fn main() {
     .verbose();
     println!(
         "SWEEP {}: {} runs ({}), {} workers, base seed {:#x}",
-        opts.preset,
+        grid.base.name,
         runs.len(),
         grid.axes
             .iter()
@@ -196,14 +303,14 @@ fn main() {
     let report = runner.run(&runs);
     println!("\n{}", report.render_text());
 
-    let csv_path = out_dir().join(format!("{}_sweep.csv", opts.preset));
+    let csv_path = out_dir().join(format!("{}_sweep.csv", grid.base.name));
     let file = fs::File::create(&csv_path).expect("create sweep csv");
     report
         .write_csv(BufWriter::new(file))
         .expect("write sweep csv");
     println!("  wrote {}", csv_path.display());
     if opts.jsonl {
-        let path = out_dir().join(format!("{}_sweep.jsonl", opts.preset));
+        let path = out_dir().join(format!("{}_sweep.jsonl", grid.base.name));
         let file = fs::File::create(&path).expect("create sweep jsonl");
         report
             .write_jsonl(BufWriter::new(file))

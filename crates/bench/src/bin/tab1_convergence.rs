@@ -5,10 +5,17 @@
 //! possibility, the true value of most of the parameters" (§4). We run
 //! the α = 1 sender for 120 s against the paper's ground truth and report
 //! the posterior marginal of each parameter over time.
+//!
+//! The experiment is the `presets::tab1` scenario (also shipped as
+//! `experiments/specs/tab1.toml`); this binary builds the exact truth
+//! and sender that scenario describes via the scenario runner's helpers,
+//! because the posterior snapshots need the belief mid-run — a
+//! measurement the summary-only sweep path does not expose.
 
-use augur_bench::{check, paper_sender, paper_truth, save_csv};
+use augur_bench::{check, save_csv};
 use augur_core::run_closed_loop;
-use augur_sim::{BitRate, Bits, Ppm, Time};
+use augur_scenario::{presets, spec_ground_truth, spec_isender};
+use augur_sim::{BitRate, Bits, Dur, Ppm, Time};
 use augur_trace::Series;
 
 fn main() {
@@ -43,8 +50,10 @@ fn main() {
     );
 
     // Run in 10 s stages so we can snapshot the posterior as it sharpens.
-    let mut truth = paper_truth(0x7AB1);
-    let mut sender = paper_sender(1.0, 50_000);
+    let runs = presets::tab1(Dur::from_secs(120), 50_000).expand();
+    let run = &runs[0];
+    let mut truth = spec_ground_truth(&run.spec, run.seed);
+    let mut sender = spec_isender(&run.spec);
     let mut p_c = Series::new("P(c=12000)");
     let mut p_r = Series::new("P(r=0.7c)");
     let mut p_p = Series::new("P(p=0.2)");

@@ -4,80 +4,27 @@
 //! if it is not sure of the link speed and initial buffer occupancy.
 //! Once it has inferred those parameters, it simply sends at the link
 //! speed from there on out."
+//!
+//! The experiment is the `presets::txt1` scenario — a quiet 12 kbit/s
+//! link with a half-full buffer, neither known to the sender, and a
+//! cross-free custom prior (also shipped as `experiments/specs/
+//! txt1.toml`). This binary builds the scenario's truth and sender via
+//! the scenario runner's helpers because the checks read the posterior
+//! out of the belief after the run.
 
 use augur_bench::{check, save_csv};
-use augur_core::{run_closed_loop, DiscountedThroughput, GroundTruth, ISender, ISenderConfig};
-use augur_elements::{build_model, GateSpec, ModelParams};
-use augur_inference::{Belief, BeliefConfig, Hypothesis, ModelPrior};
-use augur_sim::{BitRate, Bits, Dur, Ppm, SimRng, Time};
+use augur_core::run_closed_loop;
+use augur_scenario::{presets, spec_ground_truth, spec_isender};
+use augur_sim::{BitRate, Dur, Time};
 use augur_trace::{render, PlotConfig, Series};
-
-fn quiet_params(link_bps: u64, fullness: u64) -> ModelParams {
-    ModelParams {
-        link_rate: BitRate::from_bps(link_bps),
-        cross_rate: BitRate::from_bps(link_bps * 7 / 10),
-        gate: GateSpec::AlwaysOn,
-        loss: Ppm::ZERO,
-        buffer_capacity: Bits::new(96_000),
-        initial_fullness: Bits::new(fullness),
-        packet_size: Bits::from_bytes(1_500),
-        cross_active: false,
-    }
-}
 
 fn main() {
     println!("TXT1: single ISender on an unknown link (no cross traffic, no loss), 90 s");
 
-    // Ground truth: c = 12,000 bps, buffer initially half full (48,000
-    // bits) — both unknown to the sender.
-    let truth_params = quiet_params(12_000, 48_000);
-    let m = build_model(truth_params);
-    let mut truth = GroundTruth {
-        net: m.net,
-        entry: m.entry,
-        rx_self: m.rx_self,
-        rng: SimRng::seed_from_u64(0x1),
-    };
-
-    // Prior: c in {10,12,14,16} kbps, fullness unknown in packet steps.
-    let prior = ModelPrior {
-        link_rates: (5..=8).map(|k| BitRate::from_bps(k * 2_000)).collect(),
-        cross_fracs_ppm: vec![700_000],
-        losses: vec![Ppm::ZERO],
-        buffer_capacities: vec![Bits::new(96_000)],
-        fullness_step: Some(Bits::new(12_000)),
-        mtts: Dur::from_secs(100),
-        epoch: Dur::from_secs(1),
-        gate_initial: vec![true],
-        packet_size: Bits::from_bytes(1_500),
-    };
-    let hyps: Vec<Hypothesis<ModelParams>> = prior
-        .grid()
-        .into_iter()
-        .map(|mut p| {
-            p.cross_active = false;
-            Hypothesis {
-                net: build_model(p).net,
-                meta: p,
-                weight: 1.0,
-            }
-        })
-        .collect();
-    let probe = build_model(quiet_params(12_000, 0));
-    let belief = Belief::new(
-        hyps,
-        probe.entry,
-        probe.rx_self,
-        BeliefConfig {
-            fold_loss_node: Some(probe.loss),
-            ..BeliefConfig::default()
-        },
-    );
-    let mut sender = ISender::new(
-        belief,
-        Box::new(DiscountedThroughput::with_alpha(1.0)),
-        ISenderConfig::default(),
-    );
+    let runs = presets::txt1(Dur::from_secs(90)).expand();
+    let run = &runs[0];
+    let mut truth = spec_ground_truth(&run.spec, run.seed);
+    let mut sender = spec_isender(&run.spec);
     let trace = run_closed_loop(&mut truth, &mut sender, Time::from_secs(90)).expect("belief died");
 
     let mut seq = Series::new("sequence number");

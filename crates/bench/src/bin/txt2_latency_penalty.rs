@@ -53,12 +53,12 @@ fn main() {
                 } => latency_penalty == lp,
                 _ => false,
             })
-            .and_then(|(_, trace)| trace.clone())
+            .and_then(|(_, trace)| trace.clone().into_closed_loop())
             .unwrap_or_else(|| panic!("latency_penalty={lp} run produces a trace"))
     };
     let plain = trace_with(0.0);
     let penalized = trace_with(0.5);
-    let topology = &runs[0].spec.topology;
+    let topology = runs[0].spec.topology.model("txt2");
     let (plain_delay, pen_delay) = (
         mean_cross_delay(&plain, topology),
         mean_cross_delay(&penalized, topology),

@@ -17,10 +17,8 @@
 //! Each binary prints its figure as an ASCII chart, writes CSV under
 //! `experiments/`, and prints the shape checks EXPERIMENTS.md records.
 
-use augur_core::{DiscountedThroughput, GroundTruth, ISender, ISenderConfig};
-use augur_elements::{build_model, ModelParams};
+use augur_elements::ModelParams;
 use augur_inference::{Belief, BeliefConfig, ModelPrior};
-use augur_sim::SimRng;
 use augur_trace::Series;
 use std::fs;
 use std::path::PathBuf;
@@ -43,33 +41,15 @@ pub fn save_csv(name: &str, series: &[&Series]) {
     println!("  wrote {}", path.display());
 }
 
-/// The paper's ground-truth network (Figure 2 with the table's "actual"
-/// column) wrapped for the closed loop.
-pub fn paper_truth(seed: u64) -> GroundTruth {
-    let m = build_model(ModelParams::paper_ground_truth());
-    GroundTruth {
-        net: m.net,
-        entry: m.entry,
-        rx_self: m.rx_self,
-        rng: SimRng::seed_from_u64(seed),
-    }
-}
-
 /// The paper's prior as a belief, with a configurable branch cap.
+/// (The scenario runner's `spec_ground_truth`/`spec_isender` replaced
+/// the old binary-local harness constructors; this remains for the
+/// feature-gated criterion benches.)
 pub fn paper_belief(max_branches: usize) -> Belief<ModelParams> {
     ModelPrior::paper().belief(BeliefConfig {
         max_branches,
         ..BeliefConfig::default()
     })
-}
-
-/// An ISender over the paper prior with utility α (Figure 3's knob).
-pub fn paper_sender(alpha: f64, max_branches: usize) -> ISender<ModelParams> {
-    ISender::new(
-        paper_belief(max_branches),
-        Box::new(DiscountedThroughput::with_alpha(alpha)),
-        ISenderConfig::default(),
-    )
 }
 
 /// Render a one-line pass/fail check.

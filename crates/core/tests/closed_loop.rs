@@ -46,6 +46,7 @@ fn quiet_prior() -> ModelPrior {
         epoch: Dur::from_secs(1),
         gate_initial: vec![true],
         packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
     }
 }
 

@@ -82,10 +82,17 @@ pub struct CellularNet {
     pub rx: NodeId,
 }
 
-/// Build the cellular path.
+/// Build the cellular path with the default deep drop-tail buffer.
 pub fn build_cellular(params: &CellularParams) -> CellularNet {
+    build_cellular_with_buffer(params, Buffer::drop_tail(params.buffer_capacity))
+}
+
+/// Build the cellular path with an explicit buffer element — the AQM
+/// experiments (EXT-D) swap the deep FIFO for RED or CoDel while keeping
+/// the rest of the radio path identical.
+pub fn build_cellular_with_buffer(params: &CellularParams, buffer_el: Buffer) -> CellularNet {
     let mut b = NetworkBuilder::new();
-    let buffer = b.add(Element::Buffer(Buffer::drop_tail(params.buffer_capacity)));
+    let buffer = b.add(Element::Buffer(buffer_el));
     let link = b.add(Element::Link(Link::new(
         params.rate.clone(),
         params.arq_loss,

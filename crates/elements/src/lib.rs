@@ -29,7 +29,7 @@ pub mod node;
 pub mod source;
 
 pub use buffer::{Buffer, BufferKind};
-pub use cellular::{build_cellular, CellularNet, CellularParams};
+pub use cellular::{build_cellular, build_cellular_with_buffer, CellularNet, CellularParams};
 pub use choice::{ChoiceKind, ChoiceSpec};
 pub use delay::{DelayEl, JitterEl};
 pub use element::{Diverter, Element, Loss, ReceiverEl};

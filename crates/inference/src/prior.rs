@@ -42,6 +42,10 @@ pub struct ModelPrior {
     pub gate_initial: Vec<bool>,
     /// Packet size (cross traffic and backlog).
     pub packet_size: Bits,
+    /// If false, every hypothesis's cross-traffic source is disabled —
+    /// the quiet single-link configurations of §4, where only the link
+    /// speed and backlog are unknown.
+    pub cross_active: bool,
 }
 
 impl ModelPrior {
@@ -58,6 +62,7 @@ impl ModelPrior {
             epoch: Dur::from_secs(1),
             gate_initial: vec![true],
             packet_size: Bits::from_bytes(1_500),
+            cross_active: true,
         }
     }
 
@@ -73,6 +78,7 @@ impl ModelPrior {
             epoch: Dur::from_secs(1),
             gate_initial: vec![true],
             packet_size: Bits::from_bytes(1_500),
+            cross_active: true,
         }
     }
 
@@ -106,7 +112,7 @@ impl ModelPrior {
                                     buffer_capacity: cap,
                                     initial_fullness: fill,
                                     packet_size: self.packet_size,
-                                    cross_active: true,
+                                    cross_active: self.cross_active,
                                 });
                             }
                         }

@@ -1,0 +1,1833 @@
+//! Spec files: load a whole [`SweepGrid`] from a TOML file, and write
+//! the canonical TOML for any grid.
+//!
+//! The workspace builds offline, so this module carries its own parser
+//! for the TOML subset the spec schema needs (the same reasoning that
+//! produced the hand-rolled `SimRng`): tables, arrays of tables, inline
+//! tables, arrays, strings, booleans, integers (decimal and `0x` hex,
+//! `_` separators), and floats. Every parsed value carries its source
+//! line and column, so decoding errors name the exact spot in the file:
+//!
+//! ```text
+//! experiments/specs/fig3.toml:14:1: unknown key `alpa` in [sender]
+//! ```
+//!
+//! The schema mirrors the spec types one-to-one — `[scenario]`,
+//! `[topology]`, `[prior]`, `[sender]`, `[workload]`, and one `[[axis]]`
+//! per sweep dimension. [`grid_to_toml`] emits it canonically, and the
+//! round-trip `grid == parse(emit(grid))` is pinned by tests for every
+//! preset, so the shipped files under `experiments/specs/` can never
+//! drift from the presets they mirror.
+
+use crate::grid::{Axis, SweepGrid};
+use crate::spec::{
+    CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
+    WorkloadSpec,
+};
+use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess};
+use augur_inference::ModelPrior;
+use augur_sim::{BitRate, Bits, Dur, Ppm};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parse or decode failure, located in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(line: u32, col: u32, message: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        line,
+        col,
+        message: message.into(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// The TOML-subset document model.
+// ---------------------------------------------------------------------
+
+/// A parsed value with its source position.
+#[derive(Debug, Clone)]
+struct Value {
+    line: u32,
+    col: u32,
+    payload: Payload,
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Str(String),
+    /// Wide enough for the full `u64` seed space and negative literals;
+    /// the typed accessors range-check on the way out.
+    Int(i128),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+    Table(Table),
+    /// `[[name]]` headers accumulate here.
+    TableArray(Vec<Table>),
+}
+
+impl Payload {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Payload::Str(_) => "string",
+            Payload::Int(_) => "integer",
+            Payload::Float(_) => "float",
+            Payload::Bool(_) => "boolean",
+            Payload::Array(_) => "array",
+            Payload::Table(_) => "table",
+            Payload::TableArray(_) => "array of tables",
+        }
+    }
+}
+
+/// One `key = value` (or sub-table) entry, with the key's position.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: String,
+    line: u32,
+    col: u32,
+    value: Value,
+}
+
+/// An ordered table. Lookup is linear — spec files are tiny.
+#[derive(Debug, Clone, Default)]
+struct Table {
+    entries: Vec<Entry>,
+    /// Whether the table was named by its own `[header]` (re-opening one
+    /// of these is a duplicate; implicitly-created parents are not).
+    explicit: bool,
+    /// Position of the table's own header (or opening `{`), so errors in
+    /// the Nth `[[axis]]` point at that axis, not the first.
+    line: u32,
+    col: u32,
+}
+
+impl Table {
+    fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Skip spaces and tabs (not newlines).
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, comments, and newlines.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Consume end-of-line: optional whitespace, optional comment, then a
+    /// newline or end of input.
+    fn expect_eol(&mut self) -> Result<(), ConfigError> {
+        self.skip_ws();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') | Some(b'\r') => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => err(
+                self.line,
+                self.col,
+                format!("expected end of line, found {:?}", c as char),
+            ),
+        }
+    }
+
+    fn bare_key(&mut self) -> Result<(String, u32, u32), ConfigError> {
+        let (line, col) = (self.line, self.col);
+        let mut s = String::new();
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                s.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() {
+            return err(line, col, "expected a key");
+        }
+        Ok((s, line, col))
+    }
+
+    /// `a.b.c` — used in `[table]` headers.
+    fn dotted_key(&mut self) -> Result<Vec<(String, u32, u32)>, ConfigError> {
+        let mut parts = vec![self.bare_key()?];
+        while self.peek() == Some(b'.') {
+            self.bump();
+            parts.push(self.bare_key()?);
+        }
+        Ok(parts)
+    }
+
+    fn string(&mut self) -> Result<Value, ConfigError> {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // opening quote
+                     // Collect raw bytes and decode once at the closing quote, so
+                     // multi-byte UTF-8 content survives the byte-wise scan.
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return err(line, col, "unterminated string"),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => bytes.push(b'"'),
+                    Some(b'\\') => bytes.push(b'\\'),
+                    Some(b'n') => bytes.push(b'\n'),
+                    Some(b't') => bytes.push(b'\t'),
+                    other => {
+                        return err(
+                            self.line,
+                            self.col,
+                            format!(
+                                "unsupported string escape \\{}",
+                                other.map(|c| c as char).unwrap_or(' ')
+                            ),
+                        )
+                    }
+                },
+                Some(b) => bytes.push(b),
+            }
+        }
+        // The source arrived as &str, so any slice between escapes is
+        // valid UTF-8; this cannot fail in practice but stays checked.
+        let s = String::from_utf8(bytes).map_err(|_| ConfigError {
+            line,
+            col,
+            message: "string is not valid UTF-8".into(),
+        })?;
+        Ok(Value {
+            line,
+            col,
+            payload: Payload::Str(s),
+        })
+    }
+
+    fn number(&mut self) -> Result<Value, ConfigError> {
+        let (line, col) = (self.line, self.col);
+        let mut raw = String::new();
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'+' | b'-' | b'.' | b'_') {
+                raw.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        let (sign, digits) = match cleaned.strip_prefix('-') {
+            Some(rest) => (-1i128, rest),
+            None => (1, cleaned.strip_prefix('+').unwrap_or(&cleaned)),
+        };
+        // Magnitudes are capped at u64::MAX (the widest field in the
+        // schema); unsigned_abs avoids the i128::MIN overflow of abs().
+        let payload = if let Some(hex) = digits.strip_prefix("0x").or(digits.strip_prefix("0X")) {
+            match i128::from_str_radix(hex, 16) {
+                // from_str_radix of bare hex digits is non-negative, so
+                // the sign multiply below cannot overflow.
+                Ok(v) if v <= u64::MAX as i128 => Payload::Int(sign * v),
+                _ => return err(line, col, format!("bad hex integer {raw:?}")),
+            }
+        } else if digits.contains('.') || digits.contains('e') || digits.contains('E') {
+            match cleaned.parse::<f64>() {
+                Ok(v) => Payload::Float(v),
+                Err(_) => return err(line, col, format!("bad float {raw:?}")),
+            }
+        } else {
+            match cleaned.parse::<i128>() {
+                Ok(v) if v.unsigned_abs() <= u64::MAX as u128 => Payload::Int(v),
+                _ => return err(line, col, format!("bad integer {raw:?}")),
+            }
+        };
+        Ok(Value { line, col, payload })
+    }
+
+    fn value(&mut self) -> Result<Value, ConfigError> {
+        let (line, col) = (self.line, self.col);
+        match self.peek() {
+            None => err(line, col, "expected a value"),
+            Some(b'"') => self.string(),
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    if self.peek() == Some(b']') {
+                        self.bump();
+                        break;
+                    }
+                    items.push(self.value()?);
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.bump();
+                        }
+                        Some(b']') => {}
+                        _ => return err(self.line, self.col, "expected `,` or `]` in array"),
+                    }
+                }
+                Ok(Value {
+                    line,
+                    col,
+                    payload: Payload::Array(items),
+                })
+            }
+            Some(b'{') => {
+                self.bump();
+                let mut table = Table {
+                    explicit: true,
+                    line,
+                    col,
+                    ..Table::default()
+                };
+                loop {
+                    self.skip_trivia();
+                    if self.peek() == Some(b'}') {
+                        self.bump();
+                        break;
+                    }
+                    let (key, kline, kcol) = self.bare_key()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return err(self.line, self.col, format!("expected `=` after `{key}`"));
+                    }
+                    self.skip_ws();
+                    let value = self.value()?;
+                    if table.get(&key).is_some() {
+                        return err(kline, kcol, format!("duplicate key `{key}`"));
+                    }
+                    table.entries.push(Entry {
+                        key,
+                        line: kline,
+                        col: kcol,
+                        value,
+                    });
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.bump();
+                        }
+                        Some(b'}') => {}
+                        _ => {
+                            return err(self.line, self.col, "expected `,` or `}` in inline table")
+                        }
+                    }
+                }
+                Ok(Value {
+                    line,
+                    col,
+                    payload: Payload::Table(table),
+                })
+            }
+            Some(b't') | Some(b'f') => {
+                let (word, wline, wcol) = self.bare_key()?;
+                match word.as_str() {
+                    "true" => Ok(Value {
+                        line: wline,
+                        col: wcol,
+                        payload: Payload::Bool(true),
+                    }),
+                    "false" => Ok(Value {
+                        line: wline,
+                        col: wcol,
+                        payload: Payload::Bool(false),
+                    }),
+                    other => err(wline, wcol, format!("unknown value `{other}`")),
+                }
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' || b == b'+' => self.number(),
+            Some(b) => err(line, col, format!("unexpected character {:?}", b as char)),
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Table, ConfigError> {
+        let mut root = Table {
+            explicit: true,
+            line: 1,
+            col: 1,
+            ..Table::default()
+        };
+        // Path of the table `key = value` lines currently land in; empty
+        // means the root.
+        let mut current: Vec<String> = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek().is_none() {
+                return Ok(root);
+            }
+            if self.peek() == Some(b'[') {
+                self.bump();
+                let is_array = self.peek() == Some(b'[');
+                if is_array {
+                    self.bump();
+                }
+                self.skip_ws();
+                let path = self.dotted_key()?;
+                self.skip_ws();
+                let closers: &[u8] = if is_array { b"]]" } else { b"]" };
+                for _ in closers {
+                    if self.bump() != Some(b']') {
+                        return err(self.line, self.col, "unterminated table header");
+                    }
+                }
+                self.expect_eol()?;
+                define_table(&mut root, &path, is_array)?;
+                current = path.into_iter().map(|(k, _, _)| k).collect();
+            } else {
+                let (key, kline, kcol) = self.bare_key()?;
+                self.skip_ws();
+                if self.bump() != Some(b'=') {
+                    return err(self.line, self.col, format!("expected `=` after `{key}`"));
+                }
+                self.skip_ws();
+                let value = self.value()?;
+                self.expect_eol()?;
+                let table = resolve_table(&mut root, &current);
+                if table.get(&key).is_some() {
+                    return err(kline, kcol, format!("duplicate key `{key}`"));
+                }
+                table.entries.push(Entry {
+                    key,
+                    line: kline,
+                    col: kcol,
+                    value,
+                });
+            }
+        }
+    }
+}
+
+/// Walk (creating implicit tables as needed) to the table at `path`,
+/// entering the last element of any array-of-tables on the way.
+fn resolve_table<'t>(root: &'t mut Table, path: &[String]) -> &'t mut Table {
+    let mut t = root;
+    for seg in path {
+        let idx = t
+            .entries
+            .iter()
+            .position(|e| &e.key == seg)
+            .expect("header resolution created the path");
+        t = match &mut t.entries[idx].value.payload {
+            Payload::Table(sub) => sub,
+            Payload::TableArray(subs) => subs.last_mut().expect("array headers push a table"),
+            _ => unreachable!("header resolution rejected non-table keys"),
+        };
+    }
+    t
+}
+
+/// Apply a `[path]` or `[[path]]` header to the document tree.
+fn define_table(
+    root: &mut Table,
+    path: &[(String, u32, u32)],
+    is_array: bool,
+) -> Result<(), ConfigError> {
+    let mut t = root;
+    for (i, (seg, line, col)) in path.iter().enumerate() {
+        let last = i + 1 == path.len();
+        let idx = t.entries.iter().position(|e| &e.key == seg);
+        match idx {
+            None => {
+                let payload = if last && is_array {
+                    Payload::TableArray(vec![Table {
+                        explicit: true,
+                        line: *line,
+                        col: *col,
+                        ..Table::default()
+                    }])
+                } else {
+                    Payload::Table(Table {
+                        explicit: last,
+                        line: *line,
+                        col: *col,
+                        ..Table::default()
+                    })
+                };
+                t.entries.push(Entry {
+                    key: seg.clone(),
+                    line: *line,
+                    col: *col,
+                    value: Value {
+                        line: *line,
+                        col: *col,
+                        payload,
+                    },
+                });
+                let n = t.entries.len() - 1;
+                t = match &mut t.entries[n].value.payload {
+                    Payload::Table(sub) => sub,
+                    Payload::TableArray(subs) => subs.last_mut().unwrap(),
+                    _ => unreachable!(),
+                };
+            }
+            Some(idx) => {
+                let entry = &mut t.entries[idx];
+                match &mut entry.value.payload {
+                    Payload::Table(sub) => {
+                        if last {
+                            if is_array {
+                                return err(
+                                    *line,
+                                    *col,
+                                    format!("`{seg}` is a table, not an array of tables"),
+                                );
+                            }
+                            if sub.explicit {
+                                return err(*line, *col, format!("duplicate table [{seg}]"));
+                            }
+                            sub.explicit = true;
+                        }
+                        t = sub;
+                    }
+                    Payload::TableArray(subs) => {
+                        if last {
+                            if !is_array {
+                                return err(*line, *col, format!("duplicate table [{seg}]"));
+                            }
+                            subs.push(Table {
+                                explicit: true,
+                                line: *line,
+                                col: *col,
+                                ..Table::default()
+                            });
+                        }
+                        t = subs.last_mut().unwrap();
+                    }
+                    other => {
+                        return err(
+                            *line,
+                            *col,
+                            format!("key `{seg}` is a {}, not a table", other.type_name()),
+                        )
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Typed decoding.
+// ---------------------------------------------------------------------
+
+/// A table being decoded: tracks which keys the decoder consumed so
+/// [`Dec::finish`] can flag the first unknown one.
+struct Dec<'a> {
+    table: &'a Table,
+    /// Context name for messages, e.g. `sender` or `axis`.
+    ctx: String,
+    used: Vec<bool>,
+}
+
+impl<'a> Dec<'a> {
+    fn new(table: &'a Table, ctx: impl Into<String>) -> Dec<'a> {
+        Dec {
+            table,
+            ctx: ctx.into(),
+            used: vec![false; table.entries.len()],
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<&'a Entry> {
+        let idx = self.table.entries.iter().position(|e| e.key == key)?;
+        self.used[idx] = true;
+        Some(&self.table.entries[idx])
+    }
+
+    fn req(&mut self, key: &str, at: (u32, u32)) -> Result<&'a Entry, ConfigError> {
+        match self.get(key) {
+            Some(e) => Ok(e),
+            None => err(at.0, at.1, format!("missing key `{key}` in [{}]", self.ctx)),
+        }
+    }
+
+    /// Error on the first key no decoder consumed.
+    fn finish(self) -> Result<(), ConfigError> {
+        for (entry, used) in self.table.entries.iter().zip(&self.used) {
+            if !used {
+                return err(
+                    entry.line,
+                    entry.col,
+                    format!("unknown key `{}` in [{}]", entry.key, self.ctx),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+fn expect_f64(v: &Value, what: &str) -> Result<f64, ConfigError> {
+    match v.payload {
+        Payload::Float(f) => Ok(f),
+        // Integers coerce: `alpha = 1` is unambiguous.
+        Payload::Int(i) => Ok(i as f64),
+        ref other => err(
+            v.line,
+            v.col,
+            format!("expected float for `{what}`, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn expect_int(v: &Value, what: &str) -> Result<i128, ConfigError> {
+    match v.payload {
+        Payload::Int(i) => Ok(i),
+        ref other => err(
+            v.line,
+            v.col,
+            format!("expected integer for `{what}`, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn expect_u64(v: &Value, what: &str) -> Result<u64, ConfigError> {
+    let i = expect_int(v, what)?;
+    u64::try_from(i).map_err(|_| ConfigError {
+        line: v.line,
+        col: v.col,
+        message: format!("`{what}` must fit in a u64, got {i}"),
+    })
+}
+
+/// A checked 32-bit read for ppm rates and shift counts — an
+/// out-of-range value is an authoring error, never a silent wrap.
+fn expect_u32(v: &Value, what: &str) -> Result<u32, ConfigError> {
+    let i = expect_int(v, what)?;
+    u32::try_from(i).map_err(|_| ConfigError {
+        line: v.line,
+        col: v.col,
+        message: format!("`{what}` must fit in a u32, got {i}"),
+    })
+}
+
+fn expect_bool(v: &Value, what: &str) -> Result<bool, ConfigError> {
+    match v.payload {
+        Payload::Bool(b) => Ok(b),
+        ref other => err(
+            v.line,
+            v.col,
+            format!("expected boolean for `{what}`, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn expect_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, ConfigError> {
+    match &v.payload {
+        Payload::Str(s) => Ok(s),
+        other => err(
+            v.line,
+            v.col,
+            format!("expected string for `{what}`, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn expect_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], ConfigError> {
+    match &v.payload {
+        Payload::Array(items) => Ok(items),
+        other => err(
+            v.line,
+            v.col,
+            format!("expected array for `{what}`, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn expect_table<'a>(v: &'a Value, what: &str) -> Result<&'a Table, ConfigError> {
+    match &v.payload {
+        Payload::Table(t) => Ok(t),
+        other => err(
+            v.line,
+            v.col,
+            format!("expected table for `{what}`, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn dur_s(v: &Value, what: &str) -> Result<Dur, ConfigError> {
+    let s = expect_f64(v, what)?;
+    if !s.is_finite() || s < 0.0 {
+        return err(v.line, v.col, format!("`{what}` must be >= 0 seconds"));
+    }
+    Ok(Dur::from_secs_f64(s))
+}
+
+/// Decode each element of an array entry with `f`, labelling elements
+/// `key[i]` in error messages.
+fn map_array<T>(
+    entry: &Entry,
+    f: impl Fn(&Value, &str) -> Result<T, ConfigError>,
+) -> Result<Vec<T>, ConfigError> {
+    let items = expect_array(&entry.value, &entry.key)?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| f(v, &format!("{}[{i}]", entry.key)))
+        .collect()
+}
+
+fn decode_gate(v: &Value) -> Result<GateSpec, ConfigError> {
+    let t = expect_table(v, "gate")?;
+    let mut d = Dec::new(t, "gate");
+    let kind_e = d.req("kind", (v.line, v.col))?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let gate = match kind {
+        "always-on" => GateSpec::AlwaysOn,
+        "square-wave" => GateSpec::SquareWave {
+            half_period: dur_s(
+                &d.req("half_period_s", (v.line, v.col))?.value,
+                "half_period_s",
+            )?,
+            initially_connected: expect_bool(
+                &d.req("initially_connected", (v.line, v.col))?.value,
+                "initially_connected",
+            )?,
+        },
+        "intermittent" => GateSpec::Intermittent {
+            mtts: dur_s(&d.req("mtts_s", (v.line, v.col))?.value, "mtts_s")?,
+            epoch: dur_s(&d.req("epoch_s", (v.line, v.col))?.value, "epoch_s")?,
+            initially_connected: expect_bool(
+                &d.req("initially_connected", (v.line, v.col))?.value,
+                "initially_connected",
+            )?,
+        },
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!(
+                    "unknown gate kind `{other}` (expected always-on, square-wave, intermittent)"
+                ),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(gate)
+}
+
+fn decode_rate(v: &Value) -> Result<RateProcess, ConfigError> {
+    let t = expect_table(v, "rate")?;
+    let mut d = Dec::new(t, "rate");
+    let kind_e = d.req("kind", (v.line, v.col))?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let rate = match kind {
+        "constant" => RateProcess::Const(BitRate::from_bps(expect_u64(
+            &d.req("bps", (v.line, v.col))?.value,
+            "bps",
+        )?)),
+        "schedule" => {
+            let period = dur_s(&d.req("period_s", (v.line, v.col))?.value, "period_s")?;
+            let steps_e = d.req("steps", (v.line, v.col))?;
+            let steps = map_array(steps_e, |sv, what| {
+                let st = expect_table(sv, what)?;
+                let mut sd = Dec::new(st, what);
+                let at = dur_s(&sd.req("at_s", (sv.line, sv.col))?.value, "at_s")?;
+                let bps = expect_u64(&sd.req("bps", (sv.line, sv.col))?.value, "bps")?;
+                sd.finish()?;
+                Ok((at, BitRate::from_bps(bps)))
+            })?;
+            if steps.is_empty() {
+                return err(
+                    steps_e.value.line,
+                    steps_e.value.col,
+                    "`steps` must be non-empty",
+                );
+            }
+            RateProcess::Schedule { steps, period }
+        }
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!("unknown rate kind `{other}` (expected constant, schedule)"),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(rate)
+}
+
+fn decode_queue(v: &Value) -> Result<QueueSpec, ConfigError> {
+    let t = expect_table(v, "queue")?;
+    let mut d = Dec::new(t, "queue");
+    let kind_e = d.req("kind", (v.line, v.col))?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let queue = match kind {
+        "drop-tail" => QueueSpec::DropTail,
+        "red" => QueueSpec::Red {
+            min_th: Bits::new(expect_u64(
+                &d.req("min_th_bits", (v.line, v.col))?.value,
+                "min_th_bits",
+            )?),
+            max_th: Bits::new(expect_u64(
+                &d.req("max_th_bits", (v.line, v.col))?.value,
+                "max_th_bits",
+            )?),
+            max_p: Ppm::new(expect_u32(
+                &d.req("max_p_ppm", (v.line, v.col))?.value,
+                "max_p_ppm",
+            )?),
+            w_shift: expect_u32(&d.req("w_shift", (v.line, v.col))?.value, "w_shift")?,
+        },
+        "codel" => QueueSpec::CoDel {
+            target: dur_s(&d.req("target_s", (v.line, v.col))?.value, "target_s")?,
+            interval: dur_s(&d.req("interval_s", (v.line, v.col))?.value, "interval_s")?,
+        },
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!("unknown queue kind `{other}` (expected drop-tail, red, codel)"),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(queue)
+}
+
+fn decode_topology(t: &Table, at: (u32, u32)) -> Result<TopologySpec, ConfigError> {
+    let mut d = Dec::new(t, "topology");
+    let kind_e = d.req("kind", at)?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let topo = match kind {
+        "model" => {
+            let params = ModelParams {
+                link_rate: BitRate::from_bps(expect_u64(
+                    &d.req("link_bps", at)?.value,
+                    "link_bps",
+                )?),
+                cross_rate: BitRate::from_bps(expect_u64(
+                    &d.req("cross_bps", at)?.value,
+                    "cross_bps",
+                )?),
+                gate: decode_gate(&d.req("gate", at)?.value)?,
+                loss: Ppm::new(expect_u32(&d.req("loss_ppm", at)?.value, "loss_ppm")?),
+                buffer_capacity: Bits::new(expect_u64(
+                    &d.req("buffer_bits", at)?.value,
+                    "buffer_bits",
+                )?),
+                initial_fullness: Bits::new(expect_u64(
+                    &d.req("initial_fullness_bits", at)?.value,
+                    "initial_fullness_bits",
+                )?),
+                packet_size: Bits::new(expect_u64(
+                    &d.req("packet_bits", at)?.value,
+                    "packet_bits",
+                )?),
+                cross_active: expect_bool(&d.req("cross_active", at)?.value, "cross_active")?,
+            };
+            TopologySpec::Model(params)
+        }
+        "cellular" => TopologySpec::Cellular {
+            params: CellularParams {
+                buffer_capacity: Bits::new(expect_u64(
+                    &d.req("buffer_bits", at)?.value,
+                    "buffer_bits",
+                )?),
+                rate: decode_rate(&d.req("rate", at)?.value)?,
+                arq_loss: Ppm::new(expect_u32(
+                    &d.req("arq_loss_ppm", at)?.value,
+                    "arq_loss_ppm",
+                )?),
+                arq_retry_delay: dur_s(
+                    &d.req("arq_retry_delay_s", at)?.value,
+                    "arq_retry_delay_s",
+                )?,
+                propagation: dur_s(&d.req("propagation_s", at)?.value, "propagation_s")?,
+            },
+            queue: decode_queue(&d.req("queue", at)?.value)?,
+        },
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!("unknown topology kind `{other}` (expected model, cellular)"),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(topo)
+}
+
+fn decode_prior(t: &Table, at: (u32, u32)) -> Result<PriorSpec, ConfigError> {
+    let mut d = Dec::new(t, "prior");
+    let kind_e = d.req("kind", at)?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let prior = match kind {
+        "paper" => PriorSpec::Paper,
+        "small" => PriorSpec::Small,
+        "fine-link-rate" => PriorSpec::FineLinkRate {
+            n: expect_u64(&d.req("n", at)?.value, "n")? as usize,
+            lo_bps: expect_u64(&d.req("lo_bps", at)?.value, "lo_bps")?,
+            hi_bps: expect_u64(&d.req("hi_bps", at)?.value, "hi_bps")?,
+        },
+        "custom" => {
+            let link_rates = map_array(d.req("link_rates_bps", at)?, |v, w| {
+                Ok(BitRate::from_bps(expect_u64(v, w)?))
+            })?;
+            let cross_fracs_ppm = map_array(d.req("cross_fracs_ppm", at)?, expect_u32)?;
+            let losses = map_array(d.req("losses_ppm", at)?, |v, w| {
+                Ok(Ppm::new(expect_u32(v, w)?))
+            })?;
+            let buffer_capacities = map_array(d.req("buffer_capacities_bits", at)?, |v, w| {
+                Ok(Bits::new(expect_u64(v, w)?))
+            })?;
+            let fullness_step = match d.get("fullness_step_bits") {
+                Some(e) => Some(Bits::new(expect_u64(&e.value, "fullness_step_bits")?)),
+                None => None,
+            };
+            let gate_initial = map_array(d.req("gate_initial", at)?, expect_bool)?;
+            PriorSpec::Custom(ModelPrior {
+                link_rates,
+                cross_fracs_ppm,
+                losses,
+                buffer_capacities,
+                fullness_step,
+                mtts: dur_s(&d.req("mtts_s", at)?.value, "mtts_s")?,
+                epoch: dur_s(&d.req("epoch_s", at)?.value, "epoch_s")?,
+                gate_initial,
+                packet_size: Bits::new(expect_u64(
+                    &d.req("packet_bits", at)?.value,
+                    "packet_bits",
+                )?),
+                cross_active: expect_bool(&d.req("cross_active", at)?.value, "cross_active")?,
+            })
+        }
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!(
+                    "unknown prior kind `{other}` (expected paper, small, fine-link-rate, custom)"
+                ),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(prior)
+}
+
+fn decode_sender(t: &Table, at: (u32, u32)) -> Result<SenderSpec, ConfigError> {
+    let mut d = Dec::new(t, "sender");
+    let kind_e = d.req("kind", at)?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let sender = match kind {
+        "isender-exact" => SenderSpec::IsenderExact {
+            alpha: expect_f64(&d.req("alpha", at)?.value, "alpha")?,
+            latency_penalty: expect_f64(&d.req("latency_penalty", at)?.value, "latency_penalty")?,
+            max_branches: expect_u64(&d.req("max_branches", at)?.value, "max_branches")? as usize,
+        },
+        "isender-particle" => SenderSpec::IsenderParticle {
+            alpha: expect_f64(&d.req("alpha", at)?.value, "alpha")?,
+            latency_penalty: expect_f64(&d.req("latency_penalty", at)?.value, "latency_penalty")?,
+            n_particles: expect_u64(&d.req("n_particles", at)?.value, "n_particles")? as usize,
+        },
+        "tcp-reno" => SenderSpec::TcpReno {
+            max_window: expect_u64(&d.req("max_window", at)?.value, "max_window")?,
+        },
+        "tcp-cubic" => SenderSpec::TcpCubic {
+            max_window: expect_u64(&d.req("max_window", at)?.value, "max_window")?,
+        },
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!(
+                    "unknown sender kind `{other}` (expected isender-exact, isender-particle, \
+                     tcp-reno, tcp-cubic)"
+                ),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(sender)
+}
+
+fn decode_peer(v: &Value, what: &str) -> Result<PeerSpec, ConfigError> {
+    let t = expect_table(v, what)?;
+    let mut d = Dec::new(t, what);
+    let kind_e = d.req("kind", (v.line, v.col))?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let peer = match kind {
+        "isender" => PeerSpec::Isender {
+            alpha: expect_f64(&d.req("alpha", (v.line, v.col))?.value, "alpha")?,
+        },
+        "aimd" => PeerSpec::Aimd {
+            timeout: dur_s(&d.req("timeout_s", (v.line, v.col))?.value, "timeout_s")?,
+        },
+        "tcp-reno" => PeerSpec::TcpReno {
+            max_window: expect_u64(&d.req("max_window", (v.line, v.col))?.value, "max_window")?,
+        },
+        "tcp-cubic" => PeerSpec::TcpCubic {
+            max_window: expect_u64(&d.req("max_window", (v.line, v.col))?.value, "max_window")?,
+        },
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!(
+                    "unknown peer kind `{other}` (expected isender, aimd, tcp-reno, tcp-cubic)"
+                ),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(peer)
+}
+
+fn decode_workload(t: &Table, at: (u32, u32)) -> Result<WorkloadSpec, ConfigError> {
+    let mut d = Dec::new(t, "workload");
+    let kind_e = d.req("kind", at)?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let workload = match kind {
+        "closed-loop" => WorkloadSpec::ClosedLoop,
+        "scripted-ping" => WorkloadSpec::ScriptedPing {
+            interval: dur_s(&d.req("interval_s", at)?.value, "interval_s")?,
+        },
+        "coexist" => {
+            let peers_e = d.req("peers", at)?;
+            let peers = map_array(peers_e, decode_peer)?;
+            if peers.is_empty() {
+                return err(
+                    peers_e.value.line,
+                    peers_e.value.col,
+                    "`peers` must name at least one competitor",
+                );
+            }
+            WorkloadSpec::Coexist(CoexistSpec { peers })
+        }
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!(
+                    "unknown workload kind `{other}` (expected closed-loop, scripted-ping, \
+                     coexist)"
+                ),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(workload)
+}
+
+fn decode_axis(t: &Table, at: (u32, u32)) -> Result<Axis, ConfigError> {
+    let mut d = Dec::new(t, "axis");
+    let kind_e = d.req("kind", at)?;
+    let kind = expect_str(&kind_e.value, "kind")?;
+    let axis = match kind {
+        "alpha" => Axis::Alpha(map_array(d.req("values", at)?, expect_f64)?),
+        "latency-penalty" => Axis::LatencyPenalty(map_array(d.req("values", at)?, expect_f64)?),
+        "link-rate" => Axis::LinkRate(map_array(d.req("values", at)?, |v, w| {
+            Ok(BitRate::from_bps(expect_u64(v, w)?))
+        })?),
+        "cross-rate" => Axis::CrossRate(map_array(d.req("values", at)?, |v, w| {
+            Ok(BitRate::from_bps(expect_u64(v, w)?))
+        })?),
+        "buffer-capacity" => Axis::BufferCapacity(map_array(d.req("values", at)?, |v, w| {
+            Ok(Bits::new(expect_u64(v, w)?))
+        })?),
+        "initial-fullness" => Axis::InitialFullness(map_array(d.req("values", at)?, |v, w| {
+            Ok(Bits::new(expect_u64(v, w)?))
+        })?),
+        "loss" => Axis::Loss(map_array(d.req("values", at)?, |v, w| {
+            Ok(Ppm::new(expect_u32(v, w)?))
+        })?),
+        "sender" => Axis::Sender(map_array(d.req("values", at)?, |v, w| {
+            decode_sender(expect_table(v, w)?, (v.line, v.col))
+        })?),
+        "peer" => Axis::Peer(map_array(d.req("values", at)?, decode_peer)?),
+        "queue" => Axis::Queue(map_array(d.req("values", at)?, |v, _w| decode_queue(v))?),
+        "prior-size" => Axis::PriorSize(map_array(d.req("values", at)?, |v, w| {
+            Ok(expect_u64(v, w)? as usize)
+        })?),
+        "seeds" => Axis::Seeds(expect_u64(&d.req("count", at)?.value, "count")? as usize),
+        other => {
+            return err(
+                kind_e.value.line,
+                kind_e.value.col,
+                format!(
+                    "unknown axis kind `{other}` (expected alpha, latency-penalty, link-rate, \
+                     cross-rate, buffer-capacity, initial-fullness, loss, sender, peer, queue, \
+                     prior-size, seeds)"
+                ),
+            )
+        }
+    };
+    d.finish()?;
+    Ok(axis)
+}
+
+/// Parse spec-file text into a [`SweepGrid`].
+pub fn parse_grid(src: &str) -> Result<SweepGrid, ConfigError> {
+    let root = Parser::new(src).parse_document()?;
+    let mut d = Dec::new(&root, "root");
+    let at = (1, 1);
+
+    let scen_e = d.req("scenario", at)?;
+    let scen_t = expect_table(&scen_e.value, "scenario")?;
+    let scen_at = (scen_e.value.line, scen_e.value.col);
+    let mut sd = Dec::new(scen_t, "scenario");
+    let name = expect_str(&sd.req("name", scen_at)?.value, "name")?.to_string();
+    let duration = dur_s(&sd.req("duration_s", scen_at)?.value, "duration_s")?;
+    let base_seed = expect_u64(&sd.req("base_seed", scen_at)?.value, "base_seed")?;
+    sd.finish()?;
+
+    let topo_e = d.req("topology", at)?;
+    let topology = decode_topology(
+        expect_table(&topo_e.value, "topology")?,
+        (topo_e.value.line, topo_e.value.col),
+    )?;
+    let prior_e = d.req("prior", at)?;
+    let prior = decode_prior(
+        expect_table(&prior_e.value, "prior")?,
+        (prior_e.value.line, prior_e.value.col),
+    )?;
+    let sender_e = d.req("sender", at)?;
+    let sender = decode_sender(
+        expect_table(&sender_e.value, "sender")?,
+        (sender_e.value.line, sender_e.value.col),
+    )?;
+    let workload_e = d.req("workload", at)?;
+    let workload = decode_workload(
+        expect_table(&workload_e.value, "workload")?,
+        (workload_e.value.line, workload_e.value.col),
+    )?;
+
+    let mut axes = Vec::new();
+    if let Some(axis_e) = d.get("axis") {
+        let tables = match &axis_e.value.payload {
+            Payload::TableArray(tables) => tables,
+            other => {
+                return err(
+                    axis_e.value.line,
+                    axis_e.value.col,
+                    format!(
+                        "expected `[[axis]]` array of tables, found {}",
+                        other.type_name()
+                    ),
+                )
+            }
+        };
+        for t in tables {
+            // Each [[axis]] table carries its own header position, so a
+            // missing key in the third axis points at the third header.
+            axes.push(decode_axis(t, (t.line, t.col))?);
+        }
+    }
+    d.finish()?;
+
+    // Cross-section validation the per-table decoders cannot see: only
+    // TCP bulk transfers run over the cellular path (the ISender's
+    // priors and the coexist/scripted harnesses all describe the model
+    // family), so reject those combinations here rather than letting
+    // the runner panic mid-sweep.
+    if matches!(topology, TopologySpec::Cellular { .. }) {
+        let tcp_only =
+            |s: &SenderSpec| matches!(s, SenderSpec::TcpReno { .. } | SenderSpec::TcpCubic { .. });
+        if !tcp_only(&sender) {
+            return err(
+                sender_e.value.line,
+                sender_e.value.col,
+                format!(
+                    "sender kind `{}` cannot run over a cellular topology (only tcp-reno / \
+                     tcp-cubic can)",
+                    sender.label()
+                ),
+            );
+        }
+        if !matches!(workload, WorkloadSpec::ClosedLoop) {
+            return err(
+                workload_e.value.line,
+                workload_e.value.col,
+                "cellular topologies only support the closed-loop workload",
+            );
+        }
+        for (axis, t) in axes.iter().zip(axis_tables(&root)) {
+            if let Axis::Sender(senders) = axis {
+                if let Some(bad) = senders.iter().find(|s| !tcp_only(s)) {
+                    return err(
+                        t.line,
+                        t.col,
+                        format!(
+                            "sender axis value `{}` cannot run over a cellular topology",
+                            bad.label()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(SweepGrid {
+        base: ScenarioSpec {
+            name,
+            topology,
+            prior,
+            sender,
+            workload,
+            duration,
+            base_seed,
+        },
+        axes,
+    })
+}
+
+/// The `[[axis]]` tables of a parsed document, for validation passes
+/// that need each axis's source position after decoding.
+fn axis_tables(root: &Table) -> impl Iterator<Item = &Table> {
+    root.get("axis")
+        .into_iter()
+        .flat_map(|e| match &e.value.payload {
+            Payload::TableArray(tables) => tables.iter().collect::<Vec<_>>(),
+            _ => Vec::new(),
+        })
+}
+
+/// [`parse_grid`] over a file. IO failures surface as a position-less
+/// [`ConfigError`] so callers print one error shape either way.
+pub fn load_grid(path: &Path) -> Result<SweepGrid, ConfigError> {
+    let src = std::fs::read_to_string(path).map_err(|e| ConfigError {
+        line: 0,
+        col: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_grid(&src)
+}
+
+// ---------------------------------------------------------------------
+// Canonical emission.
+// ---------------------------------------------------------------------
+
+/// Format a float so the parser reads back the same `f64` (Rust's
+/// shortest round-trip formatting, with a `.0` forced onto integral
+/// values so the value stays a TOML float).
+///
+/// # Panics
+/// Panics on non-finite values — the schema has no NaN/inf literals, so
+/// emitting one would produce a file the parser rejects.
+fn fmt_f64(v: f64) -> String {
+    assert!(v.is_finite(), "spec floats must be finite, got {v}");
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn fmt_dur(d: Dur) -> String {
+    fmt_f64(d.as_secs_f64())
+}
+
+fn fmt_gate(g: &GateSpec) -> String {
+    match g {
+        GateSpec::AlwaysOn => "{ kind = \"always-on\" }".into(),
+        GateSpec::SquareWave {
+            half_period,
+            initially_connected,
+        } => format!(
+            "{{ kind = \"square-wave\", half_period_s = {}, initially_connected = {} }}",
+            fmt_dur(*half_period),
+            initially_connected
+        ),
+        GateSpec::Intermittent {
+            mtts,
+            epoch,
+            initially_connected,
+        } => format!(
+            "{{ kind = \"intermittent\", mtts_s = {}, epoch_s = {}, initially_connected = {} }}",
+            fmt_dur(*mtts),
+            fmt_dur(*epoch),
+            initially_connected
+        ),
+    }
+}
+
+fn fmt_queue(q: &QueueSpec) -> String {
+    match q {
+        QueueSpec::DropTail => "{ kind = \"drop-tail\" }".into(),
+        QueueSpec::Red {
+            min_th,
+            max_th,
+            max_p,
+            w_shift,
+        } => format!(
+            "{{ kind = \"red\", min_th_bits = {}, max_th_bits = {}, max_p_ppm = {}, w_shift = {} }}",
+            min_th.as_u64(),
+            max_th.as_u64(),
+            max_p.as_u32(),
+            w_shift
+        ),
+        QueueSpec::CoDel { target, interval } => format!(
+            "{{ kind = \"codel\", target_s = {}, interval_s = {} }}",
+            fmt_dur(*target),
+            fmt_dur(*interval)
+        ),
+    }
+}
+
+fn fmt_rate(r: &RateProcess) -> String {
+    match r {
+        RateProcess::Const(bps) => format!("{{ kind = \"constant\", bps = {} }}", bps.as_bps()),
+        RateProcess::Schedule { steps, period } => {
+            let steps = steps
+                .iter()
+                .map(|(at, bps)| format!("{{ at_s = {}, bps = {} }}", fmt_dur(*at), bps.as_bps()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{ kind = \"schedule\", period_s = {}, steps = [{steps}] }}",
+                fmt_dur(*period)
+            )
+        }
+    }
+}
+
+fn fmt_sender(s: &SenderSpec) -> Vec<String> {
+    match s {
+        SenderSpec::IsenderExact {
+            alpha,
+            latency_penalty,
+            max_branches,
+        } => vec![
+            "kind = \"isender-exact\"".into(),
+            format!("alpha = {}", fmt_f64(*alpha)),
+            format!("latency_penalty = {}", fmt_f64(*latency_penalty)),
+            format!("max_branches = {max_branches}"),
+        ],
+        SenderSpec::IsenderParticle {
+            alpha,
+            latency_penalty,
+            n_particles,
+        } => vec![
+            "kind = \"isender-particle\"".into(),
+            format!("alpha = {}", fmt_f64(*alpha)),
+            format!("latency_penalty = {}", fmt_f64(*latency_penalty)),
+            format!("n_particles = {n_particles}"),
+        ],
+        SenderSpec::TcpReno { max_window } => vec![
+            "kind = \"tcp-reno\"".into(),
+            format!("max_window = {max_window}"),
+        ],
+        SenderSpec::TcpCubic { max_window } => vec![
+            "kind = \"tcp-cubic\"".into(),
+            format!("max_window = {max_window}"),
+        ],
+    }
+}
+
+fn fmt_sender_inline(s: &SenderSpec) -> String {
+    format!("{{ {} }}", fmt_sender(s).join(", "))
+}
+
+fn fmt_peer(p: &PeerSpec) -> String {
+    match p {
+        PeerSpec::Isender { alpha } => {
+            format!("{{ kind = \"isender\", alpha = {} }}", fmt_f64(*alpha))
+        }
+        PeerSpec::Aimd { timeout } => {
+            format!("{{ kind = \"aimd\", timeout_s = {} }}", fmt_dur(*timeout))
+        }
+        PeerSpec::TcpReno { max_window } => {
+            format!("{{ kind = \"tcp-reno\", max_window = {max_window} }}")
+        }
+        PeerSpec::TcpCubic { max_window } => {
+            format!("{{ kind = \"tcp-cubic\", max_window = {max_window} }}")
+        }
+    }
+}
+
+fn fmt_int_list<I: IntoIterator<Item = u64>>(items: I) -> String {
+    let body = items
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{body}]")
+}
+
+fn push_axis(out: &mut String, axis: &Axis) {
+    out.push_str("\n[[axis]]\n");
+    let (kind, values) = match axis {
+        Axis::Alpha(v) => (
+            "alpha",
+            Some(format!(
+                "[{}]",
+                v.iter().map(|x| fmt_f64(*x)).collect::<Vec<_>>().join(", ")
+            )),
+        ),
+        Axis::LatencyPenalty(v) => (
+            "latency-penalty",
+            Some(format!(
+                "[{}]",
+                v.iter().map(|x| fmt_f64(*x)).collect::<Vec<_>>().join(", ")
+            )),
+        ),
+        Axis::LinkRate(v) => (
+            "link-rate",
+            Some(fmt_int_list(v.iter().map(|r| r.as_bps()))),
+        ),
+        Axis::CrossRate(v) => (
+            "cross-rate",
+            Some(fmt_int_list(v.iter().map(|r| r.as_bps()))),
+        ),
+        Axis::BufferCapacity(v) => (
+            "buffer-capacity",
+            Some(fmt_int_list(v.iter().map(|b| b.as_u64()))),
+        ),
+        Axis::InitialFullness(v) => (
+            "initial-fullness",
+            Some(fmt_int_list(v.iter().map(|b| b.as_u64()))),
+        ),
+        Axis::Loss(v) => (
+            "loss",
+            Some(fmt_int_list(v.iter().map(|p| p.as_u32() as u64))),
+        ),
+        Axis::Sender(v) => (
+            "sender",
+            Some(format!(
+                "[\n{}\n]",
+                v.iter()
+                    .map(|s| format!("  {},", fmt_sender_inline(s)))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )),
+        ),
+        Axis::Peer(v) => (
+            "peer",
+            Some(format!(
+                "[\n{}\n]",
+                v.iter()
+                    .map(|p| format!("  {},", fmt_peer(p)))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )),
+        ),
+        Axis::Queue(v) => (
+            "queue",
+            Some(format!(
+                "[\n{}\n]",
+                v.iter()
+                    .map(|q| format!("  {},", fmt_queue(q)))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )),
+        ),
+        Axis::PriorSize(v) => (
+            "prior-size",
+            Some(fmt_int_list(v.iter().map(|n| *n as u64))),
+        ),
+        Axis::Seeds(k) => {
+            let _ = writeln!(out, "kind = \"seeds\"\ncount = {k}");
+            return;
+        }
+    };
+    let _ = writeln!(out, "kind = \"{kind}\"");
+    if let Some(values) = values {
+        let _ = writeln!(out, "values = {values}");
+    }
+}
+
+/// Emit the canonical spec file for a grid. `parse_grid` reads the
+/// result back to an identical grid — pinned per preset by the
+/// round-trip tests.
+pub fn grid_to_toml(grid: &SweepGrid) -> String {
+    let base = &grid.base;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Scenario spec for `sweep --spec` (canonical form; regenerate with\n\
+         # `sweep --export-specs <dir>`).\n\
+         \n\
+         [scenario]\n\
+         name = \"{}\"\n\
+         duration_s = {}\n\
+         base_seed = 0x{:X}",
+        base.name,
+        fmt_dur(base.duration),
+        base.base_seed
+    );
+
+    out.push_str("\n[topology]\n");
+    match &base.topology {
+        TopologySpec::Model(m) => {
+            let _ = writeln!(
+                out,
+                "kind = \"model\"\n\
+                 link_bps = {}\n\
+                 cross_bps = {}\n\
+                 cross_active = {}\n\
+                 gate = {}\n\
+                 loss_ppm = {}\n\
+                 buffer_bits = {}\n\
+                 initial_fullness_bits = {}\n\
+                 packet_bits = {}",
+                m.link_rate.as_bps(),
+                m.cross_rate.as_bps(),
+                m.cross_active,
+                fmt_gate(&m.gate),
+                m.loss.as_u32(),
+                m.buffer_capacity.as_u64(),
+                m.initial_fullness.as_u64(),
+                m.packet_size.as_u64(),
+            );
+        }
+        TopologySpec::Cellular { params, queue } => {
+            let _ = writeln!(
+                out,
+                "kind = \"cellular\"\n\
+                 buffer_bits = {}\n\
+                 rate = {}\n\
+                 arq_loss_ppm = {}\n\
+                 arq_retry_delay_s = {}\n\
+                 propagation_s = {}\n\
+                 queue = {}",
+                params.buffer_capacity.as_u64(),
+                fmt_rate(&params.rate),
+                params.arq_loss.as_u32(),
+                fmt_dur(params.arq_retry_delay),
+                fmt_dur(params.propagation),
+                fmt_queue(queue),
+            );
+        }
+    }
+
+    out.push_str("\n[prior]\n");
+    match &base.prior {
+        PriorSpec::Paper => out.push_str("kind = \"paper\"\n"),
+        PriorSpec::Small => out.push_str("kind = \"small\"\n"),
+        PriorSpec::FineLinkRate { n, lo_bps, hi_bps } => {
+            let _ = writeln!(
+                out,
+                "kind = \"fine-link-rate\"\nn = {n}\nlo_bps = {lo_bps}\nhi_bps = {hi_bps}"
+            );
+        }
+        PriorSpec::Custom(p) => {
+            let _ = writeln!(
+                out,
+                "kind = \"custom\"\n\
+                 link_rates_bps = {}\n\
+                 cross_fracs_ppm = {}\n\
+                 losses_ppm = {}\n\
+                 buffer_capacities_bits = {}",
+                fmt_int_list(p.link_rates.iter().map(|r| r.as_bps())),
+                fmt_int_list(p.cross_fracs_ppm.iter().map(|f| *f as u64)),
+                fmt_int_list(p.losses.iter().map(|l| l.as_u32() as u64)),
+                fmt_int_list(p.buffer_capacities.iter().map(|b| b.as_u64())),
+            );
+            if let Some(step) = p.fullness_step {
+                let _ = writeln!(out, "fullness_step_bits = {}", step.as_u64());
+            }
+            let _ = writeln!(
+                out,
+                "mtts_s = {}\n\
+                 epoch_s = {}\n\
+                 gate_initial = [{}]\n\
+                 packet_bits = {}\n\
+                 cross_active = {}",
+                fmt_dur(p.mtts),
+                fmt_dur(p.epoch),
+                p.gate_initial
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                p.packet_size.as_u64(),
+                p.cross_active,
+            );
+        }
+    }
+
+    out.push_str("\n[sender]\n");
+    for line in fmt_sender(&base.sender) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+
+    out.push_str("\n[workload]\n");
+    match &base.workload {
+        WorkloadSpec::ClosedLoop => out.push_str("kind = \"closed-loop\"\n"),
+        WorkloadSpec::ScriptedPing { interval } => {
+            let _ = writeln!(
+                out,
+                "kind = \"scripted-ping\"\ninterval_s = {}",
+                fmt_dur(*interval)
+            );
+        }
+        WorkloadSpec::Coexist(cx) => {
+            let _ = writeln!(
+                out,
+                "kind = \"coexist\"\npeers = [\n{}\n]",
+                cx.peers
+                    .iter()
+                    .map(|p| format!("  {},", fmt_peer(p)))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
+    for axis in &grid.axes {
+        push_axis(&mut out, axis);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    /// Grid equality via the Debug form — every spec type is Debug, and
+    /// the derived representation covers exactly the fields the decoder
+    /// must reproduce.
+    fn assert_grid_eq(a: &SweepGrid, b: &SweepGrid) {
+        assert_eq!(format!("{a:#?}"), format!("{b:#?}"));
+    }
+
+    #[test]
+    fn every_preset_round_trips_through_toml() {
+        for name in presets::NAMES {
+            let grid = presets::by_name(name).unwrap();
+            let toml = grid_to_toml(&grid);
+            let parsed = parse_grid(&toml)
+                .unwrap_or_else(|e| panic!("canonical {name} spec failed to parse: {e}\n{toml}"));
+            assert_grid_eq(&grid, &parsed);
+        }
+    }
+
+    #[test]
+    fn parser_reads_positions_comments_and_hex() {
+        let src =
+            "# comment\n[scenario]\nname = \"x\" # trailing\nbase_seed = 0xF13\nduration_s = 1.5\n";
+        let root = Parser::new(src).parse_document().unwrap();
+        let scen = match &root.get("scenario").unwrap().value.payload {
+            Payload::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            scen.get("base_seed").unwrap().value.payload,
+            Payload::Int(0xF13)
+        ));
+        let name = scen.get("name").unwrap();
+        assert_eq!((name.line, name.col), (3, 1));
+    }
+
+    #[test]
+    fn unknown_key_is_located_and_named() {
+        let grid = presets::by_name("fig3").unwrap();
+        let toml = grid_to_toml(&grid).replace("alpha = 1.0", "alpha = 1.0\nalpa = 1.0");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("unknown key `alpa` in [sender]"),
+            "got: {e}"
+        );
+        assert!(e.line > 0);
+    }
+
+    #[test]
+    fn type_mismatch_names_the_expected_type() {
+        let toml = grid_to_toml(&presets::by_name("fig3").unwrap())
+            .replace("values = [0.9, 1.0, 2.5, 5.0]", "values = [0.9, \"high\"]");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("expected float for `values[1]`, found string"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn duplicate_table_is_rejected() {
+        let toml = format!(
+            "{}\n[sender]\nkind = \"tcp-reno\"\nmax_window = 4\n",
+            grid_to_toml(&presets::by_name("fig3").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("duplicate table [sender]"), "got: {e}");
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let src = "[scenario]\nname = \"a\"\nname = \"b\"\n";
+        let e = parse_grid(src).unwrap_err();
+        assert!(e.message.contains("duplicate key `name`"), "got: {e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn missing_section_is_reported() {
+        let e =
+            parse_grid("[scenario]\nname = \"x\"\nduration_s = 1.0\nbase_seed = 1\n").unwrap_err();
+        assert!(e.message.contains("missing key `topology`"), "got: {e}");
+    }
+
+    #[test]
+    fn unknown_axis_kind_lists_the_menu() {
+        let toml = format!(
+            "{}\n[[axis]]\nkind = \"warp\"\nvalues = [1]\n",
+            grid_to_toml(&presets::by_name("smoke").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("unknown axis kind `warp`"), "got: {e}");
+    }
+
+    #[test]
+    fn three_peer_coexist_spec_parses() {
+        let toml = grid_to_toml(&presets::by_name("coexist-fairness").unwrap()).replace(
+            "peers = [\n  { kind = \"isender\", alpha = 1.0 },\n]",
+            "peers = [\n  { kind = \"isender\", alpha = 1.0 },\n  { kind = \"aimd\", timeout_s = 8.0 },\n  { kind = \"tcp-reno\", max_window = 64 },\n]",
+        );
+        let grid = parse_grid(&toml).unwrap();
+        match &grid.base.workload {
+            WorkloadSpec::Coexist(cx) => {
+                assert_eq!(cx.peers.len(), 3);
+                assert_eq!(cx.label(), "isender+aimd+tcp-reno");
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isender_over_cellular_is_rejected_at_parse_time() {
+        // Splice fig1's cellular topology into fig3's ISender spec: the
+        // runner could only panic on this, so --check must reject it.
+        let fig3 = grid_to_toml(&presets::by_name("fig3").unwrap());
+        let fig1 = grid_to_toml(&presets::by_name("fig1").unwrap());
+        let cut = |src: &str, header: &str| -> String {
+            let start = src.find(header).unwrap();
+            let end = src[start + header.len()..]
+                .find("\n[")
+                .map(|i| start + header.len() + i)
+                .unwrap_or(src.len());
+            src[start..end].to_string()
+        };
+        let spliced = fig3.replace(&cut(&fig3, "[topology]"), &cut(&fig1, "[topology]"));
+        let e = parse_grid(&spliced).unwrap_err();
+        assert!(
+            e.message
+                .contains("`isender-exact` cannot run over a cellular topology"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_u32_is_an_error_not_a_wrap() {
+        // 2^32 + 200000: a wrap would silently yield a valid-looking
+        // 200000 ppm loss rate.
+        let toml = grid_to_toml(&presets::by_name("fig3").unwrap())
+            .replace("loss_ppm = 200000", "loss_ppm = 4295167296");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("`loss_ppm` must fit in a u32"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn full_u64_seed_space_round_trips() {
+        let mut grid = presets::by_name("smoke").unwrap();
+        grid.base.base_seed = 0x9E37_79B9_7F4A_7C15; // >= 2^63
+        let parsed = parse_grid(&grid_to_toml(&grid)).unwrap();
+        assert_eq!(parsed.base.base_seed, 0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[test]
+    fn non_ascii_strings_survive_the_byte_scanner() {
+        let mut grid = presets::by_name("smoke").unwrap();
+        grid.base.name = "café-β".into();
+        let parsed = parse_grid(&grid_to_toml(&grid)).unwrap();
+        assert_eq!(parsed.base.name, "café-β");
+    }
+
+    #[test]
+    fn errors_in_a_later_axis_point_at_that_axis() {
+        let base = grid_to_toml(&presets::by_name("fig3").unwrap());
+        let appended_header_line = base.lines().count() as u32 + 2; // blank line, then [[axis]]
+        let toml = format!("{base}\n[[axis]]\nkind = \"seeds\"\n");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("missing key `count`"), "got: {e}");
+        assert_eq!(
+            e.line, appended_header_line,
+            "error should point at the second [[axis]] header, got: {e}"
+        );
+    }
+}

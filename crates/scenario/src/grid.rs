@@ -8,7 +8,9 @@
 //! the index, executing the run list serially or across any number of
 //! worker threads yields bit-identical results.
 
-use crate::spec::{PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
+use crate::spec::{
+    PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec, WorkloadSpec,
+};
 use augur_sim::{BitRate, Bits, Ppm, SimRng};
 
 /// One sweep dimension.
@@ -30,8 +32,13 @@ pub enum Axis {
     Loss(Vec<Ppm>),
     /// Whole sender configurations (e.g. exact vs particle vs TCP).
     Sender(Vec<SenderSpec>),
-    /// Coexistence peers (requires a [`WorkloadSpec::Coexist`] workload).
+    /// Coexistence peers (requires a [`WorkloadSpec::Coexist`] workload);
+    /// each point replaces the workload's whole peer list with the one
+    /// given peer.
     Peer(Vec<PeerSpec>),
+    /// Queue disciplines of the cellular path's deep buffer (requires a
+    /// [`TopologySpec::Cellular`] topology).
+    Queue(Vec<QueueSpec>),
     /// Prior sizes (requires a [`PriorSpec::FineLinkRate`] prior).
     PriorSize(Vec<usize>),
     /// `k` seed replicates: the spec is unchanged, but each replicate is
@@ -52,6 +59,7 @@ impl Axis {
             Axis::Loss(v) => v.len(),
             Axis::Sender(v) => v.len(),
             Axis::Peer(v) => v.len(),
+            Axis::Queue(v) => v.len(),
             Axis::PriorSize(v) => v.len(),
             Axis::Seeds(k) => *k,
         }
@@ -75,6 +83,7 @@ impl Axis {
             Axis::Loss(_) => "loss_ppm",
             Axis::Sender(_) => "sender",
             Axis::Peer(_) => "peer",
+            Axis::Queue(_) => "queue",
             Axis::PriorSize(_) => "prior_size",
             Axis::Seeds(_) => "replicate",
         }
@@ -92,6 +101,7 @@ impl Axis {
             Axis::Loss(v) => format!("{}", v[i].as_u32()),
             Axis::Sender(v) => v[i].label().to_string(),
             Axis::Peer(v) => v[i].label().to_string(),
+            Axis::Queue(v) => v[i].label().to_string(),
             Axis::PriorSize(v) => format!("{}", v[i]),
             Axis::Seeds(_) => format!("{i}"),
         }
@@ -102,18 +112,31 @@ impl Axis {
         match self {
             Axis::Alpha(v) => spec.sender.set_alpha(v[i]),
             Axis::LatencyPenalty(v) => spec.sender.set_latency_penalty(v[i]),
-            Axis::LinkRate(v) => spec.topology.link_rate = v[i],
+            Axis::LinkRate(v) => spec.topology.model_mut("link-rate axis").link_rate = v[i],
             Axis::CrossRate(v) => {
-                spec.topology.cross_rate = v[i];
-                spec.topology.cross_active = true;
+                let m = spec.topology.model_mut("cross-rate axis");
+                m.cross_rate = v[i];
+                m.cross_active = true;
             }
-            Axis::BufferCapacity(v) => spec.topology.buffer_capacity = v[i],
-            Axis::InitialFullness(v) => spec.topology.initial_fullness = v[i],
-            Axis::Loss(v) => spec.topology.loss = v[i],
+            Axis::BufferCapacity(v) => {
+                spec.topology
+                    .model_mut("buffer-capacity axis")
+                    .buffer_capacity = v[i]
+            }
+            Axis::InitialFullness(v) => {
+                spec.topology
+                    .model_mut("initial-fullness axis")
+                    .initial_fullness = v[i]
+            }
+            Axis::Loss(v) => spec.topology.model_mut("loss axis").loss = v[i],
             Axis::Sender(v) => spec.sender = v[i].clone(),
             Axis::Peer(v) => match &mut spec.workload {
-                WorkloadSpec::Coexist(cx) => cx.peer = v[i],
+                WorkloadSpec::Coexist(cx) => cx.peers = vec![v[i]],
                 other => panic!("peer axis over non-coexist workload {other:?}"),
+            },
+            Axis::Queue(v) => match &mut spec.topology {
+                TopologySpec::Cellular { queue, .. } => *queue = v[i].clone(),
+                other => panic!("queue axis over non-cellular topology {other:?}"),
             },
             Axis::PriorSize(v) => match &mut spec.prior {
                 PriorSpec::FineLinkRate { n, .. } => *n = v[i],
@@ -272,8 +295,9 @@ mod tests {
             .axis(Axis::Loss(vec![Ppm::from_prob(0.1)]))
             .axis(Axis::LatencyPenalty(vec![0.5]));
         let runs = grid.expand();
-        assert_eq!(runs[0].spec.topology.link_rate, BitRate::from_bps(9_000));
-        assert_eq!(runs[0].spec.topology.loss, Ppm::from_prob(0.1));
+        let topology = runs[0].spec.topology.model("test");
+        assert_eq!(topology.link_rate, BitRate::from_bps(9_000));
+        assert_eq!(topology.loss, Ppm::from_prob(0.1));
         match runs[0].spec.sender {
             SenderSpec::IsenderExact {
                 latency_penalty, ..

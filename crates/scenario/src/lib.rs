@@ -16,7 +16,10 @@
 //!   run is a pure function of its spec and derived seed;
 //! * [`SweepReport`] collects per-run [`RunSummary`]s (throughput, delay
 //!   percentiles, realized utility, overflow counts) and exports
-//!   deterministic CSV / JSON-lines through [`augur_trace::Table`].
+//!   deterministic CSV / JSON-lines through [`augur_trace::Table`];
+//! * [`config`] loads a whole grid from a TOML spec file (and writes the
+//!   canonical spec file for any grid), so new experiments are data
+//!   changes, not code changes — see `experiments/specs/`.
 //!
 //! # Example
 //!
@@ -30,13 +33,21 @@
 //! print!("{}", report.to_csv_string());
 //! ```
 
+pub mod config;
 pub mod grid;
 pub mod presets;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use config::{grid_to_toml, load_grid, parse_grid, ConfigError};
 pub use grid::{Axis, RunSpec, SweepGrid};
 pub use report::{RunStatus, RunSummary, SweepReport};
-pub use runner::{execute_run, execute_run_traced, SweepRunner, TcpPeerAgent};
-pub use spec::{CoexistSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
+pub use runner::{
+    execute_run, execute_run_traced, spec_belief, spec_ground_truth, spec_isender, RunArtifact,
+    SweepRunner, TcpPeerAgent,
+};
+pub use spec::{
+    CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
+    WorkloadSpec,
+};

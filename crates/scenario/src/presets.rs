@@ -2,10 +2,48 @@
 //! generic `sweep` CLI and the per-figure experiment binaries.
 
 use crate::grid::{Axis, SweepGrid};
-use crate::spec::{CoexistSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
-use augur_elements::ModelParams;
+use crate::spec::{
+    CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
+    WorkloadSpec,
+};
+use augur_elements::{CellularParams, GateSpec, ModelParams};
 use augur_inference::ModelPrior;
 use augur_sim::{BitRate, Bits, Dur, Ppm};
+
+/// Every named preset, in the order `--export-specs` writes them. Each
+/// name doubles as the canonical spec file stem under
+/// `experiments/specs/` and the default CSV stem under `experiments/`.
+pub const NAMES: [&str; 10] = [
+    "fig1",
+    "fig3",
+    "tab1",
+    "txt1",
+    "txt2",
+    "scaling",
+    "smoke",
+    "coexist-fairness",
+    "coexist-vs-tcp",
+    "ext-aqm",
+];
+
+/// The canonical grid for a preset name, at the documented default
+/// durations/budgets (what `sweep <name>` runs with no overrides, and
+/// what the shipped spec files under `experiments/specs/` encode).
+pub fn by_name(name: &str) -> Option<SweepGrid> {
+    Some(match name {
+        "fig1" => fig1(Dur::from_secs(250)),
+        "fig3" => fig3(Dur::from_secs(300), 50_000),
+        "tab1" => tab1(Dur::from_secs(120), 50_000),
+        "txt1" => txt1(Dur::from_secs(90)),
+        "txt2" => txt2(Dur::from_secs(120)),
+        "scaling" => ext_scaling(vec![101, 1_001, 10_001], 1_000),
+        "smoke" => smoke(Dur::from_secs(20), 4),
+        "coexist-fairness" => coexist_fairness(Dur::from_secs(60), 4, 50_000),
+        "coexist-vs-tcp" => coexist_vs_tcp(Dur::from_secs(60), 2, 50_000),
+        "ext-aqm" => ext_aqm(Dur::from_secs(120)),
+        _ => return None,
+    })
+}
 
 /// The shared base of the coexistence presets: a 24 kbit/s bottleneck
 /// with a 96 kbit drop-tail buffer, an α = 1 exact ISender as flow A,
@@ -21,14 +59,17 @@ fn coexist_base(
 ) -> ScenarioSpec {
     ScenarioSpec {
         name: name.into(),
-        topology: ModelParams::simple_link(BitRate::from_bps(24_000), Bits::new(96_000)),
+        topology: TopologySpec::Model(ModelParams::simple_link(
+            BitRate::from_bps(24_000),
+            Bits::new(96_000),
+        )),
         prior: PriorSpec::Small,
         sender: SenderSpec::IsenderExact {
             alpha: 1.0,
             latency_penalty: 0.0,
             max_branches,
         },
-        workload: WorkloadSpec::Coexist(CoexistSpec { peer }),
+        workload: WorkloadSpec::Coexist(CoexistSpec::with_peer(peer)),
         duration,
         base_seed,
     }
@@ -39,7 +80,7 @@ fn coexist_base(
 /// index, and belief-restart counts across seed replicates.
 pub fn coexist_fairness(duration: Dur, replicates: usize, max_branches: usize) -> SweepGrid {
     let base = coexist_base(
-        "coexist_fairness",
+        "coexist-fairness",
         PeerSpec::Isender { alpha: 1.0 },
         duration,
         max_branches,
@@ -53,7 +94,7 @@ pub fn coexist_fairness(duration: Dur, replicates: usize, max_branches: usize) -
 /// replicates.
 pub fn coexist_vs_tcp(duration: Dur, replicates: usize, max_branches: usize) -> SweepGrid {
     let base = coexist_base(
-        "coexist_vs_tcp",
+        "coexist-vs-tcp",
         PeerSpec::Aimd {
             timeout: Dur::from_secs(8),
         },
@@ -101,10 +142,11 @@ pub fn txt2(duration: Dur) -> SweepGrid {
         epoch: Dur::from_secs(1),
         gate_initial: vec![true],
         packet_size: Bits::from_bytes(1_500),
+        cross_active: true,
     };
     let base = ScenarioSpec {
         name: "txt2".into(),
-        topology,
+        topology: TopologySpec::Model(topology),
         prior: PriorSpec::Custom(prior),
         sender: SenderSpec::IsenderExact {
             alpha: 1.0,
@@ -123,9 +165,11 @@ pub fn txt2(duration: Dur) -> SweepGrid {
 /// workload for 30 simulated seconds.
 pub fn ext_scaling(sizes: Vec<usize>, n_particles: usize) -> SweepGrid {
     let base = ScenarioSpec {
-        name: "ext_scaling".into(),
-        topology: ModelParams::simple_link(BitRate::from_bps(12_000), Bits::new(96_000))
-            .with_cross_rate(BitRate::from_bps(8_400)),
+        name: "scaling".into(),
+        topology: TopologySpec::Model(
+            ModelParams::simple_link(BitRate::from_bps(12_000), Bits::new(96_000))
+                .with_cross_rate(BitRate::from_bps(8_400)),
+        ),
         prior: PriorSpec::FineLinkRate {
             n: 101,
             lo_bps: 8_000,
@@ -156,6 +200,105 @@ pub fn ext_scaling(sizes: Vec<usize>, n_particles: usize) -> SweepGrid {
             },
         ]))
         .axis(Axis::PriorSize(sizes))
+}
+
+/// FIG1 (bufferbloat): a TCP Reno bulk download over the LTE-like
+/// cellular path with its deep drop-tail buffer — per-ACK RTTs climb
+/// from the propagation floor into the seconds. The prior is inert
+/// (TCP senders carry no belief).
+pub fn fig1(duration: Dur) -> SweepGrid {
+    SweepGrid::new(ScenarioSpec {
+        name: "fig1".into(),
+        topology: TopologySpec::Cellular {
+            params: CellularParams::lte_like(),
+            queue: QueueSpec::DropTail,
+        },
+        prior: PriorSpec::Small,
+        sender: SenderSpec::TcpReno { max_window: 1_000 },
+        workload: WorkloadSpec::ClosedLoop,
+        duration,
+        base_seed: 0xF1,
+    })
+}
+
+/// TAB1 (Figure 2's table): the α = 1 exact ISender over the paper's
+/// ground truth and prior — the run whose posterior snapshots show each
+/// parameter concentrating on its actual value.
+pub fn tab1(duration: Dur, max_branches: usize) -> SweepGrid {
+    let mut base = ScenarioSpec::paper_baseline("tab1");
+    base.duration = duration;
+    base.base_seed = 0x7AB1;
+    base.sender = SenderSpec::IsenderExact {
+        alpha: 1.0,
+        latency_penalty: 0.0,
+        max_branches,
+    };
+    SweepGrid::new(base)
+}
+
+/// TXT1 (§4's simple configuration): a single ISender on a quiet
+/// unknown link — c = 12 kbit/s and a half-full buffer, neither known to
+/// the sender, no cross traffic and no loss anywhere in the prior.
+pub fn txt1(duration: Dur) -> SweepGrid {
+    let topology = ModelParams {
+        link_rate: BitRate::from_bps(12_000),
+        cross_rate: BitRate::from_bps(8_400),
+        gate: GateSpec::AlwaysOn,
+        loss: Ppm::ZERO,
+        buffer_capacity: Bits::new(96_000),
+        initial_fullness: Bits::new(48_000),
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: false,
+    };
+    let prior = ModelPrior {
+        link_rates: (5..=8).map(|k| BitRate::from_bps(k * 2_000)).collect(),
+        cross_fracs_ppm: vec![700_000],
+        losses: vec![Ppm::ZERO],
+        buffer_capacities: vec![Bits::new(96_000)],
+        fullness_step: Some(Bits::new(12_000)),
+        mtts: Dur::from_secs(100),
+        epoch: Dur::from_secs(1),
+        gate_initial: vec![true],
+        packet_size: Bits::from_bytes(1_500),
+        cross_active: false,
+    };
+    SweepGrid::new(ScenarioSpec {
+        name: "txt1".into(),
+        topology: TopologySpec::Model(topology),
+        prior: PriorSpec::Custom(prior),
+        sender: SenderSpec::IsenderExact {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            max_branches: 50_000,
+        },
+        workload: WorkloadSpec::ClosedLoop,
+        duration,
+        base_seed: 0x1,
+    })
+}
+
+/// EXT-D (§3.5's AQM remark): the FIG1 download with the deep buffer's
+/// queue discipline swept over drop-tail, RED, and CoDel — the
+/// in-network fix to bufferbloat.
+pub fn ext_aqm(duration: Dur) -> SweepGrid {
+    let params = CellularParams::lte_like();
+    let capacity = params.buffer_capacity.as_u64();
+    let mut grid = fig1(duration);
+    grid.base.name = "ext-aqm".into();
+    grid.base.base_seed = 0xA0;
+    grid.axis(Axis::Queue(vec![
+        QueueSpec::DropTail,
+        QueueSpec::Red {
+            min_th: Bits::new(capacity / 12),
+            max_th: Bits::new(capacity / 4),
+            max_p: Ppm::from_prob(0.1),
+            w_shift: 9, // EWMA weight 1/512
+        },
+        QueueSpec::CoDel {
+            target: Dur::from_millis(5),
+            interval: Dur::from_millis(100),
+        },
+    ]))
 }
 
 /// A quick smoke sweep: the Small prior over a short closed loop, exact
@@ -218,11 +361,11 @@ mod tests {
         let runs = coexist_fairness(Dur::from_secs(60), 3, 50_000).expand();
         assert_eq!(runs.len(), 3);
         for r in &runs {
-            match r.spec.workload {
+            match &r.spec.workload {
                 WorkloadSpec::Coexist(cx) => {
-                    assert_eq!(cx.peer, PeerSpec::Isender { alpha: 1.0 })
+                    assert_eq!(cx.peers, vec![PeerSpec::Isender { alpha: 1.0 }])
                 }
-                ref other => panic!("unexpected workload {other:?}"),
+                other => panic!("unexpected workload {other:?}"),
             }
         }
     }
@@ -231,16 +374,16 @@ mod tests {
     fn coexist_vs_tcp_crosses_peers_with_seeds() {
         let runs = coexist_vs_tcp(Dur::from_secs(60), 2, 50_000).expand();
         assert_eq!(runs.len(), 6);
-        let peers: Vec<&str> = runs
+        let peers: Vec<String> = runs
             .iter()
-            .map(|r| match r.spec.workload {
-                WorkloadSpec::Coexist(cx) => cx.peer.label(),
-                ref other => panic!("unexpected workload {other:?}"),
+            .map(|r| match &r.spec.workload {
+                WorkloadSpec::Coexist(cx) => cx.label(),
+                other => panic!("unexpected workload {other:?}"),
             })
             .collect();
         assert_eq!(
             peers,
-            vec![
+            [
                 "aimd",
                 "aimd",
                 "tcp-reno",

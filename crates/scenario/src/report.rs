@@ -39,8 +39,8 @@ pub struct RunSummary {
     pub scenario: String,
     /// Sender label (`isender-exact`, `tcp-reno`, …).
     pub sender: String,
-    /// Coexistence-peer label (`isender`, `aimd`, …); empty for
-    /// single-sender runs.
+    /// Coexistence-peer label (`isender`, `aimd`, …; `+`-joined when
+    /// several peers share the link); empty for single-sender runs.
     pub peer: String,
     /// Grid coordinates, e.g. `alpha=1 replicate=3`.
     pub point: String,
@@ -58,17 +58,17 @@ pub struct RunSummary {
     pub throughput_pps: f64,
     /// Own-flow delivered bits per second.
     pub goodput_bps: f64,
-    /// Coexistence runs: the peer flow's delivered bits per second
-    /// (`NaN` for single-sender runs).
+    /// Coexistence runs: the peer flows' aggregate delivered bits per
+    /// second (`NaN` for single-sender runs).
     pub goodput_b_bps: f64,
-    /// Coexistence runs: Jain's fairness index over the two flows'
-    /// goodputs (`NaN` for single-sender runs).
+    /// Coexistence runs: Jain's fairness index over all flows' goodputs
+    /// (`NaN` for single-sender runs).
     pub jain: f64,
     /// Coexistence runs: belief restarts of the primary sender (missing
     /// for single-sender runs).
     pub restarts_a: Option<u64>,
-    /// Coexistence runs: belief restarts of the peer (0 for peers with
-    /// no belief; missing for single-sender runs).
+    /// Coexistence runs: belief restarts summed over the peers (0 for
+    /// peers with no belief; missing for single-sender runs).
     pub restarts_b: Option<u64>,
     /// Per-packet delay percentiles in seconds (send→ack for the ISender,
     /// RTT for TCP); `NaN` when no packet completed.

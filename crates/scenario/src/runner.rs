@@ -10,13 +10,13 @@
 
 use crate::grid::RunSpec;
 use crate::report::{RunStatus, RunSummary, SweepReport};
-use crate::spec::{CoexistSpec, PeerSpec, ScenarioSpec, SenderSpec, WorkloadSpec};
+use crate::spec::{CoexistSpec, PeerSpec, ScenarioSpec, SenderSpec, TopologySpec, WorkloadSpec};
 use augur_core::{
     build_shared_bottleneck, coexist_belief, jain_index, run_closed_loop, run_multi_agent,
     AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, ParticleSender,
     RestartingSender, RunTrace, SenderAgent, Utility, WakeOutcome,
 };
-use augur_elements::{DropReason, ModelParams};
+use augur_elements::{build_cellular_with_buffer, DropReason, ModelParams};
 use augur_inference::{
     Belief, BeliefConfig, BeliefError, Hypothesis, Observation, ParticleConfig, ParticleFilter,
 };
@@ -32,6 +32,39 @@ use std::time::Instant;
 const STREAM_TRUTH: u64 = 0;
 /// Seed sub-stream for the belief engine (particle sampling/resampling).
 const STREAM_ENGINE: u64 = 1;
+
+/// The time-resolved record a run leaves behind, beyond its summary.
+/// Figure binaries use it for plots and shape checks; summary-only
+/// sweeps drop it as each run completes.
+#[derive(Debug, Clone)]
+pub enum RunArtifact {
+    /// The run kind produces no trace (scripted workloads, which
+    /// summarize inline).
+    None,
+    /// An ISender closed loop's full [`RunTrace`] (for coexistence runs,
+    /// the primary flow's).
+    ClosedLoop(RunTrace),
+    /// A TCP run's [`TcpTrace`] (RTT samples, goodput curve, drops).
+    Tcp(TcpTrace),
+}
+
+impl RunArtifact {
+    /// The closed-loop trace, if this run produced one.
+    pub fn into_closed_loop(self) -> Option<RunTrace> {
+        match self {
+            RunArtifact::ClosedLoop(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The TCP trace, if this run produced one.
+    pub fn into_tcp(self) -> Option<TcpTrace> {
+        match self {
+            RunArtifact::Tcp(t) => Some(t),
+            _ => None,
+        }
+    }
+}
 
 /// Executes expanded run lists across worker threads.
 #[derive(Debug, Clone)]
@@ -86,21 +119,17 @@ impl SweepRunner {
         self.run_impl(runs, false).0
     }
 
-    /// [`SweepRunner::run`], additionally keeping each run's full
-    /// [`RunTrace`] (where the run kind produces one) in run-index order.
-    /// Traces cover the whole simulated duration; summary-only sweeps
-    /// should use [`SweepRunner::run`], which drops each trace as soon as
-    /// its run completes.
-    pub fn run_traced(&self, runs: &[RunSpec]) -> (SweepReport, Vec<Option<RunTrace>>) {
+    /// [`SweepRunner::run`], additionally keeping each run's
+    /// [`RunArtifact`] (where the run kind produces one) in run-index
+    /// order. Artifacts cover the whole simulated duration; summary-only
+    /// sweeps should use [`SweepRunner::run`], which drops each artifact
+    /// as soon as its run completes.
+    pub fn run_traced(&self, runs: &[RunSpec]) -> (SweepReport, Vec<RunArtifact>) {
         self.run_impl(runs, true)
     }
 
-    fn run_impl(
-        &self,
-        runs: &[RunSpec],
-        keep_traces: bool,
-    ) -> (SweepReport, Vec<Option<RunTrace>>) {
-        type Slot = Mutex<Option<(RunSummary, Option<RunTrace>)>>;
+    fn run_impl(&self, runs: &[RunSpec], keep_traces: bool) -> (SweepReport, Vec<RunArtifact>) {
+        type Slot = Mutex<Option<(RunSummary, RunArtifact)>>;
         let next = AtomicUsize::new(0);
         let slots: Vec<Slot> = runs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(runs.len()).max(1);
@@ -112,7 +141,11 @@ impl SweepRunner {
                         break;
                     }
                     let (summary, trace) = execute_run_traced(&runs[i]);
-                    let trace = if keep_traces { trace } else { None };
+                    let trace = if keep_traces {
+                        trace
+                    } else {
+                        RunArtifact::None
+                    };
                     if self.verbose {
                         eprintln!(
                             "  [{}/{}] {} {} — {}: {} sends, {} acked, {:.1}s wall",
@@ -149,11 +182,12 @@ pub fn execute_run(run: &RunSpec) -> RunSummary {
     execute_run_traced(run).0
 }
 
-/// [`execute_run`], additionally returning the full closed-loop
-/// [`RunTrace`] when the run kind produces one (ISender closed loops do;
-/// TCP and scripted workloads summarize inline). Figure binaries use the
-/// trace for time-resolved plots and shape checks on top of the summary.
-pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
+/// [`execute_run`], additionally returning the run's [`RunArtifact`]
+/// (ISender closed loops leave a [`RunTrace`], TCP runs a [`TcpTrace`];
+/// scripted workloads summarize inline). Figure binaries use the
+/// artifact for time-resolved plots and shape checks on top of the
+/// summary.
+pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, RunArtifact) {
     let start = Instant::now();
     let (mut summary, trace) = match (&run.spec.workload, &run.spec.sender) {
         (WorkloadSpec::ClosedLoop, SenderSpec::IsenderExact { .. })
@@ -161,8 +195,13 @@ pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
             closed_loop_isender(run)
         }
         (WorkloadSpec::ClosedLoop, SenderSpec::TcpReno { .. })
-        | (WorkloadSpec::ClosedLoop, SenderSpec::TcpCubic { .. }) => (closed_loop_tcp(run), None),
-        (WorkloadSpec::ScriptedPing { interval }, _) => (scripted_ping(run, *interval), None),
+        | (WorkloadSpec::ClosedLoop, SenderSpec::TcpCubic { .. }) => {
+            let (summary, trace) = closed_loop_tcp(run);
+            (summary, RunArtifact::Tcp(trace))
+        }
+        (WorkloadSpec::ScriptedPing { interval }, _) => {
+            (scripted_ping(run, *interval), RunArtifact::None)
+        }
         (WorkloadSpec::Coexist(cx), _) => coexist_run(run, cx),
     };
     // Scripted runs meter their own wall clock (belief updates only);
@@ -203,7 +242,11 @@ fn blank_summary(run: &RunSpec) -> RunSummary {
     }
 }
 
-fn ground_truth(spec: &ScenarioSpec, seed: u64) -> GroundTruth {
+/// The spec's ground truth wrapped for the closed loop, with the truth
+/// RNG on the run seed's dedicated sub-stream. Public so figure binaries
+/// that need mid-run instrumentation (TAB1's posterior snapshots, TXT1's
+/// belief inspection) can drive the exact network a sweep run would use.
+pub fn spec_ground_truth(spec: &ScenarioSpec, seed: u64) -> GroundTruth {
     let m = spec.build_truth();
     GroundTruth {
         net: m.net,
@@ -215,7 +258,7 @@ fn ground_truth(spec: &ScenarioSpec, seed: u64) -> GroundTruth {
 
 /// Build the exact belief for a spec. All Figure-2 models share node ids,
 /// so the truth instance doubles as the topology probe.
-fn build_belief(spec: &ScenarioSpec, max_branches: usize) -> Belief<ModelParams> {
+pub fn spec_belief(spec: &ScenarioSpec, max_branches: usize) -> Belief<ModelParams> {
     let probe = spec.build_truth();
     Belief::new(
         spec.prior.hypotheses(),
@@ -227,6 +270,25 @@ fn build_belief(spec: &ScenarioSpec, max_branches: usize) -> Belief<ModelParams>
             ..BeliefConfig::default()
         },
     )
+}
+
+/// Build the exact-belief ISender a spec describes.
+///
+/// # Panics
+/// Panics unless the spec's sender is [`SenderSpec::IsenderExact`].
+pub fn spec_isender(spec: &ScenarioSpec) -> ISender<ModelParams> {
+    match &spec.sender {
+        SenderSpec::IsenderExact {
+            alpha,
+            latency_penalty,
+            max_branches,
+        } => ISender::new(
+            spec_belief(spec, *max_branches),
+            utility_of(*alpha, *latency_penalty),
+            sender_config(spec),
+        ),
+        other => panic!("spec_isender over sender {}", other.label()),
+    }
 }
 
 fn build_filter(spec: &ScenarioSpec, n_particles: usize, seed: u64) -> ParticleFilter<ModelParams> {
@@ -252,14 +314,14 @@ fn utility_of(alpha: f64, latency_penalty: f64) -> Box<DiscountedThroughput> {
 
 fn sender_config(spec: &ScenarioSpec) -> ISenderConfig {
     ISenderConfig {
-        packet_size: spec.topology.packet_size,
+        packet_size: spec.topology.packet_size(),
         ..ISenderConfig::default()
     }
 }
 
-fn closed_loop_isender(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
+fn closed_loop_isender(run: &RunSpec) -> (RunSummary, RunArtifact) {
     let spec = &run.spec;
-    let mut truth = ground_truth(spec, run.seed);
+    let mut truth = spec_ground_truth(spec, run.seed);
     let t_end = Time::ZERO + spec.duration;
 
     // The two engines share the decision cycle via SenderAgent; only the
@@ -271,7 +333,7 @@ fn closed_loop_isender(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
             max_branches,
         } => {
             let mut sender = ISender::new(
-                build_belief(spec, *max_branches),
+                spec_belief(spec, *max_branches),
                 utility_of(*alpha, *latency_penalty),
                 sender_config(spec),
             );
@@ -310,11 +372,11 @@ fn closed_loop_isender(run: &RunSpec) -> (RunSummary, Option<RunTrace>) {
     match result {
         Ok(trace) => {
             summarize_closed_loop(&mut summary, &trace, spec, alpha);
-            (summary, Some(trace))
+            (summary, RunArtifact::ClosedLoop(trace))
         }
         Err(_) => {
             summary.status = RunStatus::BeliefDied;
-            (summary, None)
+            (summary, RunArtifact::None)
         }
     }
 }
@@ -326,7 +388,7 @@ fn summarize_closed_loop(
     alpha: f64,
 ) {
     let dur_s = spec.duration.as_secs_f64();
-    let pkt_bits = spec.topology.packet_size.as_f64();
+    let pkt_bits = spec.topology.packet_size().as_f64();
     summary.delivered = trace.acks.len() as u64;
     summary.throughput_pps = trace.acks.len() as f64 / dur_s;
     summary.goodput_bps = trace.acks.len() as f64 * pkt_bits / dur_s;
@@ -347,31 +409,49 @@ fn summarize_closed_loop(
     set_delay_percentiles(summary, &delays);
 }
 
-fn closed_loop_tcp(run: &RunSpec) -> RunSummary {
-    use augur_tcp::{Cubic, Reno, TcpConfig, TcpRunner};
-    let spec = &run.spec;
-    let t_end = Time::ZERO + spec.duration;
-    let (max_window, cc): (u64, Box<dyn augur_tcp::CongestionControl>) = match &spec.sender {
+/// The spec's TCP flavor as a window cap and congestion controller.
+fn tcp_flavor(spec: &ScenarioSpec) -> (u64, Box<dyn augur_tcp::CongestionControl>) {
+    match &spec.sender {
         SenderSpec::TcpReno { max_window } => (*max_window, Box::new(Reno::default())),
         SenderSpec::TcpCubic { max_window } => (*max_window, Box::new(Cubic::default())),
-        other => unreachable!("closed_loop_tcp over {}", other.label()),
-    };
+        other => unreachable!("tcp run over {}", other.label()),
+    }
+}
+
+fn closed_loop_tcp(run: &RunSpec) -> (RunSummary, TcpTrace) {
+    use augur_tcp::TcpRunner;
+    let spec = &run.spec;
+    let t_end = Time::ZERO + spec.duration;
+    let (max_window, cc) = tcp_flavor(spec);
     let cfg = TcpConfig {
-        packet_size: spec.topology.packet_size,
+        packet_size: spec.topology.packet_size(),
         max_window,
         ..TcpConfig::default()
     };
-    let mut runner = TcpRunner::over_model(
-        spec.build_truth(),
-        cfg,
-        SimRng::derive_seed(run.seed, STREAM_TRUTH),
-        cc,
-    );
-    let trace = runner.run(t_end);
+    let seed = SimRng::derive_seed(run.seed, STREAM_TRUTH);
+    let trace = match &spec.topology {
+        TopologySpec::Model(_) => {
+            let mut runner = TcpRunner::over_model(spec.build_truth(), cfg, seed, cc);
+            runner.run(t_end)
+        }
+        TopologySpec::Cellular { params, queue } => {
+            // The shared cellular path, with the deep buffer's queue
+            // discipline swapped per the spec (FIG1 / EXT-D).
+            let cell = build_cellular_with_buffer(params, queue.build(params.buffer_capacity));
+            let mut runner =
+                TcpRunner::with_congestion_control(cell.net, cell.entry, cell.rx, cfg, seed, cc);
+            runner.run(t_end)
+        }
+    };
 
     let mut summary = blank_summary(run);
+    summarize_tcp(&mut summary, &trace, spec);
+    (summary, trace)
+}
+
+fn summarize_tcp(summary: &mut RunSummary, trace: &TcpTrace, spec: &ScenarioSpec) {
     let dur_s = spec.duration.as_secs_f64();
-    let pkt_bits = spec.topology.packet_size.as_f64();
+    let pkt_bits = spec.topology.packet_size().as_f64();
     let received_bits = trace.goodput.last().map_or(0, |(_, bits)| *bits);
     summary.sends = trace.segments_sent;
     summary.delivered = (received_bits as f64 / pkt_bits) as u64;
@@ -388,8 +468,7 @@ fn closed_loop_tcp(run: &RunSpec) -> RunSummary {
         .map(|(_, r)| r.as_secs_f64())
         .collect();
     rtts.sort_by(|a, b| a.total_cmp(b));
-    set_delay_percentiles(&mut summary, &rtts);
-    summary
+    set_delay_percentiles(summary, &rtts);
 }
 
 fn set_delay_percentiles(summary: &mut RunSummary, sorted: &[f64]) {
@@ -450,7 +529,7 @@ fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
     let spec = &run.spec;
     let mut engine = match &spec.sender {
         SenderSpec::IsenderExact { max_branches, .. } => {
-            Engine::Exact(build_belief(spec, *max_branches))
+            Engine::Exact(spec_belief(spec, *max_branches))
         }
         SenderSpec::IsenderParticle { n_particles, .. } => {
             Engine::Particle(build_filter(spec, *n_particles, run.seed))
@@ -461,9 +540,9 @@ fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
         ),
     };
 
-    let mut truth = ground_truth(spec, run.seed);
+    let mut truth = spec_ground_truth(spec, run.seed);
     let t_end = Time::ZERO + spec.duration;
-    let pkt_size = spec.topology.packet_size;
+    let pkt_size = spec.topology.packet_size();
     let mut summary = blank_summary(run);
     let mut seq = 0u64;
     let mut alive = true;
@@ -522,8 +601,9 @@ fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
 
     summary.population = engine.population() as u64;
     if alive {
-        summary.rate_err_bps =
-            (engine.expected_link_bps() - spec.topology.link_rate.as_bps() as f64).abs();
+        summary.rate_err_bps = (engine.expected_link_bps()
+            - spec.topology.model("scripted workload").link_rate.as_bps() as f64)
+            .abs();
         let dur_s = spec.duration.as_secs_f64();
         summary.throughput_pps = summary.delivered as f64 / dur_s;
         summary.goodput_bps = summary.delivered as f64 * pkt_size.as_f64() / dur_s;
@@ -597,12 +677,17 @@ enum PeerAgent {
     Tcp(TcpPeerAgent),
 }
 
-/// Two senders over one bottleneck (§3.5), via the multi-agent loop.
-/// Flow A is the scenario's sender, flow B the [`PeerSpec`] competitor;
-/// the shared link/buffer/loss come from the spec's topology and the
-/// primary's prior is the dedicated coexistence prior.
-fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, Option<RunTrace>) {
+/// N senders over one bottleneck (§3.5), via the multi-agent loop. Flow
+/// A is the scenario's sender; peer `i` of the [`CoexistSpec`] transmits
+/// as flow `i + 1`. The shared link/buffer/loss come from the spec's
+/// topology and the primary's prior is the dedicated coexistence prior.
+fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, RunArtifact) {
     let spec = &run.spec;
+    let topology = spec.topology.model("coexist workload");
+    assert!(
+        !cx.peers.is_empty(),
+        "coexist workload needs at least one peer"
+    );
     let (alpha, latency_penalty, max_branches) = match spec.sender {
         SenderSpec::IsenderExact {
             alpha,
@@ -619,17 +704,17 @@ fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, Option<RunTrace>
     // different wire packet size would make the reported restart counts
     // measure that mismatch instead of the adaptive-peer misfit.
     assert_eq!(
-        spec.topology.packet_size,
+        topology.packet_size,
         augur_sim::Bits::from_bytes(1_500),
         "coexist workload requires 1500-byte packets (the coexistence prior's grid)"
     );
-    let link_bps = spec.topology.link_rate.as_bps();
-    let buffer_bits = spec.topology.buffer_capacity.as_u64();
+    let link_bps = topology.link_rate.as_bps();
+    let buffer_bits = topology.buffer_capacity.as_u64();
     let mut truth = build_shared_bottleneck(
-        spec.topology.link_rate,
-        spec.topology.buffer_capacity,
-        spec.topology.loss,
-        2,
+        topology.link_rate,
+        topology.buffer_capacity,
+        topology.loss,
+        1 + cx.peers.len(),
         SimRng::derive_seed(run.seed, STREAM_TRUTH),
     );
     let restarting = |alpha: f64, latency_penalty: f64| {
@@ -639,70 +724,80 @@ fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, Option<RunTrace>
             sender_config(spec),
         )
     };
-    let mut primary = restarting(alpha, latency_penalty);
-    let mut peer = match cx.peer {
-        PeerSpec::Isender { alpha } => PeerAgent::Model(restarting(alpha, 0.0)),
-        PeerSpec::Aimd { timeout } => {
-            PeerAgent::Aimd(AimdSender::new(timeout).with_packet_size(spec.topology.packet_size))
-        }
-        PeerSpec::TcpReno { max_window } => PeerAgent::Tcp(TcpPeerAgent::new(
+    let tcp_peer = |max_window: u64, cc: Box<dyn augur_tcp::CongestionControl>| {
+        PeerAgent::Tcp(TcpPeerAgent::new(
             TcpConfig {
-                packet_size: spec.topology.packet_size,
+                packet_size: topology.packet_size,
                 max_window,
                 ..TcpConfig::default()
             },
-            Box::new(Reno::default()),
-        )),
-        PeerSpec::TcpCubic { max_window } => PeerAgent::Tcp(TcpPeerAgent::new(
-            TcpConfig {
-                packet_size: spec.topology.packet_size,
-                max_window,
-                ..TcpConfig::default()
-            },
-            Box::new(Cubic::default()),
-        )),
+            cc,
+        ))
     };
+    let mut primary = restarting(alpha, latency_penalty);
+    let mut peers: Vec<PeerAgent> = cx
+        .peers
+        .iter()
+        .map(|p| match *p {
+            PeerSpec::Isender { alpha } => PeerAgent::Model(restarting(alpha, 0.0)),
+            PeerSpec::Aimd { timeout } => {
+                PeerAgent::Aimd(AimdSender::new(timeout).with_packet_size(topology.packet_size))
+            }
+            PeerSpec::TcpReno { max_window } => tcp_peer(max_window, Box::<Reno>::default()),
+            PeerSpec::TcpCubic { max_window } => tcp_peer(max_window, Box::<Cubic>::default()),
+        })
+        .collect();
 
     let t_end = Time::ZERO + spec.duration;
     let result = {
-        let peer_dyn: &mut dyn SenderAgent = match &mut peer {
-            PeerAgent::Model(m) => m,
-            PeerAgent::Aimd(a) => a,
-            PeerAgent::Tcp(t) => t,
-        };
-        run_multi_agent(&mut truth, &mut [&mut primary, peer_dyn], t_end)
+        let mut agents: Vec<&mut dyn SenderAgent> = Vec::with_capacity(1 + peers.len());
+        agents.push(&mut primary);
+        for p in &mut peers {
+            agents.push(match p {
+                PeerAgent::Model(m) => m,
+                PeerAgent::Aimd(a) => a,
+                PeerAgent::Tcp(t) => t,
+            });
+        }
+        run_multi_agent(&mut truth, &mut agents, t_end)
     };
 
     let mut summary = blank_summary(run);
-    summary.peer = cx.peer.label().to_string();
+    summary.peer = cx.label();
     summary.population = primary.population() as u64;
     match result {
-        Ok(traces) => {
+        Ok(mut traces) => {
             let dur_s = spec.duration.as_secs_f64();
             // Goodput counts each sequence number once: loss-based peers
             // retransmit, and a duplicate delivery of an already-received
             // segment is not useful throughput (the single-sender TCP
             // path dedups the same way via the endpoint's in-order
             // accounting).
-            let pkt_bits = spec.topology.packet_size.as_f64();
+            let pkt_bits = topology.packet_size.as_f64();
             let unique_bits = |trace: &RunTrace| {
                 let mut seen = std::collections::HashSet::new();
                 trace.acks.iter().filter(|o| seen.insert(o.seq)).count() as f64 * pkt_bits
             };
-            let ra = unique_bits(&traces[0]) / dur_s;
-            let rb = unique_bits(&traces[1]) / dur_s;
+            let rates: Vec<f64> = traces.iter().map(|t| unique_bits(t) / dur_s).collect();
+            let ra = rates[0];
+            let rb: f64 = rates[1..].iter().sum();
             summary.sends = traces[0].sends.len() as u64;
             summary.delivered = traces[0].acks.len() as u64;
             summary.throughput_pps = summary.delivered as f64 / dur_s;
             summary.goodput_bps = ra;
             summary.goodput_b_bps = rb;
-            summary.jain = jain_index(&[ra, rb]);
+            summary.jain = jain_index(&rates);
             summary.utility = ra + alpha * rb;
             summary.restarts_a = Some(primary.restarts as u64);
-            summary.restarts_b = Some(match &peer {
-                PeerAgent::Model(m) => m.restarts as u64,
-                _ => 0,
-            });
+            summary.restarts_b = Some(
+                peers
+                    .iter()
+                    .map(|p| match p {
+                        PeerAgent::Model(m) => m.restarts as u64,
+                        _ => 0,
+                    })
+                    .sum(),
+            );
             summary.overflow_drops = traces
                 .iter()
                 .flat_map(|t| t.drops.iter())
@@ -717,12 +812,12 @@ fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, Option<RunTrace>
                 .collect();
             delays.sort_by(|a, b| a.total_cmp(b));
             set_delay_percentiles(&mut summary, &delays);
-            let [trace_a, _] = <[RunTrace; 2]>::try_from(traces).expect("two agents, two traces");
-            (summary, Some(trace_a))
+            let trace_a = traces.swap_remove(0);
+            (summary, RunArtifact::ClosedLoop(trace_a))
         }
         Err(_) => {
             summary.status = RunStatus::BeliefDied;
-            (summary, None)
+            (summary, RunArtifact::None)
         }
     }
 }

@@ -6,9 +6,118 @@
 //! paper's experiment binaries used to hand-wire becomes data that the
 //! sweep runner can expand, parallelize, and reproduce.
 
-use augur_elements::{build_model, ModelNet, ModelParams};
+use augur_elements::{build_model, Buffer, CellularParams, ModelNet, ModelParams};
 use augur_inference::{Hypothesis, ModelPrior};
-use augur_sim::{BitRate, Bits, Dur};
+use augur_sim::{BitRate, Bits, Dur, Ppm};
+
+/// The queue discipline of a cellular path's deep buffer (EXT-D's
+/// in-network knob).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueSpec {
+    /// Plain FIFO tail drop (the bufferbloat baseline).
+    DropTail,
+    /// Random Early Detection with an EWMA queue estimate.
+    Red {
+        /// Early-drop onset threshold.
+        min_th: Bits,
+        /// Threshold of certain early drop.
+        max_th: Bits,
+        /// Drop probability at `max_th`.
+        max_p: Ppm,
+        /// EWMA weight as a right shift (weight = 2^-shift).
+        w_shift: u32,
+    },
+    /// CoDel: drop when sojourn time stays above `target` for `interval`.
+    CoDel {
+        /// Acceptable standing-queue sojourn time.
+        target: Dur,
+        /// Window the sojourn must exceed `target` before dropping.
+        interval: Dur,
+    },
+}
+
+impl QueueSpec {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueSpec::DropTail => "drop-tail",
+            QueueSpec::Red { .. } => "red",
+            QueueSpec::CoDel { .. } => "codel",
+        }
+    }
+
+    /// Build the buffer element with this discipline at `capacity`.
+    pub fn build(&self, capacity: Bits) -> Buffer {
+        match *self {
+            QueueSpec::DropTail => Buffer::drop_tail(capacity),
+            QueueSpec::Red {
+                min_th,
+                max_th,
+                max_p,
+                w_shift,
+            } => Buffer::red(capacity, min_th, max_th, max_p, w_shift),
+            QueueSpec::CoDel { target, interval } => Buffer::codel(capacity, target, interval),
+        }
+    }
+}
+
+/// The ground-truth network a scenario runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's Figure-2 model family ([`augur_elements::build_model`]):
+    /// buffer → link → loss, with optional gated cross traffic.
+    Model(ModelParams),
+    /// The LTE-like cellular path ([`augur_elements::build_cellular`]):
+    /// a deep buffer feeding a fading ARQ link — with the buffer's queue
+    /// discipline swappable (FIG1 / EXT-D). Only TCP senders run over it;
+    /// the ISender's priors all describe the model family.
+    Cellular {
+        /// The radio path.
+        params: CellularParams,
+        /// Queue discipline of the deep buffer.
+        queue: QueueSpec,
+    },
+}
+
+impl TopologySpec {
+    /// The model parameters, for scenario kinds that require the Figure-2
+    /// family.
+    ///
+    /// # Panics
+    /// Panics for cellular topologies — `what` names the feature that
+    /// needed the model (an authoring error, not a runtime condition).
+    pub fn model(&self, what: &str) -> &ModelParams {
+        match self {
+            TopologySpec::Model(m) => m,
+            TopologySpec::Cellular { .. } => {
+                panic!("{what} requires a model topology, got cellular")
+            }
+        }
+    }
+
+    /// Mutable access to the model parameters (sweep axes write here).
+    ///
+    /// # Panics
+    /// Panics for cellular topologies (see [`TopologySpec::model`]).
+    pub fn model_mut(&mut self, what: &str) -> &mut ModelParams {
+        match self {
+            TopologySpec::Model(m) => m,
+            TopologySpec::Cellular { .. } => {
+                panic!("{what} requires a model topology, got cellular")
+            }
+        }
+    }
+
+    /// The packet size senders should use over this topology: the model's
+    /// configured size, or the paper's 1500-byte packets on the cellular
+    /// path (which carries whatever it is given).
+    pub fn packet_size(&self) -> Bits {
+        match self {
+            TopologySpec::Model(m) => m.packet_size,
+            TopologySpec::Cellular { .. } => Bits::from_bytes(1_500),
+        }
+    }
+}
 
 /// Which sender runs the scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +203,15 @@ impl SenderSpec {
                 "latency-penalty axis over utility-free sender {}",
                 other.label()
             ),
+        }
+    }
+
+    /// The exact-belief branch cap, if this sender has one (the knob the
+    /// `sweep` CLI's `--branches` override writes).
+    pub fn max_branches_mut(&mut self) -> Option<&mut usize> {
+        match self {
+            SenderSpec::IsenderExact { max_branches, .. } => Some(max_branches),
+            _ => None,
         }
     }
 }
@@ -209,20 +327,38 @@ impl PeerSpec {
     }
 }
 
-/// A two-sender coexistence run (§3.5): the scenario's sender and a
-/// [`PeerSpec`] competitor share one bottleneck built from the
-/// topology's link rate, buffer capacity, and loss. The primary must be
-/// an exact-belief ISender; its prior is the dedicated coexistence
-/// prior (`augur_core::coexist_belief`, derived from the topology), so
+/// An N-sender coexistence run (§3.5): the scenario's sender and one
+/// [`PeerSpec`] competitor per entry share one bottleneck built from the
+/// topology's link rate, buffer capacity, and loss — peer `i` transmits
+/// as `FlowId(i + 1)`. The primary must be an exact-belief ISender; its
+/// prior is the dedicated coexistence prior (`augur_core::
+/// coexist_belief`, derived from the topology), so
 /// [`ScenarioSpec::prior`] is not consulted.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoexistSpec {
-    /// Who shares the link.
-    pub peer: PeerSpec,
+    /// Who shares the link (must be non-empty; the multi-agent loop
+    /// supports any count).
+    pub peers: Vec<PeerSpec>,
+}
+
+impl CoexistSpec {
+    /// A two-sender run against a single peer — the common §3.5 shape.
+    pub fn with_peer(peer: PeerSpec) -> CoexistSpec {
+        CoexistSpec { peers: vec![peer] }
+    }
+
+    /// All peer labels joined into one report token, e.g. `aimd+tcp-reno`.
+    pub fn label(&self) -> String {
+        self.peers
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
 }
 
 /// What drives the sender.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
     /// The paper's closed loop (§4): the sender decides when to transmit,
     /// woken by acknowledgments and its own timer.
@@ -244,8 +380,8 @@ pub enum WorkloadSpec {
 pub struct ScenarioSpec {
     /// Report label.
     pub name: String,
-    /// Ground-truth network (built via `augur_elements::build_model`).
-    pub topology: ModelParams,
+    /// Ground-truth network.
+    pub topology: TopologySpec,
     /// The sender's prior.
     pub prior: PriorSpec,
     /// Which sender runs.
@@ -264,7 +400,7 @@ impl ScenarioSpec {
     pub fn paper_baseline(name: impl Into<String>) -> ScenarioSpec {
         ScenarioSpec {
             name: name.into(),
-            topology: ModelParams::paper_ground_truth(),
+            topology: TopologySpec::Model(ModelParams::paper_ground_truth()),
             prior: PriorSpec::Paper,
             sender: SenderSpec::IsenderExact {
                 alpha: 1.0,
@@ -277,9 +413,14 @@ impl ScenarioSpec {
         }
     }
 
-    /// The ground-truth network this scenario runs against.
+    /// The ground-truth network this scenario runs against, for
+    /// model-family topologies.
+    ///
+    /// # Panics
+    /// Panics for cellular topologies, which are built by the runner's
+    /// TCP-over-cellular path instead.
     pub fn build_truth(&self) -> ModelNet {
-        build_model(self.topology)
+        build_model(*self.topology.model("build_truth"))
     }
 }
 

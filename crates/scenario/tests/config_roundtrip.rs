@@ -1,0 +1,171 @@
+//! The config layer's external contract:
+//!
+//! 1. every preset survives preset → written spec file → parsed spec
+//!    with an identical grid (so `sweep --spec` of a shipped file and
+//!    the built-in preset can never produce different CSVs);
+//! 2. the spec files shipped under `experiments/specs/` are byte-for-
+//!    byte the canonical emission of today's presets — regenerating with
+//!    `sweep --export-specs experiments/specs` is the fix when this
+//!    fails;
+//! 3. spec files can reach configurations the presets don't, like N > 2
+//!    coexistence peers, and those run deterministically.
+
+use augur_scenario::{grid_to_toml, parse_grid, presets, SweepGrid, SweepRunner, WorkloadSpec};
+use std::path::PathBuf;
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../experiments/specs")
+}
+
+fn assert_grid_eq(name: &str, a: &SweepGrid, b: &SweepGrid) {
+    assert_eq!(
+        format!("{a:#?}"),
+        format!("{b:#?}"),
+        "{name}: parsed grid differs from preset"
+    );
+}
+
+#[test]
+fn presets_round_trip_through_written_spec_files() {
+    let dir = std::env::temp_dir().join("augur-spec-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    for name in presets::NAMES {
+        let grid = presets::by_name(name).unwrap();
+        let path = dir.join(format!("{name}.toml"));
+        std::fs::write(&path, grid_to_toml(&grid)).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_grid(&read_back)
+            .unwrap_or_else(|e| panic!("{name}: written spec failed to parse: {e}"));
+        assert_grid_eq(name, &grid, &parsed);
+        // The run lists (coords, derived seeds) must line up too.
+        let a = grid.expand();
+        let b = parsed.expand();
+        assert_eq!(a.len(), b.len(), "{name}: run count differs");
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.seed, rb.seed, "{name}: seed differs at {}", ra.index);
+            assert_eq!(ra.point(), rb.point(), "{name}: coords differ");
+        }
+    }
+}
+
+#[test]
+fn shipped_spec_files_match_the_presets_exactly() {
+    let dir = specs_dir();
+    for name in presets::NAMES {
+        let path = dir.join(format!("{name}.toml"));
+        let shipped = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing shipped spec {} ({e}); regenerate with `sweep --export-specs \
+                 experiments/specs`",
+                path.display()
+            )
+        });
+        let canonical = grid_to_toml(&presets::by_name(name).unwrap());
+        assert_eq!(
+            shipped, canonical,
+            "{name}.toml drifted from its preset; regenerate with `sweep --export-specs \
+             experiments/specs`"
+        );
+    }
+    // And nothing extra is shipped: every file must be a known preset's.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let file = entry.unwrap().file_name().into_string().unwrap();
+        let stem = file.trim_end_matches(".toml");
+        assert!(
+            presets::NAMES.contains(&stem),
+            "unexpected spec file {file}; add its preset to `presets::NAMES` or remove it"
+        );
+    }
+}
+
+#[test]
+fn three_flow_coexist_spec_runs_deterministically() {
+    // A configuration only spec files can express today: the primary
+    // ISender against TWO AIMD peers (three flows on one bottleneck).
+    let toml = grid_to_toml(&presets::by_name("coexist-fairness").unwrap()).replace(
+        "peers = [\n  { kind = \"isender\", alpha = 1.0 },\n]",
+        "peers = [\n  { kind = \"aimd\", timeout_s = 8.0 },\n  { kind = \"aimd\", timeout_s = 8.0 },\n]",
+    );
+    let mut grid = parse_grid(&toml).unwrap();
+    grid.base.duration = augur_sim::Dur::from_secs(20);
+    match &grid.base.sender {
+        augur_scenario::SenderSpec::IsenderExact { .. } => {}
+        other => panic!("unexpected sender {other:?}"),
+    }
+    match &grid.base.workload {
+        WorkloadSpec::Coexist(cx) => assert_eq!(cx.peers.len(), 2),
+        other => panic!("unexpected workload {other:?}"),
+    }
+    grid.axes = vec![augur_scenario::Axis::Seeds(2)];
+    let runs = grid.expand();
+    let serial = SweepRunner::serial().run(&runs);
+    let parallel = SweepRunner::with_workers(3).run(&runs);
+    assert_eq!(
+        serial.to_csv_string(),
+        parallel.to_csv_string(),
+        "worker count leaked into a 3-flow coexistence sweep"
+    );
+    for r in &serial.runs {
+        assert_eq!(r.peer, "aimd+aimd", "peer label joins all peers");
+        assert!(
+            r.jain.is_nan() || (0.0..=1.0).contains(&r.jain),
+            "jain index in range over 3 flows: {}",
+            r.jain
+        );
+        // goodput_b aggregates both peers; with three active flows the
+        // peers together should move at least something.
+        assert!(r.goodput_b_bps >= 0.0);
+    }
+}
+
+#[test]
+fn spec_files_can_sweep_model_topology_axes() {
+    // Axes the presets don't combine: link-rate × buffer-capacity over a
+    // fast scripted workload, written as a spec file would be.
+    let src = r#"
+[scenario]
+name = "custom-matrix"
+duration_s = 10.0
+base_seed = 7
+
+[topology]
+kind = "model"
+link_bps = 12000
+cross_bps = 8400
+cross_active = false
+gate = { kind = "always-on" }
+loss_ppm = 0
+buffer_bits = 96000
+initial_fullness_bits = 0
+packet_bits = 12000
+
+[prior]
+kind = "fine-link-rate"
+n = 11
+lo_bps = 8000
+hi_bps = 16000
+
+[sender]
+kind = "isender-exact"
+alpha = 1.0
+latency_penalty = 0.0
+max_branches = 4096
+
+[workload]
+kind = "scripted-ping"
+interval_s = 2.0
+
+[[axis]]
+kind = "link-rate"
+values = [10000, 12000]
+
+[[axis]]
+kind = "seeds"
+count = 2
+"#;
+    let grid = parse_grid(src).unwrap();
+    assert_eq!(grid.len(), 4);
+    let report = SweepRunner::serial().run(&grid.expand());
+    assert_eq!(report.runs.len(), 4);
+    assert!(report.runs.iter().all(|r| r.sends > 0));
+}

@@ -84,8 +84,9 @@ fn scripted_sweep_is_reproducible_across_workers() {
         lo_bps: 8_000,
         hi_bps: 16_000,
     };
-    base.topology.loss = augur_sim::Ppm::ZERO;
-    base.topology.gate = augur_elements::GateSpec::AlwaysOn;
+    let topology = base.topology.model_mut("determinism test");
+    topology.loss = augur_sim::Ppm::ZERO;
+    topology.gate = augur_elements::GateSpec::AlwaysOn;
     base.workload = augur_scenario::WorkloadSpec::ScriptedPing {
         interval: Dur::from_secs(2),
     };
