@@ -12,11 +12,12 @@
 //!
 //! Presets (see `augur_scenario::presets::NAMES`): `fig1`, `fig3`,
 //! `tab1`, `txt1`, `txt2`, `scaling`, `smoke`, `coexist-fairness`,
-//! `coexist-vs-tcp`, and `ext-aqm`. The preset may be given positionally
-//! or via `--preset`; `--spec <file.toml>` loads the same grid shape
-//! from a spec file instead (`--export-specs <dir>` writes the
-//! canonical file for every preset). `--check` parses, validates, and
-//! expands the grid without running it.
+//! `coexist-vs-tcp`, `ext-aqm`, and `replay-cellular`. The preset may be
+//! given positionally or via `--preset`; `--spec <file.toml>` loads the
+//! same grid shape from a spec file instead (`--export-specs <dir>`
+//! writes the canonical file for every preset, `--export-traces <dir>`
+//! the canonical CSV for every shipped synthetic rate trace). `--check`
+//! parses, validates, and expands the grid without running it.
 //!
 //! `--duration`, `--branches`, and `--replicates` override the grid the
 //! same way for presets and spec files, and are rejected when the grid
@@ -30,7 +31,7 @@
 //! reference execution.
 
 use augur_bench::out_dir;
-use augur_scenario::{grid_to_toml, load_grid, presets, Axis, SweepGrid, SweepRunner};
+use augur_scenario::{grid_to_toml, load_grid, presets, traces, Axis, SweepGrid, SweepRunner};
 use augur_sim::Dur;
 use std::fs;
 use std::io::BufWriter;
@@ -46,6 +47,7 @@ enum Source {
 struct Options {
     source: Option<Source>,
     export_specs: Option<PathBuf>,
+    export_traces: Option<PathBuf>,
     check: bool,
     workers: Option<usize>,
     duration: Option<u64>,
@@ -59,6 +61,7 @@ fn usage() -> ! {
         "usage: sweep [--preset] <{}>\n\
          \x20      sweep --spec <file.toml>\n\
          \x20      sweep --export-specs <dir>\n\
+         \x20      sweep --export-traces <dir>\n\
          \x20 options: [--check] [--workers N] [--duration SECS] [--branches B] \
          [--replicates K] [--jsonl]",
         presets::NAMES.join("|")
@@ -71,6 +74,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         source: None,
         export_specs: None,
+        export_traces: None,
         check: false,
         workers: None,
         duration: None,
@@ -113,6 +117,7 @@ fn parse_args() -> Options {
                 set_source(&mut opts, Source::Spec(PathBuf::from(path)));
             }
             "--export-specs" => opts.export_specs = Some(PathBuf::from(value("--export-specs"))),
+            "--export-traces" => opts.export_traces = Some(PathBuf::from(value("--export-traces"))),
             "--check" => opts.check = true,
             "--workers" => {
                 let n: usize = numeric("--workers", value("--workers"));
@@ -196,10 +201,21 @@ fn export_specs(dir: &PathBuf) {
     }
 }
 
+/// Write the canonical CSV for every shipped synthetic trace into `dir`.
+fn export_traces(dir: &PathBuf) {
+    fs::create_dir_all(dir).expect("create trace dir");
+    for name in traces::NAMES {
+        let samples = traces::by_name(name).expect("registry names resolve");
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, traces::trace_to_csv(name, &samples)).expect("write trace file");
+        println!("  wrote {}", path.display());
+    }
+}
+
 fn main() {
     let opts = parse_args();
-    if let Some(dir) = &opts.export_specs {
-        // Export writes the canonical default grids; a run flag here
+    if opts.export_specs.is_some() || opts.export_traces.is_some() {
+        // Export writes the canonical default artifacts; a run flag here
         // would be silently ignored, so reject the combination.
         if opts.source.is_some()
             || opts.check
@@ -209,10 +225,15 @@ fn main() {
             || opts.replicates.is_some()
             || opts.jsonl
         {
-            eprintln!("--export-specs takes no preset, spec, or run flags");
+            eprintln!("--export-specs/--export-traces take no preset, spec, or run flags");
             usage()
         }
-        export_specs(dir);
+        if let Some(dir) = &opts.export_specs {
+            export_specs(dir);
+        }
+        if let Some(dir) = &opts.export_traces {
+            export_traces(dir);
+        }
         return;
     }
     let (mut grid, label) = match &opts.source {

@@ -169,6 +169,34 @@ mod tests {
     }
 
     #[test]
+    fn trace_rate_path_delivers_at_the_integrated_pace() {
+        use crate::link::{RateProcess, TraceEnd};
+        let mut params = CellularParams::lte_like();
+        params.arq_loss = Ppm::ZERO;
+        // 12 kbit/s fading to 1.2 kbit/s at 2 ms: a 12_000-bit packet
+        // drains 24 bits in the fast window, then 11_976 bits at the slow
+        // rate (9_980 ms) — plus 25 ms propagation.
+        params.rate = RateProcess::Trace {
+            label: "unit".into(),
+            samples: vec![
+                (Dur::ZERO, BitRate::from_kbps(12)),
+                (Dur::from_millis(2), BitRate::from_bps(1_200)),
+            ],
+            end: TraceEnd::HoldLast,
+        };
+        let mut c = build_cellular(&params);
+        c.net.inject(
+            c.entry,
+            Packet::new(FlowId::SELF, 0, Bits::from_bytes(1_500), Time::ZERO),
+        );
+        let mut rng = SimRng::seed_from_u64(1);
+        c.net.run_until_sampled(Time::from_secs(20), &mut rng);
+        let d = c.net.take_deliveries();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.at, Time::from_millis(2 + 9_980 + 25));
+    }
+
+    #[test]
     fn fading_slows_service() {
         let params = CellularParams::lte_like();
         // At t = 15 s the schedule says 250 kbps.

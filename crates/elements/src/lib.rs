@@ -34,7 +34,7 @@ pub use choice::{ChoiceKind, ChoiceSpec};
 pub use delay::{DelayEl, JitterEl};
 pub use element::{Diverter, Element, Loss, ReceiverEl};
 pub use gate::{Either, Gate, GateKind};
-pub use link::{Link, RateProcess};
+pub use link::{Link, RateProcess, TraceEnd};
 pub use model::{build_model, GateSpec, ModelNet, ModelParams};
 pub use network::{DropReason, DropRecord, Network, NetworkBuilder, Step, BACKLOG_FLOW};
 pub use node::{Node, NodeId};

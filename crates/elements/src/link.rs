@@ -3,8 +3,10 @@
 //! features needed by the Figure-1 reproduction (DESIGN.md §5):
 //!
 //! * a **rate process**: the speed may follow a piecewise-constant,
-//!   periodic schedule instead of being constant ("buffer sizes and
-//!   throughputs can vary over time", §3.1);
+//!   periodic schedule or a measured rate trace instead of being constant
+//!   ("buffer sizes and throughputs can vary over time", §3.1), and
+//!   service completion *integrates* the process across the serialization
+//!   interval rather than freezing the departure-instant rate;
 //! * **link-layer ARQ**: each completed transmission is lost with
 //!   probability `arq_loss` and then *retransmitted* after
 //!   `arq_retry_delay` rather than dropped — the "zealous" loss hiding of
@@ -20,6 +22,28 @@ use crate::node::NodeId;
 use augur_sim::{BitRate, Bits, Dur, Packet, Ppm, Time};
 use std::collections::VecDeque;
 
+/// What a [`RateProcess::Trace`] does when simulated time runs past its
+/// last sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEnd {
+    /// Wrap around: the final sample's offset is the cycle length, so the
+    /// trace repeats forever (its rate is never read — the cycle restarts
+    /// with the first sample's rate the instant it is reached).
+    Loop,
+    /// Hold the final sample's rate forever.
+    HoldLast,
+}
+
+impl TraceEnd {
+    /// The stable spec-file token (`loop` / `hold-last`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEnd::Loop => "loop",
+            TraceEnd::HoldLast => "hold-last",
+        }
+    }
+}
+
 /// How the link's speed evolves over time.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RateProcess {
@@ -32,6 +56,21 @@ pub enum RateProcess {
         steps: Vec<(Dur, BitRate)>,
         /// Cycle length.
         period: Dur,
+    },
+    /// A measured (or synthesized) rate trace: sample `i` applies from
+    /// its offset until the next sample's offset, and the [`TraceEnd`]
+    /// policy decides what happens after the last sample. Unlike
+    /// [`RateProcess::Schedule`] the samples are non-periodic and may be
+    /// numerous, so [`RateProcess::rate_at`] binary-searches them.
+    Trace {
+        /// Where the samples came from (e.g. the CSV path as written in a
+        /// spec file). Part of the process's identity, and the label
+        /// sweep reports use.
+        label: String,
+        /// `(offset, rate)`, sorted by offset, first at zero.
+        samples: Vec<(Dur, BitRate)>,
+        /// Behavior past the last sample.
+        end: TraceEnd,
     },
 }
 
@@ -52,22 +91,194 @@ impl RateProcess {
                 }
                 current
             }
+            RateProcess::Trace { samples, end, .. } => {
+                let phase = match end {
+                    TraceEnd::HoldLast => t.as_micros(),
+                    // Cycle length is the last sample's offset (validated
+                    // positive), so phase < cycle and the last sample
+                    // never matches — it only marks the wrap point.
+                    TraceEnd::Loop => {
+                        t.as_micros() % samples.last().expect("validated non-empty").0.as_micros()
+                    }
+                };
+                let idx = samples.partition_point(|(off, _)| off.as_micros() <= phase);
+                samples[idx - 1].1
+            }
+        }
+    }
+
+    /// The next instant strictly after `t` at which the rate may change,
+    /// or `None` if it is constant from `t` on.
+    fn next_change(&self, t: Time) -> Option<Time> {
+        match self {
+            RateProcess::Const(_) => None,
+            RateProcess::Schedule { steps, period } => {
+                let phase = t.as_micros() % period.as_micros();
+                let next_off = steps
+                    .iter()
+                    .map(|(off, _)| off.as_micros())
+                    .find(|&off| off > phase)
+                    .unwrap_or(period.as_micros());
+                Some(Time::from_micros(t.as_micros() - phase + next_off))
+            }
+            RateProcess::Trace { samples, end, .. } => {
+                let last = samples.last().expect("validated non-empty").0.as_micros();
+                let phase = match end {
+                    TraceEnd::HoldLast if t.as_micros() >= last => return None,
+                    TraceEnd::HoldLast => t.as_micros(),
+                    TraceEnd::Loop => t.as_micros() % last,
+                };
+                let idx = samples.partition_point(|(off, _)| off.as_micros() <= phase);
+                Some(Time::from_micros(
+                    t.as_micros() - phase + samples[idx].0.as_micros(),
+                ))
+            }
+        }
+    }
+
+    /// The cycle length and the exact supply (in bit-microseconds) one
+    /// full cycle delivers, for the periodic processes. Periodicity means
+    /// the supply over `[t, t + cycle)` is the same from *any* `t`, which
+    /// lets [`RateProcess::service_end`] skip whole cycles in O(1).
+    fn cycle_supply(&self) -> Option<(u64, u128)> {
+        let supply_of = |points: &[(Dur, BitRate)], cycle: u64| -> u128 {
+            let mut supply = 0u128;
+            for (i, &(off, rate)) in points.iter().enumerate() {
+                let next = points
+                    .get(i + 1)
+                    .map(|&(o, _)| o.as_micros())
+                    .unwrap_or(cycle);
+                supply += rate.as_bps() as u128 * (next - off.as_micros()) as u128;
+            }
+            supply
+        };
+        match self {
+            RateProcess::Const(_) => None,
+            RateProcess::Schedule { steps, period } => {
+                let cycle = period.as_micros();
+                Some((cycle, supply_of(steps, cycle)))
+            }
+            RateProcess::Trace { samples, end, .. } => match end {
+                TraceEnd::HoldLast => None,
+                TraceEnd::Loop => {
+                    let cycle = samples.last().expect("validated non-empty").0.as_micros();
+                    // The last sample only marks the wrap, so it
+                    // contributes no segment.
+                    Some((cycle, supply_of(&samples[..samples.len() - 1], cycle)))
+                }
+            },
+        }
+    }
+
+    /// The instant at which `bits` finish serializing when transmission
+    /// begins at `start`, *integrating* the rate process across the whole
+    /// service interval: a packet that spans a rate change takes the
+    /// piecewise-exact time, not `bits / rate_at(start)`. Accounting is
+    /// in integer bit-microseconds, so no precision is lost at segment
+    /// boundaries, and the final partial segment rounds up to a whole
+    /// microsecond exactly like [`BitRate::service_time`].
+    pub fn service_end(&self, start: Time, bits: Bits) -> Time {
+        // Bit-microseconds still owed: bits × 1e6 / rate µs remain.
+        let mut needed = bits.as_u64() as u128 * 1_000_000;
+        let mut t = start;
+        // The common case — the packet drains inside its first segment —
+        // must stay one rate lookup, so whole-cycle fast-forwarding only
+        // engages after the first boundary crossing (and at most once:
+        // after it, less than one cycle of segments remains to walk).
+        let mut crossed = false;
+        loop {
+            let rate = self.rate_at(t).as_bps() as u128;
+            match self.next_change(t) {
+                Some(boundary) => {
+                    let supply = rate * (boundary.as_micros() - t.as_micros()) as u128;
+                    if supply >= needed {
+                        let us = needed.div_ceil(rate);
+                        return t + Dur::from_micros(u64::try_from(us).expect("service end fits"));
+                    }
+                    needed -= supply;
+                    t = boundary;
+                }
+                None => {
+                    let us = needed.div_ceil(rate);
+                    return t + Dur::from_micros(u64::try_from(us).expect("service end fits"));
+                }
+            }
+            if !crossed {
+                crossed = true;
+                // Fast-forward whole cycles so a slow packet over a short
+                // period costs O(steps), not O(cycles crossed) — a valid
+                // spec with a microsecond-scale period must not hang.
+                if let Some((cycle, supply)) = self.cycle_supply() {
+                    if needed >= supply {
+                        let k = needed / supply;
+                        needed -= k * supply;
+                        let skip = cycle as u128 * k;
+                        t += Dur::from_micros(u64::try_from(skip).expect("service end fits"));
+                        if needed == 0 {
+                            // Supply is continuous and strictly
+                            // increasing, so landing exactly on a cycle's
+                            // worth finishes exactly at its boundary.
+                            return t;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Check invariants, naming the first violation. Config decoding
+    /// surfaces these as positioned spec-file errors; [`Link::new`] (via
+    /// [`RateProcess::validate`]) keeps them as a run-time backstop.
+    pub fn check(&self) -> Result<(), String> {
+        let piecewise = |what: &str, points: &[(Dur, BitRate)]| -> Result<(), String> {
+            if points.is_empty() {
+                return Err(format!("rate {what} must have at least one entry"));
+            }
+            if points[0].0 != Dur::ZERO {
+                return Err(format!("the first rate {what} entry must be at offset 0"));
+            }
+            if !points.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("rate {what} offsets must be strictly increasing"));
+            }
+            Ok(())
+        };
+        match self {
+            RateProcess::Const(_) => Ok(()),
+            RateProcess::Schedule { steps, period } => {
+                piecewise("schedule", steps)?;
+                if *period == Dur::ZERO {
+                    return Err("rate schedule period must be positive".into());
+                }
+                if steps.last().unwrap().0 >= *period {
+                    return Err(format!(
+                        "rate schedule offset {} does not fit in the period {}",
+                        steps.last().unwrap().0,
+                        period
+                    ));
+                }
+                Ok(())
+            }
+            RateProcess::Trace { samples, end, .. } => {
+                piecewise("trace", samples)?;
+                if *end == TraceEnd::Loop && samples.len() < 2 {
+                    return Err(
+                        "a looping rate trace needs at least two samples (the last marks the \
+                         cycle length)"
+                            .into(),
+                    );
+                }
+                Ok(())
+            }
         }
     }
 
     /// Validate invariants (builder calls this).
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant (see [`RateProcess::check`]).
     pub fn validate(&self) {
-        if let RateProcess::Schedule { steps, period } = self {
-            assert!(!steps.is_empty(), "rate schedule must have steps");
-            assert_eq!(steps[0].0, Dur::ZERO, "first step must start at 0");
-            assert!(
-                steps.windows(2).all(|w| w[0].0 < w[1].0),
-                "rate schedule offsets must increase"
-            );
-            assert!(
-                steps.last().unwrap().0 < *period,
-                "rate schedule offsets must fit in the period"
-            );
+        if let Err(message) = self.check() {
+            panic!("{message}");
         }
     }
 }
@@ -117,24 +328,27 @@ impl Link {
         self.in_service.is_none()
     }
 
-    /// Begin serializing `pkt` at `now`.
+    /// Begin serializing `pkt` at `now`. Completion integrates the rate
+    /// process across the service interval ([`RateProcess::service_end`]):
+    /// a packet that starts just before a fade finishes at the faded
+    /// pace, not frozen at the departure-instant rate.
     ///
     /// # Panics
     /// Panics if the link is already busy.
     pub fn start_service(&mut self, pkt: Packet, now: Time) {
         assert!(self.idle(), "start_service on busy link");
-        let rate = self.rate.rate_at(now);
-        self.busy_until = now + rate.service_time(pkt.size);
+        self.busy_until = self.rate.service_end(now, pkt.size);
         self.in_service = Some(pkt);
     }
 
-    /// Begin a retransmission of the current packet at `now` (ARQ).
+    /// Begin a retransmission of the current packet at `now` (ARQ). The
+    /// retry serializes starting after `arq_retry_delay`, at whatever the
+    /// rate process does from *that* instant on.
     pub fn start_retransmission(&mut self, now: Time) {
         let pkt = self
             .in_service
             .expect("retransmission with nothing in service");
-        let rate = self.rate.rate_at(now);
-        self.busy_until = now + self.arq_retry_delay + rate.service_time(pkt.size);
+        self.busy_until = self.rate.service_end(now + self.arq_retry_delay, pkt.size);
     }
 
     /// Take the completed packet out of service.
@@ -143,11 +357,6 @@ impl Link {
     /// Panics if nothing is in service.
     pub fn complete(&mut self) -> Packet {
         self.in_service.take().expect("complete on idle link")
-    }
-
-    /// Service time of `bits` at the rate in effect at `now`.
-    pub fn service_time_at(&self, bits: Bits, now: Time) -> Dur {
-        self.rate.rate_at(now).service_time(bits)
     }
 
     /// The link's next timer: its completion instant, if busy.
@@ -230,12 +439,185 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must start at 0")]
+    #[should_panic(expected = "must be at offset 0")]
     fn schedule_must_start_at_zero() {
         RateProcess::Schedule {
             steps: vec![(Dur::from_secs(1), BitRate::from_bps(1))],
             period: Dur::from_secs(10),
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn schedule_zero_period_rejected() {
+        RateProcess::Schedule {
+            steps: vec![(Dur::ZERO, BitRate::from_bps(1))],
+            period: Dur::ZERO,
+        }
+        .validate();
+    }
+
+    fn two_rate_trace(end: TraceEnd) -> RateProcess {
+        RateProcess::Trace {
+            label: "test".into(),
+            samples: vec![
+                (Dur::ZERO, BitRate::from_bps(1_000)),
+                (Dur::from_secs(1), BitRate::from_bps(2_000)),
+                (Dur::from_secs(2), BitRate::from_bps(1_000)),
+            ],
+            end,
+        }
+    }
+
+    #[test]
+    fn trace_rate_lookup_hold_last() {
+        let rp = two_rate_trace(TraceEnd::HoldLast);
+        rp.validate();
+        assert_eq!(rp.rate_at(Time::ZERO), BitRate::from_bps(1_000));
+        assert_eq!(rp.rate_at(Time::from_millis(999)), BitRate::from_bps(1_000));
+        assert_eq!(rp.rate_at(Time::from_secs(1)), BitRate::from_bps(2_000));
+        // Past the final sample the last rate holds forever.
+        assert_eq!(rp.rate_at(Time::from_secs(2)), BitRate::from_bps(1_000));
+        assert_eq!(rp.rate_at(Time::from_secs(500)), BitRate::from_bps(1_000));
+    }
+
+    #[test]
+    fn trace_rate_lookup_loops() {
+        let rp = two_rate_trace(TraceEnd::Loop);
+        rp.validate();
+        // Cycle length is the last offset (2 s): [0,1) slow, [1,2) fast.
+        assert_eq!(rp.rate_at(Time::from_millis(500)), BitRate::from_bps(1_000));
+        assert_eq!(
+            rp.rate_at(Time::from_millis(1_500)),
+            BitRate::from_bps(2_000)
+        );
+        // Wraparound: t = 2 s is phase 0 again, and so on forever.
+        assert_eq!(rp.rate_at(Time::from_secs(2)), BitRate::from_bps(1_000));
+        assert_eq!(
+            rp.rate_at(Time::from_millis(3_500)),
+            BitRate::from_bps(2_000)
+        );
+        assert_eq!(rp.rate_at(Time::from_secs(1_000)), BitRate::from_bps(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn looping_single_sample_trace_rejected() {
+        RateProcess::Trace {
+            label: "test".into(),
+            samples: vec![(Dur::ZERO, BitRate::from_bps(1))],
+            end: TraceEnd::Loop,
+        }
+        .validate();
+    }
+
+    /// The frozen-rate regression (the bug this PR fixes): a packet that
+    /// begins serializing just before a fade must finish at the faded
+    /// pace. 24_000 bits from t = 0 under a 12 kbit/s → 1 kbit/s step at
+    /// t = 1 s: the first second drains 12_000 bits, the remaining
+    /// 12_000 take 12 s at the slow rate — completion at exactly 13 s,
+    /// not the 2 s the departure-instant rate would predict.
+    #[test]
+    fn serialization_spanning_a_step_integrates_the_rate() {
+        let rp = RateProcess::Schedule {
+            steps: vec![
+                (Dur::ZERO, BitRate::from_bps(12_000)),
+                (Dur::from_secs(1), BitRate::from_bps(1_000)),
+            ],
+            period: Dur::from_secs(1_000),
+        };
+        let mut l = Link::new(rp, Ppm::ZERO, Dur::ZERO);
+        l.start_service(pkt(24_000), Time::ZERO);
+        assert_eq!(l.busy_until, Time::from_secs(13));
+        // Mid-segment start: 0.5 s at 12 kbit/s (6_000 bits), then
+        // 6_000 bits at 1 kbit/s (6 s) — done at 7 s.
+        let mut l2 = Link::new(
+            RateProcess::Schedule {
+                steps: vec![
+                    (Dur::ZERO, BitRate::from_bps(12_000)),
+                    (Dur::from_secs(1), BitRate::from_bps(1_000)),
+                ],
+                period: Dur::from_secs(1_000),
+            },
+            Ppm::ZERO,
+            Dur::ZERO,
+        );
+        l2.start_service(pkt(12_000), Time::from_millis(500));
+        assert_eq!(l2.busy_until, Time::from_secs(7));
+    }
+
+    /// Integration across a loop wraparound: 3_000 bits starting at
+    /// t = 1.5 s over the [1 kbit/s, 2 kbit/s] 2-second cycle — 1_000
+    /// bits by 2 s, 1_000 more by 3 s, the last 1_000 at 2 kbit/s by
+    /// 3.5 s.
+    #[test]
+    fn service_end_spans_a_loop_wrap() {
+        let rp = two_rate_trace(TraceEnd::Loop);
+        assert_eq!(
+            rp.service_end(Time::from_millis(1_500), Bits::new(3_000)),
+            Time::from_millis(3_500)
+        );
+        // Const-equivalence sanity: a flat stretch matches service_time.
+        assert_eq!(
+            rp.service_end(Time::ZERO, Bits::new(500)),
+            Time::from_millis(500)
+        );
+    }
+
+    /// A microsecond-scale period crossed millions of times must resolve
+    /// through the whole-cycle fast path, not a per-boundary walk (a
+    /// valid spec with a tiny `period_s` would otherwise hang the run).
+    #[test]
+    fn service_end_is_fast_over_microsecond_periods() {
+        let rp = RateProcess::Schedule {
+            steps: vec![(Dur::ZERO, BitRate::from_bps(1_000))],
+            period: Dur::from_micros(1),
+        };
+        rp.validate();
+        assert_eq!(
+            rp.service_end(Time::ZERO, Bits::new(12_000)),
+            Time::from_secs(12)
+        );
+        // Two-step 2 µs cycle averaging 2 kbit/s: 12_000 bits in 6 s,
+        // landing exactly on a cycle boundary — and phase-shifted starts
+        // shift the completion by exactly the shift (periodicity).
+        let rp2 = RateProcess::Schedule {
+            steps: vec![
+                (Dur::ZERO, BitRate::from_bps(1_000)),
+                (Dur::from_micros(1), BitRate::from_bps(3_000)),
+            ],
+            period: Dur::from_micros(2),
+        };
+        rp2.validate();
+        assert_eq!(
+            rp2.service_end(Time::ZERO, Bits::new(12_000)),
+            Time::from_secs(6)
+        );
+        assert_eq!(
+            rp2.service_end(Time::from_micros(1), Bits::new(12_000)),
+            Time::from_micros(6_000_001)
+        );
+    }
+
+    /// The retransmission variant of the frozen-rate bug: the retry's
+    /// serialization starts after the ARQ delay, and must integrate the
+    /// rate from that instant — here the delay pushes it across the fade.
+    #[test]
+    fn retransmission_integrates_past_the_step() {
+        let rp = RateProcess::Schedule {
+            steps: vec![
+                (Dur::ZERO, BitRate::from_bps(12_000)),
+                (Dur::from_secs(1), BitRate::from_bps(1_000)),
+            ],
+            period: Dur::from_secs(1_000),
+        };
+        // 100 ms retry delay: a failure at 0.9 s retries at 1.0 s, wholly
+        // inside the slow segment — 12_000 bits take 12 s, ending at 13 s.
+        let mut l = Link::new(rp, Ppm::from_prob(0.5), Dur::from_millis(100));
+        l.start_service(pkt(12_000), Time::ZERO);
+        assert_eq!(l.busy_until, Time::from_secs(1));
+        l.start_retransmission(Time::from_millis(900));
+        assert_eq!(l.busy_until, Time::from_secs(13));
     }
 }

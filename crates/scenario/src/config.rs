@@ -24,11 +24,12 @@ use crate::spec::{
     CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
     WorkloadSpec,
 };
-use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess};
+use crate::traces;
+use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
 use augur_inference::ModelPrior;
 use augur_sim::{BitRate, Bits, Dur, Ppm};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A parse or decode failure, located in the source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -782,27 +783,125 @@ fn decode_gate(v: &Value) -> Result<GateSpec, ConfigError> {
     Ok(gate)
 }
 
-fn decode_rate(v: &Value) -> Result<RateProcess, ConfigError> {
+/// A positive bits-per-second read — [`BitRate::from_bps`] panics on
+/// zero, so the decoder must reject it with a positioned error first.
+fn expect_rate_bps(v: &Value, what: &str) -> Result<BitRate, ConfigError> {
+    let bps = expect_u64(v, what)?;
+    if bps == 0 {
+        return err(v.line, v.col, format!("`{what}` must be positive"));
+    }
+    Ok(BitRate::from_bps(bps))
+}
+
+/// Decode a `{ file = "…", end = "loop" | "hold-last" }` trace
+/// reference, loading and validating the CSV (relative paths resolve
+/// against `base`, the spec file's directory).
+fn decode_trace(
+    d: &mut Dec<'_>,
+    at: (u32, u32),
+    base: Option<&Path>,
+) -> Result<RateProcess, ConfigError> {
+    let file_e = d.req("file", at)?;
+    let file = expect_str(&file_e.value, "file")?;
+    let end_e = d.req("end", at)?;
+    let end = match expect_str(&end_e.value, "end")? {
+        "loop" => TraceEnd::Loop,
+        "hold-last" => TraceEnd::HoldLast,
+        other => {
+            return err(
+                end_e.value.line,
+                end_e.value.col,
+                format!("unknown trace end policy `{other}` (expected loop, hold-last)"),
+            )
+        }
+    };
+    let resolved = match base {
+        Some(dir) => dir.join(file),
+        None => PathBuf::from(file),
+    };
+    let at_file = (file_e.value.line, file_e.value.col);
+    let src = std::fs::read_to_string(&resolved).map_err(|e| ConfigError {
+        line: at_file.0,
+        col: at_file.1,
+        message: format!("cannot read trace file {}: {e}", resolved.display()),
+    })?;
+    // Loader errors are positioned inside the CSV; carry that position in
+    // the message and point the spec error at the `file` value.
+    let samples = traces::parse_trace_csv(&src).map_err(|te| ConfigError {
+        line: at_file.0,
+        col: at_file.1,
+        message: format!("{}:{te}", resolved.display()),
+    })?;
+    let rate = RateProcess::Trace {
+        label: file.to_string(),
+        samples,
+        end,
+    };
+    if let Err(message) = rate.check() {
+        return err(
+            at_file.0,
+            at_file.1,
+            format!("{}: {message}", resolved.display()),
+        );
+    }
+    Ok(rate)
+}
+
+fn decode_rate(v: &Value, base: Option<&Path>) -> Result<RateProcess, ConfigError> {
     let t = expect_table(v, "rate")?;
     let mut d = Dec::new(t, "rate");
     let kind_e = d.req("kind", (v.line, v.col))?;
     let kind = expect_str(&kind_e.value, "kind")?;
     let rate = match kind {
-        "constant" => RateProcess::Const(BitRate::from_bps(expect_u64(
+        "constant" => RateProcess::Const(expect_rate_bps(
             &d.req("bps", (v.line, v.col))?.value,
             "bps",
-        )?)),
+        )?),
         "schedule" => {
-            let period = dur_s(&d.req("period_s", (v.line, v.col))?.value, "period_s")?;
+            let period_e = d.req("period_s", (v.line, v.col))?;
+            let period = dur_s(&period_e.value, "period_s")?;
+            if period == Dur::ZERO {
+                return err(
+                    period_e.value.line,
+                    period_e.value.col,
+                    "`period_s` must be positive",
+                );
+            }
             let steps_e = d.req("steps", (v.line, v.col))?;
-            let steps = map_array(steps_e, |sv, what| {
-                let st = expect_table(sv, what)?;
-                let mut sd = Dec::new(st, what);
+            // Decoded step by step (not via map_array) so every invariant
+            // violation points at the offending step — `--check` must
+            // reject here what `Link::new` would otherwise panic on.
+            let items = expect_array(&steps_e.value, "steps")?;
+            let mut steps: Vec<(Dur, BitRate)> = Vec::with_capacity(items.len());
+            for (i, sv) in items.iter().enumerate() {
+                let what = format!("steps[{i}]");
+                let st = expect_table(sv, &what)?;
+                let mut sd = Dec::new(st, &what);
                 let at = dur_s(&sd.req("at_s", (sv.line, sv.col))?.value, "at_s")?;
-                let bps = expect_u64(&sd.req("bps", (sv.line, sv.col))?.value, "bps")?;
+                let bps = expect_rate_bps(&sd.req("bps", (sv.line, sv.col))?.value, "bps")?;
                 sd.finish()?;
-                Ok((at, BitRate::from_bps(bps)))
-            })?;
+                match steps.last() {
+                    None if at != Dur::ZERO => {
+                        return err(sv.line, sv.col, "the first step must have `at_s = 0`")
+                    }
+                    Some(&(prev, _)) if at <= prev => {
+                        return err(
+                            sv.line,
+                            sv.col,
+                            format!("step offsets must be strictly increasing ({at} after {prev})"),
+                        )
+                    }
+                    _ => {}
+                }
+                if at >= period {
+                    return err(
+                        sv.line,
+                        sv.col,
+                        format!("step offset {at} does not fit in the period {period}"),
+                    );
+                }
+                steps.push((at, bps));
+            }
             if steps.is_empty() {
                 return err(
                     steps_e.value.line,
@@ -812,11 +911,12 @@ fn decode_rate(v: &Value) -> Result<RateProcess, ConfigError> {
             }
             RateProcess::Schedule { steps, period }
         }
+        "trace" => decode_trace(&mut d, (v.line, v.col), base)?,
         other => {
             return err(
                 kind_e.value.line,
                 kind_e.value.col,
-                format!("unknown rate kind `{other}` (expected constant, schedule)"),
+                format!("unknown rate kind `{other}` (expected constant, schedule, trace)"),
             )
         }
     };
@@ -862,21 +962,19 @@ fn decode_queue(v: &Value) -> Result<QueueSpec, ConfigError> {
     Ok(queue)
 }
 
-fn decode_topology(t: &Table, at: (u32, u32)) -> Result<TopologySpec, ConfigError> {
+fn decode_topology(
+    t: &Table,
+    at: (u32, u32),
+    base: Option<&Path>,
+) -> Result<TopologySpec, ConfigError> {
     let mut d = Dec::new(t, "topology");
     let kind_e = d.req("kind", at)?;
     let kind = expect_str(&kind_e.value, "kind")?;
     let topo = match kind {
         "model" => {
             let params = ModelParams {
-                link_rate: BitRate::from_bps(expect_u64(
-                    &d.req("link_bps", at)?.value,
-                    "link_bps",
-                )?),
-                cross_rate: BitRate::from_bps(expect_u64(
-                    &d.req("cross_bps", at)?.value,
-                    "cross_bps",
-                )?),
+                link_rate: expect_rate_bps(&d.req("link_bps", at)?.value, "link_bps")?,
+                cross_rate: expect_rate_bps(&d.req("cross_bps", at)?.value, "cross_bps")?,
                 gate: decode_gate(&d.req("gate", at)?.value)?,
                 loss: Ppm::new(expect_u32(&d.req("loss_ppm", at)?.value, "loss_ppm")?),
                 buffer_capacity: Bits::new(expect_u64(
@@ -901,7 +999,7 @@ fn decode_topology(t: &Table, at: (u32, u32)) -> Result<TopologySpec, ConfigErro
                     &d.req("buffer_bits", at)?.value,
                     "buffer_bits",
                 )?),
-                rate: decode_rate(&d.req("rate", at)?.value)?,
+                rate: decode_rate(&d.req("rate", at)?.value, base)?,
                 arq_loss: Ppm::new(expect_u32(
                     &d.req("arq_loss_ppm", at)?.value,
                     "arq_loss_ppm",
@@ -933,15 +1031,32 @@ fn decode_prior(t: &Table, at: (u32, u32)) -> Result<PriorSpec, ConfigError> {
     let prior = match kind {
         "paper" => PriorSpec::Paper,
         "small" => PriorSpec::Small,
-        "fine-link-rate" => PriorSpec::FineLinkRate {
-            n: expect_u64(&d.req("n", at)?.value, "n")? as usize,
-            lo_bps: expect_u64(&d.req("lo_bps", at)?.value, "lo_bps")?,
-            hi_bps: expect_u64(&d.req("hi_bps", at)?.value, "hi_bps")?,
-        },
+        "fine-link-rate" => {
+            // PriorSpec::hypotheses asserts these at run time; `--check`
+            // must reject them here with a position instead.
+            let n_e = d.req("n", at)?;
+            let n = expect_u64(&n_e.value, "n")? as usize;
+            if n == 0 {
+                return err(
+                    n_e.value.line,
+                    n_e.value.col,
+                    "`n` must be at least 1 (the prior needs a hypothesis)",
+                );
+            }
+            let lo_e = d.req("lo_bps", at)?;
+            let lo_bps = expect_u64(&lo_e.value, "lo_bps")?;
+            let hi_bps = expect_u64(&d.req("hi_bps", at)?.value, "hi_bps")?;
+            if lo_bps > hi_bps {
+                return err(
+                    lo_e.value.line,
+                    lo_e.value.col,
+                    format!("`lo_bps` ({lo_bps}) must not exceed `hi_bps` ({hi_bps})"),
+                );
+            }
+            PriorSpec::FineLinkRate { n, lo_bps, hi_bps }
+        }
         "custom" => {
-            let link_rates = map_array(d.req("link_rates_bps", at)?, |v, w| {
-                Ok(BitRate::from_bps(expect_u64(v, w)?))
-            })?;
+            let link_rates = map_array(d.req("link_rates_bps", at)?, expect_rate_bps)?;
             let cross_fracs_ppm = map_array(d.req("cross_fracs_ppm", at)?, expect_u32)?;
             let losses = map_array(d.req("losses_ppm", at)?, |v, w| {
                 Ok(Ppm::new(expect_u32(v, w)?))
@@ -1088,19 +1203,15 @@ fn decode_workload(t: &Table, at: (u32, u32)) -> Result<WorkloadSpec, ConfigErro
     Ok(workload)
 }
 
-fn decode_axis(t: &Table, at: (u32, u32)) -> Result<Axis, ConfigError> {
+fn decode_axis(t: &Table, at: (u32, u32), base: Option<&Path>) -> Result<Axis, ConfigError> {
     let mut d = Dec::new(t, "axis");
     let kind_e = d.req("kind", at)?;
     let kind = expect_str(&kind_e.value, "kind")?;
     let axis = match kind {
         "alpha" => Axis::Alpha(map_array(d.req("values", at)?, expect_f64)?),
         "latency-penalty" => Axis::LatencyPenalty(map_array(d.req("values", at)?, expect_f64)?),
-        "link-rate" => Axis::LinkRate(map_array(d.req("values", at)?, |v, w| {
-            Ok(BitRate::from_bps(expect_u64(v, w)?))
-        })?),
-        "cross-rate" => Axis::CrossRate(map_array(d.req("values", at)?, |v, w| {
-            Ok(BitRate::from_bps(expect_u64(v, w)?))
-        })?),
+        "link-rate" => Axis::LinkRate(map_array(d.req("values", at)?, expect_rate_bps)?),
+        "cross-rate" => Axis::CrossRate(map_array(d.req("values", at)?, expect_rate_bps)?),
         "buffer-capacity" => Axis::BufferCapacity(map_array(d.req("values", at)?, |v, w| {
             Ok(Bits::new(expect_u64(v, w)?))
         })?),
@@ -1115,6 +1226,32 @@ fn decode_axis(t: &Table, at: (u32, u32)) -> Result<Axis, ConfigError> {
         })?),
         "peer" => Axis::Peer(map_array(d.req("values", at)?, decode_peer)?),
         "queue" => Axis::Queue(map_array(d.req("values", at)?, |v, _w| decode_queue(v))?),
+        "rate-trace" => {
+            let values_e = d.req("values", at)?;
+            let rates = map_array(values_e, |v, w| {
+                let vt = expect_table(v, w)?;
+                let mut vd = Dec::new(vt, w);
+                let rate = decode_trace(&mut vd, (v.line, v.col), base)?;
+                vd.finish()?;
+                Ok(rate)
+            })?;
+            // Sweep coordinates label each point by the trace's file
+            // stem; two points sharing a stem would be indistinguishable
+            // in every report row.
+            let mut stems: Vec<String> = rates.iter().map(crate::grid::rate_point_label).collect();
+            stems.sort();
+            if let Some(dup) = stems.windows(2).find(|w| w[0] == w[1]) {
+                return err(
+                    values_e.value.line,
+                    values_e.value.col,
+                    format!(
+                        "rate-trace axis points must have distinct file stems (`{}` repeats)",
+                        dup[0]
+                    ),
+                );
+            }
+            Axis::RateTrace(rates)
+        }
         "prior-size" => Axis::PriorSize(map_array(d.req("values", at)?, |v, w| {
             Ok(expect_u64(v, w)? as usize)
         })?),
@@ -1126,7 +1263,7 @@ fn decode_axis(t: &Table, at: (u32, u32)) -> Result<Axis, ConfigError> {
                 format!(
                     "unknown axis kind `{other}` (expected alpha, latency-penalty, link-rate, \
                      cross-rate, buffer-capacity, initial-fullness, loss, sender, peer, queue, \
-                     prior-size, seeds)"
+                     rate-trace, prior-size, seeds)"
                 ),
             )
         }
@@ -1135,8 +1272,16 @@ fn decode_axis(t: &Table, at: (u32, u32)) -> Result<Axis, ConfigError> {
     Ok(axis)
 }
 
-/// Parse spec-file text into a [`SweepGrid`].
+/// Parse spec-file text into a [`SweepGrid`]. Relative trace-file paths
+/// resolve against the current directory; use [`parse_grid_at`] (or
+/// [`load_grid`]) to resolve them against the spec file instead.
 pub fn parse_grid(src: &str) -> Result<SweepGrid, ConfigError> {
+    parse_grid_at(src, None)
+}
+
+/// [`parse_grid`] with an explicit base directory for relative paths in
+/// the spec (trace files) — [`load_grid`] passes the spec file's parent.
+pub fn parse_grid_at(src: &str, base: Option<&Path>) -> Result<SweepGrid, ConfigError> {
     let root = Parser::new(src).parse_document()?;
     let mut d = Dec::new(&root, "root");
     let at = (1, 1);
@@ -1154,6 +1299,7 @@ pub fn parse_grid(src: &str) -> Result<SweepGrid, ConfigError> {
     let topology = decode_topology(
         expect_table(&topo_e.value, "topology")?,
         (topo_e.value.line, topo_e.value.col),
+        base,
     )?;
     let prior_e = d.req("prior", at)?;
     let prior = decode_prior(
@@ -1189,7 +1335,7 @@ pub fn parse_grid(src: &str) -> Result<SweepGrid, ConfigError> {
         for t in tables {
             // Each [[axis]] table carries its own header position, so a
             // missing key in the third axis points at the third header.
-            axes.push(decode_axis(t, (t.line, t.col))?);
+            axes.push(decode_axis(t, (t.line, t.col), base)?);
         }
     }
     d.finish()?;
@@ -1234,6 +1380,24 @@ pub fn parse_grid(src: &str) -> Result<SweepGrid, ConfigError> {
                 }
             }
         }
+    } else {
+        for (axis, t) in axes.iter().zip(axis_tables(&root)) {
+            let cellular_only = match axis {
+                Axis::RateTrace(_) => Some("rate-trace"),
+                Axis::Queue(_) => Some("queue"),
+                _ => None,
+            };
+            if let Some(kind) = cellular_only {
+                return err(
+                    t.line,
+                    t.col,
+                    format!(
+                        "a {kind} axis requires a cellular topology (only its radio path has \
+                         that knob)"
+                    ),
+                );
+            }
+        }
     }
 
     Ok(SweepGrid {
@@ -1261,20 +1425,42 @@ fn axis_tables(root: &Table) -> impl Iterator<Item = &Table> {
         })
 }
 
-/// [`parse_grid`] over a file. IO failures surface as a position-less
-/// [`ConfigError`] so callers print one error shape either way.
+/// [`parse_grid`] over a file, with relative trace paths resolved
+/// against the spec file's directory. IO failures surface as a
+/// position-less [`ConfigError`] so callers print one error shape
+/// either way.
 pub fn load_grid(path: &Path) -> Result<SweepGrid, ConfigError> {
     let src = std::fs::read_to_string(path).map_err(|e| ConfigError {
         line: 0,
         col: 0,
         message: format!("cannot read {}: {e}", path.display()),
     })?;
-    parse_grid(&src)
+    parse_grid_at(&src, path.parent())
 }
 
 // ---------------------------------------------------------------------
 // Canonical emission.
 // ---------------------------------------------------------------------
+
+/// Quote a string for emission, escaping exactly what the parser's
+/// string scanner decodes (`\"`, `\\`, `\n`, `\t`) — scenario names and
+/// trace file paths (where backslashes actually occur) must survive a
+/// round trip instead of silently corrupting.
+fn fmt_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Format a float so the parser reads back the same `f64` (Rust's
 /// shortest round-trip formatting, with a `.0` forced onto integral
@@ -1283,7 +1469,7 @@ pub fn load_grid(path: &Path) -> Result<SweepGrid, ConfigError> {
 /// # Panics
 /// Panics on non-finite values — the schema has no NaN/inf literals, so
 /// emitting one would produce a file the parser rejects.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     assert!(v.is_finite(), "spec floats must be finite, got {v}");
     let s = format!("{v}");
     if s.contains('.') || s.contains('e') || s.contains('E') {
@@ -1358,7 +1544,17 @@ fn fmt_rate(r: &RateProcess) -> String {
                 fmt_dur(*period)
             )
         }
+        RateProcess::Trace { label, end, .. } => {
+            format!("{{ kind = \"trace\", {} }}", fmt_trace_fields(label, *end))
+        }
     }
+}
+
+/// A trace reference emits its file path, not its samples — the spec
+/// file stays a reference into `experiments/traces/`, and parsing loads
+/// the CSV back (the round-trip tests pin the equality).
+fn fmt_trace_fields(label: &str, end: TraceEnd) -> String {
+    format!("file = {}, end = \"{}\"", fmt_str(label), end.label())
 }
 
 fn fmt_sender(s: &SenderSpec) -> Vec<String> {
@@ -1491,6 +1687,20 @@ fn push_axis(out: &mut String, axis: &Axis) {
                     .join("\n")
             )),
         ),
+        Axis::RateTrace(v) => (
+            "rate-trace",
+            Some(format!(
+                "[\n{}\n]",
+                v.iter()
+                    .map(|r| match r {
+                        RateProcess::Trace { label, end, .. } =>
+                            format!("  {{ {} }},", fmt_trace_fields(label, *end)),
+                        other => unreachable!("rate-trace axis over {other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )),
+        ),
         Axis::PriorSize(v) => (
             "prior-size",
             Some(fmt_int_list(v.iter().map(|n| *n as u64))),
@@ -1518,10 +1728,10 @@ pub fn grid_to_toml(grid: &SweepGrid) -> String {
          # `sweep --export-specs <dir>`).\n\
          \n\
          [scenario]\n\
-         name = \"{}\"\n\
+         name = {}\n\
          duration_s = {}\n\
          base_seed = 0x{:X}",
-        base.name,
+        fmt_str(&base.name),
         fmt_dur(base.duration),
         base.base_seed
     );
@@ -1663,12 +1873,20 @@ mod tests {
         assert_eq!(format!("{a:#?}"), format!("{b:#?}"));
     }
 
+    /// Where the shipped spec files live — trace references in canonical
+    /// emissions are relative to this directory, so parsing them back
+    /// needs it as the base (and doubles as a pin that the committed
+    /// trace CSVs match the generators the presets embed).
+    fn shipped_specs_dir() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments/specs")
+    }
+
     #[test]
     fn every_preset_round_trips_through_toml() {
         for name in presets::NAMES {
             let grid = presets::by_name(name).unwrap();
             let toml = grid_to_toml(&grid);
-            let parsed = parse_grid(&toml)
+            let parsed = parse_grid_at(&toml, Some(&shipped_specs_dir()))
                 .unwrap_or_else(|e| panic!("canonical {name} spec failed to parse: {e}\n{toml}"));
             assert_grid_eq(&grid, &parsed);
         }
@@ -1789,6 +2007,155 @@ mod tests {
         );
     }
 
+    /// The canonical fig1 spec with its schedule's `steps` list replaced
+    /// — the vehicle for the malformed-schedule decode tests.
+    fn fig1_with_steps(steps: &str) -> String {
+        let toml = grid_to_toml(&presets::by_name("fig1").unwrap());
+        let start = toml.find("steps = [").expect("fig1 has a schedule");
+        let end = toml[start..].find(']').map(|i| start + i + 1).unwrap();
+        format!("{}{}{}", &toml[..start], steps, &toml[end..])
+    }
+
+    #[test]
+    fn unsorted_schedule_offsets_are_rejected_at_decode_time() {
+        // Before this check lived in the decoder, `--check` accepted the
+        // file and the run panicked inside `Link::new`.
+        let toml = fig1_with_steps(
+            "steps = [{ at_s = 0.0, bps = 1000 }, { at_s = 9.0, bps = 2000 }, \
+             { at_s = 4.0, bps = 3000 }]",
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("strictly increasing"), "got: {e}");
+        assert!(e.line > 0 && e.col > 0);
+    }
+
+    #[test]
+    fn schedule_first_step_must_be_at_zero() {
+        let toml = fig1_with_steps("steps = [{ at_s = 1.0, bps = 1000 }]");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("`at_s = 0`"), "got: {e}");
+    }
+
+    #[test]
+    fn schedule_zero_period_is_rejected_at_decode_time() {
+        let toml = grid_to_toml(&presets::by_name("fig1").unwrap())
+            .replace("period_s = 20.0", "period_s = 0.0");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("`period_s` must be positive"),
+            "got: {e}"
+        );
+        assert!(e.line > 0 && e.col > 0);
+    }
+
+    #[test]
+    fn schedule_offset_past_period_is_rejected() {
+        let toml =
+            fig1_with_steps("steps = [{ at_s = 0.0, bps = 1000 }, { at_s = 20.0, bps = 2000 }]");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("does not fit in the period"), "got: {e}");
+    }
+
+    #[test]
+    fn zero_rate_is_rejected_not_a_panic() {
+        let toml = fig1_with_steps("steps = [{ at_s = 0.0, bps = 0 }]");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("`bps` must be positive"), "got: {e}");
+    }
+
+    #[test]
+    fn zero_rate_axis_value_is_rejected_not_a_panic() {
+        // Every BitRate decode path must reject zero with a position —
+        // `BitRate::from_bps(0)` would otherwise panic inside `--check`.
+        let toml = format!(
+            "{}\n[[axis]]\nkind = \"link-rate\"\nvalues = [0]\n",
+            grid_to_toml(&presets::by_name("smoke").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("`values[0]` must be positive"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn inverted_fine_link_rate_range_is_rejected_at_decode_time() {
+        // Before this check, `--check` passed and PriorSpec::hypotheses
+        // hit a u64 subtract-overflow mid-run.
+        let toml = grid_to_toml(&presets::by_name("scaling").unwrap())
+            .replace("lo_bps = 8000", "lo_bps = 32000");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("`lo_bps` (32000) must not exceed `hi_bps` (16000)"),
+            "got: {e}"
+        );
+        assert!(e.line > 0 && e.col > 0);
+    }
+
+    #[test]
+    fn zero_hypothesis_fine_prior_is_rejected_at_decode_time() {
+        let toml = grid_to_toml(&presets::by_name("scaling").unwrap()).replace("n = 101", "n = 0");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("`n` must be at least 1"), "got: {e}");
+    }
+
+    #[test]
+    fn missing_trace_file_is_a_positioned_error() {
+        let toml = grid_to_toml(&presets::by_name("fig1").unwrap()).replace(
+            "rate = { kind = \"schedule\", period_s = 20.0, steps = [{ at_s = 0.0, bps = 4000000 }, { at_s = 8.0, bps = 1000000 }, { at_s = 14.0, bps = 250000 }, { at_s = 17.0, bps = 2000000 }] }",
+            "rate = { kind = \"trace\", file = \"no-such-trace.csv\", end = \"loop\" }",
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(e.message.contains("cannot read trace file"), "got: {e}");
+        assert!(e.line > 0 && e.col > 0);
+    }
+
+    #[test]
+    fn unknown_trace_end_policy_lists_the_menu() {
+        let toml = grid_to_toml(&presets::by_name("replay-cellular").unwrap())
+            .replace("end = \"loop\" }\narq", "end = \"wrap\" }\narq");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("unknown trace end policy `wrap` (expected loop, hold-last)"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn queue_axis_over_model_topology_is_rejected_with_a_position() {
+        let toml = format!(
+            "{}\n[[axis]]\nkind = \"queue\"\nvalues = [\n  {{ kind = \"drop-tail\" }},\n]\n",
+            grid_to_toml(&presets::by_name("fig3").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("a queue axis requires a cellular topology"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn rate_trace_axis_over_model_topology_is_rejected() {
+        // The axis's trace file must load before the cross-section check
+        // fires, so give it a real (if tiny) trace to read.
+        let dir = std::env::temp_dir().join("augur-rate-trace-axis-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("x.csv"), "time_s,bps\n0.0,1000\n1.0,2000\n").unwrap();
+        let toml = format!(
+            "{}\n[[axis]]\nkind = \"rate-trace\"\nvalues = [\n  {{ file = \"x.csv\", end = \"loop\" }},\n]\n",
+            grid_to_toml(&presets::by_name("fig3").unwrap())
+        );
+        let e = parse_grid_at(&toml, Some(&dir)).unwrap_err();
+        assert!(
+            e.message
+                .contains("rate-trace axis requires a cellular topology"),
+            "got: {e}"
+        );
+    }
+
     #[test]
     fn out_of_range_u32_is_an_error_not_a_wrap() {
         // 2^32 + 200000: a wrap would silently yield a valid-looking
@@ -1816,6 +2183,40 @@ mod tests {
         grid.base.name = "café-β".into();
         let parsed = parse_grid(&grid_to_toml(&grid)).unwrap();
         assert_eq!(parsed.base.name, "café-β");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped_on_emission() {
+        // Backslashes occur in Windows-style trace paths; unescaped
+        // emission would silently decode `\t` as a tab on re-parse.
+        let mut grid = presets::by_name("smoke").unwrap();
+        grid.base.name = "a\\tb \"q\"".into();
+        let parsed = parse_grid(&grid_to_toml(&grid)).unwrap();
+        assert_eq!(parsed.base.name, "a\\tb \"q\"");
+    }
+
+    #[test]
+    fn duplicate_trace_stems_in_an_axis_are_rejected() {
+        // Same stem from different directories would collapse to one
+        // sweep coordinate.
+        let dir = std::env::temp_dir().join("augur-dup-stem-test");
+        for sub in ["a", "b"] {
+            std::fs::create_dir_all(dir.join(sub)).unwrap();
+            std::fs::write(
+                dir.join(sub).join("x.csv"),
+                "time_s,bps\n0.0,1000\n1.0,2000\n",
+            )
+            .unwrap();
+        }
+        let toml = format!(
+            "{}\n[[axis]]\nkind = \"rate-trace\"\nvalues = [\n  {{ file = \"a/x.csv\", end = \"loop\" }},\n  {{ file = \"b/x.csv\", end = \"loop\" }},\n]\n",
+            grid_to_toml(&presets::by_name("fig1").unwrap())
+        );
+        let e = parse_grid_at(&toml, Some(&dir)).unwrap_err();
+        assert!(
+            e.message.contains("distinct file stems (`x` repeats)"),
+            "got: {e}"
+        );
     }
 
     #[test]

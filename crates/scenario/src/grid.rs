@@ -11,6 +11,7 @@
 use crate::spec::{
     PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec, WorkloadSpec,
 };
+use augur_elements::RateProcess;
 use augur_sim::{BitRate, Bits, Ppm, SimRng};
 
 /// One sweep dimension.
@@ -39,6 +40,10 @@ pub enum Axis {
     /// Queue disciplines of the cellular path's deep buffer (requires a
     /// [`TopologySpec::Cellular`] topology).
     Queue(Vec<QueueSpec>),
+    /// Rate processes of the cellular path's radio link — one replayed
+    /// trace file per point (requires a [`TopologySpec::Cellular`]
+    /// topology).
+    RateTrace(Vec<RateProcess>),
     /// Prior sizes (requires a [`PriorSpec::FineLinkRate`] prior).
     PriorSize(Vec<usize>),
     /// `k` seed replicates: the spec is unchanged, but each replicate is
@@ -60,6 +65,7 @@ impl Axis {
             Axis::Sender(v) => v.len(),
             Axis::Peer(v) => v.len(),
             Axis::Queue(v) => v.len(),
+            Axis::RateTrace(v) => v.len(),
             Axis::PriorSize(v) => v.len(),
             Axis::Seeds(k) => *k,
         }
@@ -84,6 +90,7 @@ impl Axis {
             Axis::Sender(_) => "sender",
             Axis::Peer(_) => "peer",
             Axis::Queue(_) => "queue",
+            Axis::RateTrace(_) => "rate_trace",
             Axis::PriorSize(_) => "prior_size",
             Axis::Seeds(_) => "replicate",
         }
@@ -102,6 +109,7 @@ impl Axis {
             Axis::Sender(v) => v[i].label().to_string(),
             Axis::Peer(v) => v[i].label().to_string(),
             Axis::Queue(v) => v[i].label().to_string(),
+            Axis::RateTrace(v) => rate_point_label(&v[i]),
             Axis::PriorSize(v) => format!("{}", v[i]),
             Axis::Seeds(_) => format!("{i}"),
         }
@@ -138,12 +146,32 @@ impl Axis {
                 TopologySpec::Cellular { queue, .. } => *queue = v[i].clone(),
                 other => panic!("queue axis over non-cellular topology {other:?}"),
             },
+            Axis::RateTrace(v) => match &mut spec.topology {
+                TopologySpec::Cellular { params, .. } => params.rate = v[i].clone(),
+                other => panic!("rate-trace axis over non-cellular topology {other:?}"),
+            },
             Axis::PriorSize(v) => match &mut spec.prior {
                 PriorSpec::FineLinkRate { n, .. } => *n = v[i],
                 other => panic!("prior-size axis over non-scalable prior {other:?}"),
             },
             Axis::Seeds(_) => {} // the run index alone differentiates replicates
         }
+    }
+}
+
+/// The report label of a rate-trace axis point: the trace's file stem
+/// (`../traces/lte-fade.csv` → `lte-fade`), falling back to the rate
+/// kind for the non-trace processes a hand-built grid could hold. The
+/// config decoder rejects rate-trace axes whose points share a stem, so
+/// grid coordinates built from spec files stay unique.
+pub(crate) fn rate_point_label(rate: &RateProcess) -> String {
+    match rate {
+        RateProcess::Trace { label, .. } => {
+            let file = label.rsplit(['/', '\\']).next().unwrap_or(label.as_str());
+            file.strip_suffix(".csv").unwrap_or(file).to_string()
+        }
+        RateProcess::Const(r) => format!("{}", r.as_bps()),
+        RateProcess::Schedule { .. } => "schedule".into(),
     }
 }
 

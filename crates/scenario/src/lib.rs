@@ -39,8 +39,9 @@ pub mod presets;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod traces;
 
-pub use config::{grid_to_toml, load_grid, parse_grid, ConfigError};
+pub use config::{grid_to_toml, load_grid, parse_grid, parse_grid_at, ConfigError};
 pub use grid::{Axis, RunSpec, SweepGrid};
 pub use report::{RunStatus, RunSummary, SweepReport};
 pub use runner::{

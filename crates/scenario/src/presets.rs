@@ -6,14 +6,15 @@ use crate::spec::{
     CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
     WorkloadSpec,
 };
-use augur_elements::{CellularParams, GateSpec, ModelParams};
+use crate::traces;
+use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
 use augur_inference::ModelPrior;
 use augur_sim::{BitRate, Bits, Dur, Ppm};
 
 /// Every named preset, in the order `--export-specs` writes them. Each
 /// name doubles as the canonical spec file stem under
 /// `experiments/specs/` and the default CSV stem under `experiments/`.
-pub const NAMES: [&str; 10] = [
+pub const NAMES: [&str; 11] = [
     "fig1",
     "fig3",
     "tab1",
@@ -24,6 +25,7 @@ pub const NAMES: [&str; 10] = [
     "coexist-fairness",
     "coexist-vs-tcp",
     "ext-aqm",
+    "replay-cellular",
 ];
 
 /// The canonical grid for a preset name, at the documented default
@@ -41,6 +43,7 @@ pub fn by_name(name: &str) -> Option<SweepGrid> {
         "coexist-fairness" => coexist_fairness(Dur::from_secs(60), 4, 50_000),
         "coexist-vs-tcp" => coexist_vs_tcp(Dur::from_secs(60), 2, 50_000),
         "ext-aqm" => ext_aqm(Dur::from_secs(120)),
+        "replay-cellular" => replay_cellular(Dur::from_secs(60)),
         _ => return None,
     })
 }
@@ -299,6 +302,68 @@ pub fn ext_aqm(duration: Dur) -> SweepGrid {
             interval: Dur::from_millis(100),
         },
     ]))
+}
+
+/// A shipped synthetic trace as a looping rate process. The label is the
+/// path the canonical spec file references, relative to
+/// `experiments/specs/` — the preset embeds the generator's samples, so
+/// running it never touches the filesystem, while parsing the spec file
+/// loads the committed CSV; the round-trip tests pin that both agree.
+fn shipped_trace(stem: &str) -> RateProcess {
+    RateProcess::Trace {
+        label: format!("../traces/{stem}.csv"),
+        samples: traces::by_name(stem).expect("shipped trace registry"),
+        end: TraceEnd::Loop,
+    }
+}
+
+/// Trace-driven cellular replay (the ROADMAP's last experiment-fidelity
+/// item): TCP Reno vs CUBIC bulk downloads over the LTE-like path with
+/// the radio link *replaying* synthetic measured-style rate traces
+/// instead of FIG1's 4-step periodic schedule, crossed with the EXT-D
+/// queue-discipline axis (drop-tail / RED / CoDel). Real cellular links
+/// vary faster and less regularly than any periodic schedule (Goyal et
+/// al., PAPERS.md) — the trace path exercises serialization across rate
+/// changes, which is exactly what the integrated-rate fix in
+/// `Link::start_service` makes honest.
+pub fn replay_cellular(duration: Dur) -> SweepGrid {
+    let mut params = CellularParams::lte_like();
+    params.rate = shipped_trace("lte-fade");
+    let capacity = params.buffer_capacity.as_u64();
+    let base = ScenarioSpec {
+        name: "replay-cellular".into(),
+        topology: TopologySpec::Cellular {
+            params,
+            queue: QueueSpec::DropTail,
+        },
+        prior: PriorSpec::Small, // inert: TCP senders carry no belief
+        sender: SenderSpec::TcpReno { max_window: 1_000 },
+        workload: WorkloadSpec::ClosedLoop,
+        duration,
+        base_seed: 0xCE11,
+    };
+    SweepGrid::new(base)
+        .axis(Axis::Sender(vec![
+            SenderSpec::TcpReno { max_window: 1_000 },
+            SenderSpec::TcpCubic { max_window: 1_000 },
+        ]))
+        .axis(Axis::RateTrace(vec![
+            shipped_trace("lte-fade"),
+            shipped_trace("lte-scatter"),
+        ]))
+        .axis(Axis::Queue(vec![
+            QueueSpec::DropTail,
+            QueueSpec::Red {
+                min_th: Bits::new(capacity / 12),
+                max_th: Bits::new(capacity / 4),
+                max_p: Ppm::from_prob(0.1),
+                w_shift: 9, // EWMA weight 1/512
+            },
+            QueueSpec::CoDel {
+                target: Dur::from_millis(5),
+                interval: Dur::from_millis(100),
+            },
+        ]))
 }
 
 /// A quick smoke sweep: the Small prior over a short closed loop, exact

@@ -259,6 +259,12 @@ impl PriorSpec {
             PriorSpec::FineLinkRate { n, lo_bps, hi_bps } => {
                 let n = *n;
                 assert!(n > 0, "FineLinkRate prior needs at least one hypothesis");
+                // Backstop for hand-built specs; config decoding rejects
+                // this with a positioned error before a run ever starts.
+                assert!(
+                    lo_bps <= hi_bps,
+                    "FineLinkRate prior has an inverted range ({lo_bps} > {hi_bps})"
+                );
                 let w = 1.0 / n as f64;
                 (0..n)
                     .map(|i| {

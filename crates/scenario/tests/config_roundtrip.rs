@@ -10,11 +10,18 @@
 //! 3. spec files can reach configurations the presets don't, like N > 2
 //!    coexistence peers, and those run deterministically.
 
-use augur_scenario::{grid_to_toml, parse_grid, presets, SweepGrid, SweepRunner, WorkloadSpec};
+use augur_scenario::{
+    grid_to_toml, load_grid, parse_grid, parse_grid_at, presets, traces, SweepGrid, SweepRunner,
+    WorkloadSpec,
+};
 use std::path::PathBuf;
 
 fn specs_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../experiments/specs")
+}
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../experiments/traces")
 }
 
 fn assert_grid_eq(name: &str, a: &SweepGrid, b: &SweepGrid) {
@@ -27,14 +34,27 @@ fn assert_grid_eq(name: &str, a: &SweepGrid, b: &SweepGrid) {
 
 #[test]
 fn presets_round_trip_through_written_spec_files() {
+    // Mirror the shipped layout — specs/ referencing ../traces/ — so the
+    // trace-replaying presets resolve their CSVs exactly as `sweep
+    // --spec experiments/specs/<name>.toml` would.
     let dir = std::env::temp_dir().join("augur-spec-roundtrip");
-    std::fs::create_dir_all(&dir).unwrap();
+    let specs = dir.join("specs");
+    let trace_files = dir.join("traces");
+    std::fs::create_dir_all(&specs).unwrap();
+    std::fs::create_dir_all(&trace_files).unwrap();
+    for name in traces::NAMES {
+        let samples = traces::by_name(name).unwrap();
+        std::fs::write(
+            trace_files.join(format!("{name}.csv")),
+            traces::trace_to_csv(name, &samples),
+        )
+        .unwrap();
+    }
     for name in presets::NAMES {
         let grid = presets::by_name(name).unwrap();
-        let path = dir.join(format!("{name}.toml"));
+        let path = specs.join(format!("{name}.toml"));
         std::fs::write(&path, grid_to_toml(&grid)).unwrap();
-        let read_back = std::fs::read_to_string(&path).unwrap();
-        let parsed = parse_grid(&read_back)
+        let parsed = load_grid(&path)
             .unwrap_or_else(|e| panic!("{name}: written spec failed to parse: {e}"));
         assert_grid_eq(name, &grid, &parsed);
         // The run lists (coords, derived seeds) must line up too.
@@ -45,6 +65,76 @@ fn presets_round_trip_through_written_spec_files() {
             assert_eq!(ra.seed, rb.seed, "{name}: seed differs at {}", ra.index);
             assert_eq!(ra.point(), rb.point(), "{name}: coords differ");
         }
+    }
+}
+
+#[test]
+fn trace_rate_kind_round_trips_byte_identically() {
+    // grid → TOML → grid → TOML must be byte-stable for the `trace`
+    // rate kind (file references survive the loaded-samples detour).
+    let grid = presets::by_name("replay-cellular").unwrap();
+    let toml1 = grid_to_toml(&grid);
+    let parsed = parse_grid_at(&toml1, Some(&specs_dir()))
+        .unwrap_or_else(|e| panic!("replay-cellular: {e}"));
+    assert_grid_eq("replay-cellular", &grid, &parsed);
+    let toml2 = grid_to_toml(&parsed);
+    assert_eq!(
+        toml1, toml2,
+        "trace rate kind must round-trip byte-for-byte"
+    );
+}
+
+#[test]
+fn shipped_trace_files_match_the_generators_exactly() {
+    let dir = traces_dir();
+    for name in traces::NAMES {
+        let path = dir.join(format!("{name}.csv"));
+        let shipped = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing shipped trace {} ({e}); regenerate with `sweep --export-traces \
+                 experiments/traces`",
+                path.display()
+            )
+        });
+        let canonical = traces::trace_to_csv(name, &traces::by_name(name).unwrap());
+        assert_eq!(
+            shipped, canonical,
+            "{name}.csv drifted from its generator; regenerate with `sweep --export-traces \
+             experiments/traces`"
+        );
+    }
+    // And nothing extra: every committed trace must be a known generator's.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let file = entry.unwrap().file_name().into_string().unwrap();
+        let stem = file.trim_end_matches(".csv");
+        assert!(
+            traces::NAMES.contains(&stem),
+            "unexpected trace file {file}; add its generator to `traces::NAMES` or remove it"
+        );
+    }
+}
+
+#[test]
+fn replay_spec_runs_deterministically_across_worker_counts() {
+    let mut grid = load_grid(&specs_dir().join("replay-cellular.toml")).unwrap();
+    grid.base.duration = augur_sim::Dur::from_secs(10);
+    let runs = grid.expand();
+    assert_eq!(runs.len(), 12);
+    let serial = SweepRunner::serial().run(&runs);
+    let parallel = SweepRunner::with_workers(4).run(&runs);
+    assert_eq!(
+        serial.to_csv_string(),
+        parallel.to_csv_string(),
+        "worker count leaked into the trace-replay sweep"
+    );
+    // Every run moves traffic, and the trace label lands in the coords.
+    for r in &serial.runs {
+        assert!(r.sends > 0, "{}: no sends", r.point);
+        assert!(
+            r.point.contains("rate_trace=lte-fade") || r.point.contains("rate_trace=lte-scatter"),
+            "unexpected point {}",
+            r.point
+        );
     }
 }
 
