@@ -63,14 +63,20 @@ fn usage() -> ! {
          \x20      sweep --export-specs <dir>\n\
          \x20      sweep --export-traces <dir>\n\
          \x20 options: [--check] [--workers N] [--duration SECS] [--branches B] \
-         [--replicates K] [--jsonl]",
+         [--replicates K] [--jsonl]\n\
+         \x20   --workers N: worker threads, at least 1; values above the \
+         expanded run count are clamped to it (extra workers would idle)",
         presets::NAMES.join("|")
     );
     exit(2)
 }
 
 fn parse_args() -> Options {
-    let mut args = std::env::args().skip(1).peekable();
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> Options {
+    let mut args = args.peekable();
     let mut opts = Options {
         source: None,
         export_specs: None,
@@ -303,11 +309,22 @@ fn main() {
         );
         return;
     }
-    let runner = match opts.workers {
+    // Clamp the worker count to the run count: a sweep never benefits
+    // from more threads than runs, and silently spawning idle workers
+    // would misreport the execution shape.
+    let configured = match opts.workers {
         Some(n) => SweepRunner::with_workers(n),
         None => SweepRunner::parallel(),
+    };
+    let workers = configured.effective_workers(runs.len());
+    if opts.workers.is_some_and(|n| n > workers) {
+        eprintln!(
+            "note: --workers {} exceeds the {} expanded runs; using {workers}",
+            opts.workers.unwrap(),
+            runs.len()
+        );
     }
-    .verbose();
+    let runner = SweepRunner::with_workers(workers).verbose();
     println!(
         "SWEEP {}: {} runs ({}), {} workers, base seed {:#x}",
         grid.base.name,
@@ -337,5 +354,42 @@ fn main() {
             .write_jsonl(BufWriter::new(file))
             .expect("write sweep jsonl");
         println!("  wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Options {
+        parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_positional_preset_and_workers() {
+        let opts = parse(&["fig3", "--workers", "8", "--duration", "30"]);
+        assert!(matches!(opts.source, Some(Source::Preset(ref p)) if p == "fig3"));
+        assert_eq!(opts.workers, Some(8));
+        assert_eq!(opts.duration, Some(30));
+    }
+
+    #[test]
+    fn parses_spec_and_flags() {
+        let opts = parse(&["--spec", "x.toml", "--check", "--jsonl"]);
+        assert!(matches!(opts.source, Some(Source::Spec(_))));
+        assert!(opts.check);
+        assert!(opts.jsonl);
+        assert_eq!(opts.workers, None);
+    }
+
+    #[test]
+    fn workers_clamp_to_run_count() {
+        // The clamp main() applies: requested workers never exceed the
+        // expanded run count (and never fall below one).
+        let runner = SweepRunner::with_workers(64);
+        assert_eq!(runner.effective_workers(4), 4);
+        assert_eq!(runner.effective_workers(64), 64);
+        assert_eq!(runner.effective_workers(1000), 64);
+        assert_eq!(runner.effective_workers(0), 1);
     }
 }

@@ -178,6 +178,7 @@ impl RateProcess {
     /// boundaries, and the final partial segment rounds up to a whole
     /// microsecond exactly like [`BitRate::service_time`].
     pub fn service_end(&self, start: Time, bits: Bits) -> Time {
+        augur_sim::perf::count_rate_integration();
         // Bit-microseconds still owed: bits × 1e6 / rate µs remain.
         let mut needed = bits.as_u64() as u128 * 1_000_000;
         let mut t = start;

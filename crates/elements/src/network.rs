@@ -179,6 +179,7 @@ impl Network {
                 Some((t, nid)) if t <= until => {
                     debug_assert!(t >= self.now, "timer in the past at {nid}");
                     self.now = t;
+                    augur_sim::perf::count_event();
                     self.fire(nid);
                 }
                 _ => {
@@ -411,6 +412,7 @@ impl Network {
     /// (queued, in service, delayed, delivered, dropped) or a choice
     /// interrupts.
     fn route(&mut self, mut at_node: NodeId, pkt: Packet) {
+        augur_sim::perf::count_packet_forward();
         let now = self.now;
         let mut hops = 0usize;
         loop {
@@ -612,6 +614,7 @@ impl NetworkBuilder {
     /// Panics on an invalid topology (dangling successors, buffer not
     /// feeding a link, cycles, over-capacity prefill, …).
     pub fn build(mut self) -> Network {
+        augur_sim::perf::count_network_build();
         let n = self.nodes.len();
         assert!(n > 0, "empty network");
 

@@ -249,6 +249,7 @@ impl<M: Clone + Eq + Hash> Belief<M> {
             .drain(..)
             .map(|h| Work { h, matched: 0 })
             .collect();
+        augur_sim::perf::count_hypothesis_updates(frontier.len() as u64);
         let mut done: Vec<Work<M>> = Vec::with_capacity(frontier.len());
         for w in frontier {
             self.settle(w, until, &idx, false, &mut done, &mut stats);

@@ -167,10 +167,12 @@ impl<M: Clone> ParticleFilter<M> {
         assert!(until >= self.now);
         let idx = ObservationIndex::new(obs);
         let mut stats = ParticleStats::default();
+        let mut advanced = 0u64;
         for p in &mut self.particles {
             if p.weight <= 0.0 {
                 continue;
             }
+            advanced += 1;
             let ok = Self::settle_one(
                 p,
                 until,
@@ -185,6 +187,7 @@ impl<M: Clone> ParticleFilter<M> {
                 stats.killed += 1;
             }
         }
+        augur_sim::perf::count_hypothesis_updates(advanced);
         let total: f64 = self.particles.iter().map(|p| p.weight).sum();
         if total <= 0.0 {
             return Err(BeliefError::Dead { at: until });
@@ -260,6 +263,7 @@ impl<M: Clone> ParticleFilter<M> {
     /// Systematic resampling: positions (u + i)/n over the cumulative
     /// weights; weights reset to uniform.
     fn resample(&mut self) {
+        augur_sim::perf::count_particle_resample();
         let n = self.particles.len();
         let u0 = self.rng.uniform_f64() / n as f64;
         let mut picks = Vec::with_capacity(n);

@@ -21,7 +21,11 @@ use augur_elements::{build_model, GateSpec, ModelParams};
 use augur_sim::{BitRate, Bits, Dur, Ppm};
 
 /// A discretized uniform prior over the Figure-2 model.
-#[derive(Debug, Clone)]
+///
+/// All fields are integer-valued units, so the prior is `Eq + Hash` —
+/// which lets sweep-level caches key shared hypothesis prototypes by the
+/// prior that produced them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelPrior {
     /// Grid of link speeds `c` (bits/s).
     pub link_rates: Vec<BitRate>,

@@ -1,0 +1,263 @@
+//! The benchmark harness: warmup, fixed-iteration batches, and
+//! outlier-robust summaries.
+//!
+//! Criterion's adaptive sampling needs registry access we don't have;
+//! this harness keeps the parts that matter for a deterministic
+//! simulator — fixed iteration counts (so every batch does *identical*
+//! work, which the harness verifies through the work counters) and
+//! robust statistics (median/p10/p90 rather than mean-dominated
+//! summaries, so one preempted batch cannot swing a result).
+
+use augur_sim::perf::{self, Stopwatch, WorkCounters};
+use augur_trace::try_percentile_of_sorted;
+
+/// How a measurement runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Un-timed iterations executed first (cache/branch-predictor warm).
+    pub warmup_iters: u32,
+    /// Timed batches; each contributes one seconds-per-iteration sample.
+    pub batches: u32,
+    /// Iterations per timed batch.
+    pub iters_per_batch: u32,
+}
+
+impl BenchConfig {
+    /// The CI smoke configuration: enough batches for a median, small
+    /// enough to finish in seconds.
+    pub fn quick() -> BenchConfig {
+        BenchConfig {
+            warmup_iters: 1,
+            batches: 3,
+            iters_per_batch: 1,
+        }
+    }
+
+    /// The default measurement configuration.
+    pub fn full() -> BenchConfig {
+        BenchConfig {
+            warmup_iters: 3,
+            batches: 10,
+            iters_per_batch: 1,
+        }
+    }
+
+    /// Override iterations per batch (micro-benchmarks want many).
+    pub fn iters(mut self, iters_per_batch: u32) -> BenchConfig {
+        self.iters_per_batch = iters_per_batch;
+        self
+    }
+}
+
+/// Outlier-robust summary of per-iteration wall times, in seconds.
+/// Percentiles come through [`try_percentile_of_sorted`]; a degenerate
+/// batch count yields `NaN` markers rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSummary {
+    /// Number of batch samples.
+    pub n: usize,
+    /// Median seconds per iteration — the headline number.
+    pub median: f64,
+    /// 10th percentile (close to best-case).
+    pub p10: f64,
+    /// 90th percentile (noise ceiling).
+    pub p90: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Fastest batch.
+    pub min: f64,
+    /// Slowest batch.
+    pub max: f64,
+}
+
+impl TimeSummary {
+    /// Summarize per-iteration batch times.
+    pub fn of(batch_secs: &[f64]) -> TimeSummary {
+        let mut sorted = batch_secs.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| try_percentile_of_sorted(&sorted, p).unwrap_or(f64::NAN);
+        TimeSummary {
+            n: sorted.len(),
+            median: pct(50.0),
+            p10: pct(10.0),
+            p90: pct(90.0),
+            mean: if sorted.is_empty() {
+                f64::NAN
+            } else {
+                sorted.iter().sum::<f64>() / sorted.len() as f64
+            },
+            min: sorted.first().copied().unwrap_or(f64::NAN),
+            max: sorted.last().copied().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// `(name, value)` pairs in a stable order, for report emission.
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("median", self.median),
+            ("p10", self.p10),
+            ("p90", self.p90),
+            ("mean", self.mean),
+            ("min", self.min),
+            ("max", self.max),
+        ]
+    }
+}
+
+/// One named measurement: timing summary plus the deterministic work one
+/// batch performs.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Measurement name, unique within its suite.
+    pub name: String,
+    /// The configuration it ran under.
+    pub config: BenchConfig,
+    /// Seconds per iteration, one sample per batch.
+    pub batch_secs: Vec<f64>,
+    /// Robust summary of `batch_secs`.
+    pub secs_per_iter: TimeSummary,
+    /// Work performed by one batch (`iters_per_batch` iterations) —
+    /// verified identical across batches, so it is a deterministic
+    /// fingerprint of the benchmark's workload.
+    pub work_per_batch: WorkCounters,
+}
+
+/// Runs measurements under one [`BenchConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct Bencher {
+    /// The configuration every measurement uses.
+    pub config: BenchConfig,
+}
+
+impl Bencher {
+    /// A bencher with the given configuration.
+    pub fn new(config: BenchConfig) -> Bencher {
+        assert!(config.batches > 0, "a measurement needs at least one batch");
+        assert!(
+            config.iters_per_batch > 0,
+            "a batch needs at least one iteration"
+        );
+        Bencher { config }
+    }
+
+    /// Measure `iter`. The closure returns any work performed *off* the
+    /// calling thread (e.g. a sweep's per-run counters, harvested from
+    /// its summaries); on-thread work is captured automatically from the
+    /// thread-local counters. Return [`WorkCounters::default`] when
+    /// everything runs on-thread.
+    ///
+    /// # Panics
+    /// Panics if two batches perform different work — a fixed-iteration
+    /// batch over a deterministic workload must not drift, and a
+    /// benchmark that does is measuring something other than what its
+    /// name claims.
+    pub fn measure(
+        &self,
+        name: impl Into<String>,
+        mut iter: impl FnMut() -> WorkCounters,
+    ) -> Measurement {
+        let name = name.into();
+        for _ in 0..self.config.warmup_iters {
+            iter();
+        }
+        let mut batch_secs = Vec::with_capacity(self.config.batches as usize);
+        let mut work_per_batch: Option<WorkCounters> = None;
+        for batch in 0..self.config.batches {
+            let before = perf::snapshot();
+            let watch = Stopwatch::start();
+            let mut off_thread = WorkCounters::default();
+            for _ in 0..self.config.iters_per_batch {
+                off_thread += iter();
+            }
+            let secs = watch.elapsed_secs();
+            let mut work = perf::snapshot().since(&before);
+            work += off_thread;
+            batch_secs.push(secs / self.config.iters_per_batch as f64);
+            match work_per_batch {
+                None => work_per_batch = Some(work),
+                Some(first) => assert_eq!(
+                    first, work,
+                    "measurement {name:?}: batch {batch} performed different work than batch 0 \
+                     — the workload is not deterministic"
+                ),
+            }
+        }
+        Measurement {
+            secs_per_iter: TimeSummary::of(&batch_secs),
+            work_per_batch: work_per_batch.expect("at least one batch ran"),
+            batch_secs,
+            config: self.config,
+            name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let s = TimeSummary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(s.p10 <= s.median && s.median <= s.p90);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_nan_not_panic() {
+        let s = TimeSummary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.median.is_nan() && s.mean.is_nan() && s.min.is_nan());
+    }
+
+    #[test]
+    fn measure_captures_on_thread_work() {
+        let b = Bencher::new(BenchConfig {
+            warmup_iters: 1,
+            batches: 3,
+            iters_per_batch: 2,
+        });
+        let m = b.measure("counting", || {
+            perf::count_event();
+            perf::count_hypothesis_updates(3);
+            WorkCounters::default()
+        });
+        // Two iterations per batch, identical across batches.
+        assert_eq!(m.work_per_batch.events_processed, 2);
+        assert_eq!(m.work_per_batch.hypothesis_updates, 6);
+        assert_eq!(m.batch_secs.len(), 3);
+        assert!(m.secs_per_iter.median >= 0.0);
+    }
+
+    #[test]
+    fn measure_adds_off_thread_work() {
+        let b = Bencher::new(BenchConfig::quick());
+        let m = b.measure("off-thread", || WorkCounters {
+            packets_forwarded: 11,
+            ..WorkCounters::default()
+        });
+        assert_eq!(m.work_per_batch.packets_forwarded, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "different work")]
+    fn drifting_work_is_rejected() {
+        let b = Bencher::new(BenchConfig {
+            warmup_iters: 0,
+            batches: 2,
+            iters_per_batch: 1,
+        });
+        let mut calls = 0u64;
+        let _ = b.measure("drift", move || {
+            calls += 1;
+            WorkCounters {
+                events_processed: calls, // grows every batch
+                ..WorkCounters::default()
+            }
+        });
+    }
+}

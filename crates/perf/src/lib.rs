@@ -1,0 +1,53 @@
+//! `augur-perf` — the benchmarking & counters subsystem.
+//!
+//! The ROADMAP's north star is a system that runs "as fast as the
+//! hardware allows"; this crate is how the repo measures whether it
+//! does, without any registry dependency (criterion stays feature-gated
+//! until the workspace has registry access):
+//!
+//! * [`counters`] / [`Stopwatch`] — the clock & work-counters **facade**
+//!   (re-exported from `augur_sim::perf`, where the hot-path hooks live
+//!   so the simulator kernel stays dependency-free). Counters are cheap,
+//!   always-on, and deterministic: events processed, packets forwarded,
+//!   hypothesis updates, particle resamples, rate-process integrations,
+//!   networks built.
+//! * [`harness`] — a dependency-free micro/macro benchmark harness in
+//!   the spirit of criterion but offline-clean: warmup, fixed-iteration
+//!   batches, outlier-robust median/p10/p90 summaries, and per-batch
+//!   counter capture that *asserts* the measured work is identical
+//!   across batches (a benchmark whose work drifts is measuring the
+//!   wrong thing).
+//! * [`report`] — machine-readable `BENCH_<suite>.json` emission: wall
+//!   times are advisory, counters are deterministic and diffable (the
+//!   CI `perf-smoke` job diffs them across back-to-back runs).
+//! * [`suites`] — the named suites the `perf` CLI runs: event-queue
+//!   churn, trace-driven rate integration, exact-vs-particle belief
+//!   updates, and end-to-end sweep throughput including the measured
+//!   cold-vs-shared prior-prototype comparison
+//!   ([`augur_scenario::PriorCache`]).
+
+pub mod harness;
+pub mod report;
+pub mod suites;
+
+/// The work-counters half of the facade: `counters::snapshot()`,
+/// `WorkCounters`, and the `count_*` hooks.
+pub use augur_sim::perf as counters;
+/// The clock half of the facade.
+pub use augur_sim::perf::Stopwatch;
+pub use augur_sim::WorkCounters;
+
+pub use harness::{BenchConfig, Bencher, Measurement, TimeSummary};
+pub use report::SuiteReport;
+
+use std::path::PathBuf;
+
+/// Where benchmark artifacts land (override with `AUGUR_OUT`; the same
+/// convention as the experiment binaries).
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("AUGUR_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("experiments"));
+    std::fs::create_dir_all(&dir).expect("create perf output dir");
+    dir
+}

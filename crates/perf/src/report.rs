@@ -1,0 +1,208 @@
+//! Machine-readable benchmark reports: `BENCH_<suite>.json`.
+//!
+//! The JSON is hand-emitted (no serde in an offline workspace) with a
+//! stable key order. Two kinds of value live in a report and must not be
+//! confused:
+//!
+//! * **wall times** (`secs_per_iter`, `batch_secs`) — advisory, vary
+//!   run-to-run and machine-to-machine;
+//! * **work counters** (`work_per_batch`) — deterministic fingerprints
+//!   of the workload, byte-identical across reruns; CI diffs them
+//!   between two back-to-back runs to catch nondeterminism.
+
+use crate::harness::Measurement;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Report-schema version, bumped when the JSON layout changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One suite's results, ready for emission.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Suite name (`BENCH_<suite>.json` stem; `/` becomes `-`).
+    pub suite: String,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// The suite's measurements, in execution order.
+    pub results: Vec<Measurement>,
+    /// Derived scalar metrics, e.g. `prior_reuse_speedup`. Ratios of
+    /// wall times are advisory like the times themselves.
+    pub derived: Vec<(String, f64)>,
+}
+
+impl SuiteReport {
+    /// A report with no derived metrics.
+    pub fn new(suite: impl Into<String>, mode: impl Into<String>) -> SuiteReport {
+        SuiteReport {
+            suite: suite.into(),
+            mode: mode.into(),
+            results: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    /// Append a derived metric.
+    pub fn derive(&mut self, name: impl Into<String>, value: f64) {
+        self.derived.push((name.into(), value));
+    }
+
+    /// The measurement with the given name.
+    pub fn find(&self, name: &str) -> Option<&Measurement> {
+        self.results.iter().find(|m| m.name == name)
+    }
+
+    /// Serialize to JSON (stable key order; non-finite floats as null).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", SCHEMA_VERSION);
+        let _ = writeln!(out, "  \"suite\": {},", json_str(&self.suite));
+        let _ = writeln!(out, "  \"mode\": {},", json_str(&self.mode));
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_str(&m.name));
+            let _ = writeln!(out, "      \"warmup_iters\": {},", m.config.warmup_iters);
+            let _ = writeln!(out, "      \"batches\": {},", m.config.batches);
+            let _ = writeln!(
+                out,
+                "      \"iters_per_batch\": {},",
+                m.config.iters_per_batch
+            );
+            out.push_str("      \"secs_per_iter\": {");
+            for (j, (name, value)) in m.secs_per_iter.named().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", name, json_num(*value));
+            }
+            out.push_str("},\n");
+            out.push_str("      \"batch_secs\": [");
+            for (j, s) in m.batch_secs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_num(*s));
+            }
+            out.push_str("],\n");
+            out.push_str("      \"work_per_batch\": {");
+            for (j, (name, value)) in m.work_per_batch.named().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", name, value);
+            }
+            out.push_str("}\n");
+            out.push_str(if i + 1 < self.results.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"derived\": {");
+        for (j, (name, value)) in self.derived.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(name), json_num(*value));
+        }
+        out.push_str("}\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write `BENCH_<suite>.json` into `dir`, returning the path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        let stem = self.suite.replace('/', "-");
+        let path = dir.join(format!("BENCH_{stem}.json"));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// A JSON string literal (quotes, backslashes, and control characters
+/// escaped — the full set our simple names can contain).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number: Rust's `Display` for finite floats (decimal, never
+/// scientific notation), `null` otherwise — JSON has no NaN/Infinity.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{BenchConfig, Bencher};
+    use augur_sim::WorkCounters;
+
+    fn sample_report() -> SuiteReport {
+        let b = Bencher::new(BenchConfig::quick());
+        let mut report = SuiteReport::new("unit", "quick");
+        report.results.push(b.measure("work", || WorkCounters {
+            events_processed: 5,
+            ..WorkCounters::default()
+        }));
+        report.derive("speedup", 2.0);
+        report
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"work\""));
+        assert!(json.contains("\"events_processed\": 5"));
+        assert!(json.contains("\"derived\": {\"speedup\": 2}"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(0.25), "0.25");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn write_names_the_file_after_the_suite() {
+        let dir = std::env::temp_dir().join("augur-perf-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_report().write(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"suite\": \"unit\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,330 @@
+//! The named benchmark suites the `perf` CLI runs.
+//!
+//! Every suite is deterministic: workloads are seeded, sized by the
+//! quick/full mode only, and their [`Measurement::work_per_batch`]
+//! counters are byte-identical across reruns (the CI `perf-smoke` job
+//! enforces this). Wall times are the advisory half of the report.
+//!
+//! [`Measurement::work_per_batch`]: crate::harness::Measurement
+
+use crate::harness::{BenchConfig, Bencher};
+use crate::report::SuiteReport;
+use augur_elements::{RateProcess, TraceEnd};
+use augur_scenario::{
+    execute_run, presets, traces, Axis, PriorSpec, RunSpec, ScenarioSpec, SenderSpec, SweepGrid,
+    SweepRunner, TopologySpec, WorkloadSpec,
+};
+use augur_sim::{Bits, Dur, EventQueue, SimRng, Time, WorkCounters};
+use std::hint::black_box;
+
+/// Every suite name, in the order `perf all` runs them.
+pub const NAMES: [&str; 6] = [
+    "event-queue",
+    "rate-trace",
+    "belief-update",
+    "sweep-fig3",
+    "sweep-replay",
+    "prior-reuse",
+];
+
+/// Run a named suite. `quick` shrinks workloads to CI-smoke size.
+pub fn run(name: &str, quick: bool) -> Option<SuiteReport> {
+    Some(match name {
+        "event-queue" => event_queue(quick),
+        "rate-trace" => rate_trace(quick),
+        "belief-update" => belief_update(quick),
+        "sweep-fig3" => sweep_fig3(quick),
+        "sweep-replay" => sweep_replay(quick),
+        "prior-reuse" => prior_reuse(quick),
+        _ => return None,
+    })
+}
+
+fn mode(quick: bool) -> &'static str {
+    if quick {
+        "quick"
+    } else {
+        "full"
+    }
+}
+
+fn bencher(quick: bool) -> Bencher {
+    Bencher::new(if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::full()
+    })
+}
+
+/// Event-queue churn: interleaved pushes and pops through the
+/// deterministic min-heap, wave-shaped so the heap repeatedly grows and
+/// drains the way a busy multi-flow simulation drives it.
+fn event_queue(quick: bool) -> SuiteReport {
+    let n: u64 = if quick { 20_000 } else { 500_000 };
+    let b = Bencher::new(bencher(quick).config.iters(if quick { 2 } else { 5 }));
+    let mut report = SuiteReport::new("event-queue", mode(quick));
+    report.results.push(b.measure("churn", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = SimRng::seed_from_u64(0xE0);
+        let mut now = Time::ZERO;
+        let mut acc = 0u64;
+        let mut i = 0u64;
+        while i < n {
+            for _ in 0..64.min(n - i) {
+                let at = now + Dur::from_micros(rng.uniform_u64(0, 1_000_000));
+                q.push(at, i);
+                i += 1;
+            }
+            while let Some((t, e)) = q.pop() {
+                now = t;
+                acc ^= e;
+            }
+        }
+        black_box(acc);
+        WorkCounters::default()
+    }));
+    report
+}
+
+/// `RateProcess::Trace` service integration: piecewise-exact
+/// `service_end` over the shipped LTE-like fade trace (loop policy), at
+/// start offsets that exercise mid-segment starts, boundary crossings,
+/// and whole-cycle fast-forwarding — plus the binary-searched `rate_at`
+/// lookup on its own.
+fn rate_trace(quick: bool) -> SuiteReport {
+    let n: u64 = if quick { 50_000 } else { 1_000_000 };
+    let process = RateProcess::Trace {
+        label: "lte-fade".into(),
+        samples: traces::lte_fade(),
+        end: TraceEnd::Loop,
+    };
+    let b = Bencher::new(bencher(quick).config.iters(if quick { 2 } else { 5 }));
+    let mut report = SuiteReport::new("rate-trace", mode(quick));
+    report.results.push(b.measure("service-end", {
+        let process = process.clone();
+        move || {
+            let mut acc = 0u64;
+            for i in 0..n {
+                let start = Time::from_micros(i.wrapping_mul(37_137) % 120_000_000);
+                let bits = Bits::new(12_000 + (i % 5) * 3_000);
+                acc ^= process.service_end(start, bits).as_micros();
+            }
+            black_box(acc);
+            WorkCounters::default()
+        }
+    }));
+    report.results.push(b.measure("rate-at", move || {
+        let mut acc = 0u64;
+        for i in 0..n {
+            let t = Time::from_micros(i.wrapping_mul(91_997) % 240_000_000);
+            acc ^= process.rate_at(t).as_bps();
+        }
+        black_box(acc);
+        WorkCounters::default()
+    }));
+    report
+}
+
+/// One scripted-ping run spec over the fine link-rate prior — the
+/// workload that isolates belief-update cost (EXT-C's regime).
+fn belief_run(sender: SenderSpec, duration: Dur) -> RunSpec {
+    let spec = ScenarioSpec {
+        name: "perf-belief".into(),
+        topology: TopologySpec::Model(augur_elements::ModelParams::paper_ground_truth()),
+        prior: PriorSpec::FineLinkRate {
+            n: 201,
+            lo_bps: 8_000,
+            hi_bps: 16_000,
+        },
+        sender,
+        workload: WorkloadSpec::ScriptedPing {
+            interval: Dur::from_millis(250),
+        },
+        duration,
+        base_seed: 0xBE11EF,
+    };
+    RunSpec {
+        index: 0,
+        seed: SimRng::derive_seed(spec.base_seed, 0),
+        spec,
+        coords: Vec::new(),
+    }
+}
+
+/// Exact-vs-particle belief update: the same scripted workload driven
+/// through the exact enumeration engine and the bootstrap particle
+/// filter. `hypothesis_updates` counts trajectories advanced on each
+/// side; `particle_resamples` shows on the particle side only.
+fn belief_update(quick: bool) -> SuiteReport {
+    let duration = Dur::from_secs(if quick { 5 } else { 30 });
+    let exact = belief_run(
+        SenderSpec::IsenderExact {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            max_branches: 2_000,
+        },
+        duration,
+    );
+    let particle = belief_run(
+        SenderSpec::IsenderParticle {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            n_particles: 256,
+        },
+        duration,
+    );
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("belief-update", mode(quick));
+    report.results.push(b.measure("exact", move || {
+        black_box(execute_run(&exact));
+        WorkCounters::default()
+    }));
+    report.results.push(b.measure("particle", move || {
+        black_box(execute_run(&particle));
+        WorkCounters::default()
+    }));
+    report
+}
+
+/// End-to-end `fig3` sweep throughput, and the measured prior-prototype
+/// reuse win: `cold` executes each run standalone (every run re-builds
+/// the paper prior's ~4,800 hypothesis networks), `shared` executes the
+/// same list through [`SweepRunner`], which builds the prototypes once
+/// in a [`augur_scenario::PriorCache`] and clones them per run. The
+/// `networks_built` counter shows exactly the work the cache removes,
+/// and `prior_reuse_speedup` is the advisory wall-time ratio.
+fn sweep_fig3(quick: bool) -> SuiteReport {
+    let duration = Dur::from_secs(if quick { 2 } else { 10 });
+    let branches = if quick { 256 } else { 1_000 };
+    let runs = presets::fig3(duration, branches).expand();
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("sweep-fig3", mode(quick));
+    measure_cold_vs_shared(&mut report, &b, runs);
+    report
+}
+
+/// Measure a run list twice: `cold` executes each run standalone (every
+/// run re-enumerates its prior from scratch — the pre-cache behavior),
+/// `shared` executes the same list through [`SweepRunner`] and its
+/// [`augur_scenario::PriorCache`]. Derives the advisory wall-time
+/// speedup and the deterministic count of network builds the cache
+/// removed.
+fn measure_cold_vs_shared(report: &mut SuiteReport, b: &Bencher, runs: Vec<RunSpec>) {
+    report.results.push(b.measure("cold", {
+        let runs = runs.clone();
+        move || {
+            for run in &runs {
+                black_box(execute_run(run));
+            }
+            WorkCounters::default()
+        }
+    }));
+    report.results.push(b.measure("shared", move || {
+        SweepRunner::serial().run(&runs).total_work()
+    }));
+    let cold = report.find("cold").expect("measured").clone();
+    let shared = report.find("shared").expect("measured").clone();
+    report.derive(
+        "prior_reuse_speedup",
+        cold.secs_per_iter.median / shared.secs_per_iter.median,
+    );
+    report.derive(
+        "networks_built_saved",
+        cold.work_per_batch.networks_built as f64 - shared.work_per_batch.networks_built as f64,
+    );
+}
+
+/// The headline measurement of the sweep-level compute-reuse item: a
+/// replicate sweep of short particle-sender runs over the paper's
+/// ~4,800-hypothesis prior. The particle filter samples its population
+/// from a *borrowed* prior, so with the cache each run clones only
+/// `n_particles` networks where the cold path builds the full grid —
+/// prior enumeration dominates short runs, and the sweep-level reuse
+/// shows up directly as end-to-end wall-time speedup. (Exact-belief
+/// sweeps like `sweep-fig3` keep the same `networks_built` saving, but
+/// each run still clones the full hypothesis set it will mutate, so
+/// their wall-time win is small.)
+fn prior_reuse(quick: bool) -> SuiteReport {
+    let duration = Dur::from_secs(if quick { 1 } else { 3 });
+    let replicates = if quick { 8 } else { 16 };
+    let mut base = ScenarioSpec::paper_baseline("prior-reuse");
+    base.duration = duration;
+    base.sender = SenderSpec::IsenderParticle {
+        alpha: 1.0,
+        latency_penalty: 0.0,
+        n_particles: 64,
+    };
+    let runs = SweepGrid::new(base).axis(Axis::Seeds(replicates)).expand();
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("prior-reuse", mode(quick));
+    measure_cold_vs_shared(&mut report, &b, runs);
+    report
+}
+
+/// End-to-end `replay-cellular` sweep throughput: TCP Reno/CUBIC over
+/// the LTE-like path replaying both shipped rate traces across three
+/// queue disciplines — the trace-integration hot path under a real
+/// workload.
+fn sweep_replay(quick: bool) -> SuiteReport {
+    let duration = Dur::from_secs(if quick { 5 } else { 20 });
+    let runs = presets::replay_cellular(duration).expand();
+    let n_runs = runs.len();
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("sweep-replay", mode(quick));
+    report.results.push(b.measure("serial", move || {
+        SweepRunner::serial().run(&runs).total_work()
+    }));
+    let serial = report.find("serial").expect("measured");
+    report.derive("runs_per_sec", n_runs as f64 / serial.secs_per_iter.median);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_suite_is_rejected() {
+        // Running a suite executes it, so the full registry is exercised
+        // by the CI perf-smoke job; here we only pin the failure mode.
+        assert!(run("no-such-suite", true).is_none());
+    }
+
+    #[test]
+    fn quick_micro_suites_have_deterministic_counters() {
+        // Two back-to-back executions of a suite must produce identical
+        // work counters — the property the CI perf-smoke job checks
+        // across processes, pinned here in-process for the micro suites.
+        for name in ["event-queue", "rate-trace"] {
+            let a = run(name, true).unwrap();
+            let b = run(name, true).unwrap();
+            for (ma, mb) in a.results.iter().zip(&b.results) {
+                assert_eq!(ma.name, mb.name);
+                assert_eq!(
+                    ma.work_per_batch, mb.work_per_batch,
+                    "suite {name} measurement {} drifted",
+                    ma.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_queue_counts_every_pop() {
+        let report = run("event-queue", true).unwrap();
+        let churn = report.find("churn").unwrap();
+        // 20_000 pushes per iteration, 2 iterations per batch, every
+        // pushed event popped exactly once.
+        assert_eq!(churn.work_per_batch.events_processed, 2 * 20_000);
+    }
+
+    #[test]
+    fn rate_trace_counts_integrations() {
+        let report = run("rate-trace", true).unwrap();
+        let service = report.find("service-end").unwrap();
+        assert_eq!(service.work_per_batch.rate_integrations, 2 * 50_000);
+        // The pure lookup performs no integration.
+        let lookup = report.find("rate-at").unwrap();
+        assert_eq!(lookup.work_per_batch.rate_integrations, 0);
+    }
+}

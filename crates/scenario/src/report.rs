@@ -1,6 +1,7 @@
 //! Sweep results: one [`RunSummary`] per run, aggregated into a
 //! [`SweepReport`] with deterministic CSV / JSON-lines export.
 
+use augur_sim::WorkCounters;
 use augur_trace::{Cell, Table};
 use std::io::{self, Write};
 
@@ -30,7 +31,10 @@ impl RunStatus {
 /// `rate_err_bps` outside scripted workloads) are `NaN` and serialize as
 /// missing. `wall_s` is wall-clock measurement and is deliberately
 /// excluded from [`SweepReport::table`]: exported artifacts must be a
-/// pure function of the spec and seed.
+/// pure function of the spec and seed. `work` *is* such a pure function
+/// (deterministic counters from `augur_sim::perf`), but it stays out of
+/// the table too so sweep CSVs remain byte-stable across harness
+/// versions; the `perf` CLI exports it through `BENCH_*.json` instead.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Run index in the expanded grid.
@@ -89,6 +93,11 @@ pub struct RunSummary {
     /// Wall-clock seconds spent in the run (diagnostic only; excluded
     /// from exports).
     pub wall_s: f64,
+    /// Deterministic work-done counters for the run (events fired,
+    /// packets forwarded, hypothesis updates, …) — a pure function of
+    /// the spec and seed, identical for any worker count. Excluded from
+    /// the CSV/JSONL table; the perf subsystem aggregates it.
+    pub work: WorkCounters,
 }
 
 /// An ordered collection of run summaries.
@@ -178,6 +187,16 @@ impl SweepReport {
         self.runs.iter().find(|r| r.point == point)
     }
 
+    /// Total deterministic work across every run. Summation commutes,
+    /// so this is identical for any worker count or schedule.
+    pub fn total_work(&self) -> WorkCounters {
+        let mut total = WorkCounters::default();
+        for r in &self.runs {
+            total += r.work;
+        }
+        total
+    }
+
     /// Render a compact fixed-width text table for the terminal.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -245,6 +264,10 @@ mod tests {
             population: 8,
             rate_err_bps: f64::NAN,
             wall_s: 0.123,
+            work: WorkCounters {
+                events_processed: 9_999_991,
+                ..WorkCounters::default()
+            },
         }
     }
 
@@ -261,6 +284,11 @@ mod tests {
             !csv.contains("0.123"),
             "wall clock must not leak into exports"
         );
+        assert!(
+            !csv.contains("9999991"),
+            "work counters must not leak into exports"
+        );
+        assert_eq!(report.total_work().events_processed, 2 * 9_999_991);
         // NaN serializes as missing.
         assert!(lines[1].ends_with(",0,"));
     }

@@ -10,7 +10,9 @@
 
 use crate::grid::RunSpec;
 use crate::report::{RunStatus, RunSummary, SweepReport};
-use crate::spec::{CoexistSpec, PeerSpec, ScenarioSpec, SenderSpec, TopologySpec, WorkloadSpec};
+use crate::spec::{
+    CoexistSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, TopologySpec, WorkloadSpec,
+};
 use augur_core::{
     build_shared_bottleneck, coexist_belief, jain_index, run_closed_loop, run_multi_agent,
     AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, ParticleSender,
@@ -20,13 +22,13 @@ use augur_elements::{build_cellular_with_buffer, DropReason, ModelParams};
 use augur_inference::{
     Belief, BeliefConfig, BeliefError, Hypothesis, Observation, ParticleConfig, ParticleFilter,
 };
+use augur_sim::perf::{self, Stopwatch, WorkCounters};
 use augur_sim::{Dur, FlowId, Packet, SimRng, Time};
 use augur_tcp::{Cubic, Reno, TcpConfig, TcpEndpoint, TcpTrace};
 use augur_trace::percentile_of_sorted;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 /// Seed sub-stream for the ground-truth network's sampled choices.
 const STREAM_TRUTH: u64 = 0;
@@ -64,6 +66,93 @@ impl RunArtifact {
             _ => None,
         }
     }
+}
+
+/// Shared hypothesis `Network` prototypes, built once per sweep.
+///
+/// A run's belief engine enumerates its prior into hypotheses, each
+/// holding a freshly built [`augur_elements::Network`]. Rebuilding that
+/// enumeration inside every run made prior construction the dominant
+/// sweep startup cost on big priors (the paper grid is ~4,800 networks
+/// *per run*). Hypotheses are values — cloning a prototype yields a
+/// network identical to a fresh build — so [`SweepRunner`] builds each
+/// distinct [`PriorSpec`]'s prototypes once up front and every run
+/// clones them instead.
+///
+/// Determinism is unaffected: a cloned prototype is bit-identical to the
+/// network `PriorSpec::hypotheses` would have built, so summaries and
+/// report bytes are byte-for-byte the same with or without the cache
+/// (`prior_cache_reuses_prototypes` in the scenario tests pins this).
+#[derive(Debug, Clone, Default)]
+pub struct PriorCache {
+    map: HashMap<PriorSpec, Arc<Vec<Hypothesis<ModelParams>>>>,
+}
+
+impl PriorCache {
+    /// A cache with no entries: every lookup builds fresh (the behavior
+    /// of the standalone [`execute_run`] path).
+    pub fn empty() -> PriorCache {
+        PriorCache::default()
+    }
+
+    /// Build prototypes for every distinct prior the runs' belief
+    /// engines will enumerate. Runs whose sender carries no belief over
+    /// the scenario prior (TCP senders, coexistence workloads — the
+    /// latter derive a dedicated prior from the topology) are skipped.
+    pub fn for_runs(runs: &[RunSpec]) -> PriorCache {
+        let mut map = HashMap::new();
+        for run in runs {
+            if !uses_scenario_prior(&run.spec) {
+                continue;
+            }
+            map.entry(run.spec.prior.clone())
+                .or_insert_with_key(|prior: &PriorSpec| Arc::new(prior.hypotheses()));
+        }
+        PriorCache { map }
+    }
+
+    /// Number of cached priors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no priors are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The prior's hypotheses: cloned from the shared prototypes on a
+    /// cache hit, enumerated from scratch otherwise.
+    fn hypotheses(&self, prior: &PriorSpec) -> Vec<Hypothesis<ModelParams>> {
+        match self.map.get(prior) {
+            Some(protos) => protos.as_ref().clone(),
+            None => prior.hypotheses(),
+        }
+    }
+
+    /// Run `f` over the prior's hypotheses without cloning them (the
+    /// particle filter samples from a borrowed prior).
+    fn with_hypotheses<R>(
+        &self,
+        prior: &PriorSpec,
+        f: impl FnOnce(&[Hypothesis<ModelParams>]) -> R,
+    ) -> R {
+        match self.map.get(prior) {
+            Some(protos) => f(protos),
+            None => f(&prior.hypotheses()),
+        }
+    }
+}
+
+/// Does this scenario's belief engine enumerate `spec.prior`?
+fn uses_scenario_prior(spec: &ScenarioSpec) -> bool {
+    let belief_sender = matches!(
+        spec.sender,
+        SenderSpec::IsenderExact { .. } | SenderSpec::IsenderParticle { .. }
+    );
+    // Coexistence primaries use the dedicated coexistence prior derived
+    // from the topology, not the scenario prior.
+    belief_sender && !matches!(spec.workload, WorkloadSpec::Coexist(_))
 }
 
 /// Executes expanded run lists across worker threads.
@@ -128,11 +217,21 @@ impl SweepRunner {
         self.run_impl(runs, true)
     }
 
+    /// The worker count actually used for `run_count` runs: the
+    /// configured count clamped to the run count (never below one) —
+    /// spawning more threads than there are runs buys nothing.
+    pub fn effective_workers(&self, run_count: usize) -> usize {
+        self.workers.min(run_count).max(1)
+    }
+
     fn run_impl(&self, runs: &[RunSpec], keep_traces: bool) -> (SweepReport, Vec<RunArtifact>) {
         type Slot = Mutex<Option<(RunSummary, RunArtifact)>>;
         let next = AtomicUsize::new(0);
         let slots: Vec<Slot> = runs.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.workers.min(runs.len()).max(1);
+        let workers = self.effective_workers(runs.len());
+        // Build each distinct prior's hypothesis prototypes once; every
+        // run clones from the shared set instead of re-enumerating.
+        let priors = PriorCache::for_runs(runs);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -140,7 +239,7 @@ impl SweepRunner {
                     if i >= runs.len() {
                         break;
                     }
-                    let (summary, trace) = execute_run_traced(&runs[i]);
+                    let (summary, trace) = execute_run_traced_in(&runs[i], &priors);
                     let trace = if keep_traces {
                         trace
                     } else {
@@ -148,7 +247,7 @@ impl SweepRunner {
                     };
                     if self.verbose {
                         eprintln!(
-                            "  [{}/{}] {} {} — {}: {} sends, {} acked, {:.1}s wall",
+                            "  [{}/{}] {} {} — {}: {} sends, {} acked, {} events, {:.1}s wall",
                             i + 1,
                             runs.len(),
                             summary.sender,
@@ -156,6 +255,7 @@ impl SweepRunner {
                             summary.status.label(),
                             summary.sends,
                             summary.delivered,
+                            summary.work.events_processed,
                             summary.wall_s
                         );
                     }
@@ -177,7 +277,10 @@ impl SweepRunner {
     }
 }
 
-/// Execute one run to completion and summarize it.
+/// Execute one run to completion and summarize it, building the prior
+/// from scratch ([`SweepRunner`] shares prototypes across runs via
+/// [`PriorCache`] instead — the `perf` CLI's sweep suite measures the
+/// difference).
 pub fn execute_run(run: &RunSpec) -> RunSummary {
     execute_run_traced(run).0
 }
@@ -188,11 +291,21 @@ pub fn execute_run(run: &RunSpec) -> RunSummary {
 /// artifact for time-resolved plots and shape checks on top of the
 /// summary.
 pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, RunArtifact) {
-    let start = Instant::now();
+    execute_run_traced_in(run, &PriorCache::empty())
+}
+
+/// [`execute_run_traced`] drawing prior hypotheses from `priors` (cache
+/// misses build fresh). Wall time and work-done counters come from the
+/// `augur-perf` facade (`augur_sim::perf`): the counter delta around the
+/// run is that run's work — runs execute entirely on one thread — and is
+/// deterministic for any worker count, unlike the stopwatch reading.
+pub fn execute_run_traced_in(run: &RunSpec, priors: &PriorCache) -> (RunSummary, RunArtifact) {
+    let watch = Stopwatch::start();
+    let counters_before = perf::snapshot();
     let (mut summary, trace) = match (&run.spec.workload, &run.spec.sender) {
         (WorkloadSpec::ClosedLoop, SenderSpec::IsenderExact { .. })
         | (WorkloadSpec::ClosedLoop, SenderSpec::IsenderParticle { .. }) => {
-            closed_loop_isender(run)
+            closed_loop_isender(run, priors)
         }
         (WorkloadSpec::ClosedLoop, SenderSpec::TcpReno { .. })
         | (WorkloadSpec::ClosedLoop, SenderSpec::TcpCubic { .. }) => {
@@ -200,14 +313,15 @@ pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, RunArtifact) {
             (summary, RunArtifact::Tcp(trace))
         }
         (WorkloadSpec::ScriptedPing { interval }, _) => {
-            (scripted_ping(run, *interval), RunArtifact::None)
+            (scripted_ping(run, *interval, priors), RunArtifact::None)
         }
         (WorkloadSpec::Coexist(cx), _) => coexist_run(run, cx),
     };
+    summary.work = perf::snapshot().since(&counters_before);
     // Scripted runs meter their own wall clock (belief updates only);
     // everything else reports whole-run wall time.
     if summary.wall_s == 0.0 {
-        summary.wall_s = start.elapsed().as_secs_f64();
+        summary.wall_s = watch.elapsed_secs();
     }
     (summary, trace)
 }
@@ -239,6 +353,7 @@ fn blank_summary(run: &RunSpec) -> RunSummary {
         population: 0,
         rate_err_bps: f64::NAN,
         wall_s: 0.0,
+        work: WorkCounters::default(),
     }
 }
 
@@ -259,9 +374,19 @@ pub fn spec_ground_truth(spec: &ScenarioSpec, seed: u64) -> GroundTruth {
 /// Build the exact belief for a spec. All Figure-2 models share node ids,
 /// so the truth instance doubles as the topology probe.
 pub fn spec_belief(spec: &ScenarioSpec, max_branches: usize) -> Belief<ModelParams> {
+    spec_belief_in(spec, max_branches, &PriorCache::empty())
+}
+
+/// [`spec_belief`] drawing the prior's hypotheses from `priors` (cache
+/// misses enumerate from scratch).
+pub fn spec_belief_in(
+    spec: &ScenarioSpec,
+    max_branches: usize,
+    priors: &PriorCache,
+) -> Belief<ModelParams> {
     let probe = spec.build_truth();
     Belief::new(
-        spec.prior.hypotheses(),
+        priors.hypotheses(&spec.prior),
         probe.entry,
         probe.rx_self,
         BeliefConfig {
@@ -291,19 +416,26 @@ pub fn spec_isender(spec: &ScenarioSpec) -> ISender<ModelParams> {
     }
 }
 
-fn build_filter(spec: &ScenarioSpec, n_particles: usize, seed: u64) -> ParticleFilter<ModelParams> {
+fn build_filter(
+    spec: &ScenarioSpec,
+    n_particles: usize,
+    seed: u64,
+    priors: &PriorCache,
+) -> ParticleFilter<ModelParams> {
     let probe = spec.build_truth();
-    ParticleFilter::from_prior(
-        &spec.prior.hypotheses(),
-        probe.entry,
-        probe.rx_self,
-        ParticleConfig {
-            n_particles,
-            fold_loss_node: Some(probe.loss),
-            ..ParticleConfig::default()
-        },
-        SimRng::derive_seed(seed, STREAM_ENGINE),
-    )
+    priors.with_hypotheses(&spec.prior, |hyps| {
+        ParticleFilter::from_prior(
+            hyps,
+            probe.entry,
+            probe.rx_self,
+            ParticleConfig {
+                n_particles,
+                fold_loss_node: Some(probe.loss),
+                ..ParticleConfig::default()
+            },
+            SimRng::derive_seed(seed, STREAM_ENGINE),
+        )
+    })
 }
 
 fn utility_of(alpha: f64, latency_penalty: f64) -> Box<DiscountedThroughput> {
@@ -319,7 +451,7 @@ fn sender_config(spec: &ScenarioSpec) -> ISenderConfig {
     }
 }
 
-fn closed_loop_isender(run: &RunSpec) -> (RunSummary, RunArtifact) {
+fn closed_loop_isender(run: &RunSpec, priors: &PriorCache) -> (RunSummary, RunArtifact) {
     let spec = &run.spec;
     let mut truth = spec_ground_truth(spec, run.seed);
     let t_end = Time::ZERO + spec.duration;
@@ -333,7 +465,7 @@ fn closed_loop_isender(run: &RunSpec) -> (RunSummary, RunArtifact) {
             max_branches,
         } => {
             let mut sender = ISender::new(
-                spec_belief(spec, *max_branches),
+                spec_belief_in(spec, *max_branches, priors),
                 utility_of(*alpha, *latency_penalty),
                 sender_config(spec),
             );
@@ -351,7 +483,7 @@ fn closed_loop_isender(run: &RunSpec) -> (RunSummary, RunArtifact) {
             n_particles,
         } => {
             let mut sender = ParticleSender::new(
-                build_filter(spec, *n_particles, run.seed),
+                build_filter(spec, *n_particles, run.seed, priors),
                 utility_of(*alpha, *latency_penalty),
                 sender_config(spec),
             );
@@ -521,7 +653,7 @@ impl Engine {
 /// the belief on the resulting acknowledgments, and measure how well the
 /// posterior locates the true link rate. TCP senders have no belief to
 /// measure, so a scripted TCP spec is an authoring error.
-fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
+fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur, priors: &PriorCache) -> RunSummary {
     assert!(
         interval > augur_sim::Dur::ZERO,
         "scripted workload needs a positive interval"
@@ -529,10 +661,10 @@ fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
     let spec = &run.spec;
     let mut engine = match &spec.sender {
         SenderSpec::IsenderExact { max_branches, .. } => {
-            Engine::Exact(spec_belief(spec, *max_branches))
+            Engine::Exact(spec_belief_in(spec, *max_branches, priors))
         }
         SenderSpec::IsenderParticle { n_particles, .. } => {
-            Engine::Particle(build_filter(spec, *n_particles, run.seed))
+            Engine::Particle(build_filter(spec, *n_particles, run.seed, priors))
         }
         other => panic!(
             "scripted workload over belief-free sender {}",
@@ -579,12 +711,12 @@ fn scripted_ping(run: &RunSpec, interval: augur_sim::Dur) -> RunSummary {
         if alive {
             // Wall-clock here measures the belief update alone — the cost
             // EXT-C studies — not prior construction or truth stepping.
-            let update_start = Instant::now();
+            let update_watch = Stopwatch::start();
             alive = engine.advance(t, &acks);
             if let (true, Some(pkt)) = (alive, send) {
                 engine.inject(pkt);
             }
-            summary.wall_s += update_start.elapsed().as_secs_f64();
+            summary.wall_s += update_watch.elapsed_secs();
         }
         if let Some(pkt) = send {
             summary.sends += 1;

@@ -217,7 +217,10 @@ impl SenderSpec {
 }
 
 /// The sender's prior over network configurations.
-#[derive(Debug, Clone)]
+///
+/// `Eq + Hash` so the sweep runner's [`crate::runner::PriorCache`] can
+/// key shared hypothesis prototypes by the prior that built them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PriorSpec {
     /// The paper's Figure-2 table prior (≈4,800 configurations).
     Paper,

@@ -116,6 +116,53 @@ fn scripted_sweep_is_reproducible_across_workers() {
 }
 
 #[test]
+fn prior_cache_reuses_prototypes_without_changing_results() {
+    // The runner shares each prior's hypothesis prototypes across runs
+    // (PriorCache); executing the same runs standalone builds every
+    // prior from scratch. Results must be byte-identical — a cloned
+    // prototype is the same network a fresh enumeration would build —
+    // while the cached path builds strictly fewer networks.
+    let runs = grid(0xCAC4E).expand();
+    let cached = SweepRunner::serial().run(&runs);
+    let uncached = augur_scenario::SweepReport {
+        runs: runs.iter().map(augur_scenario::execute_run).collect(),
+    };
+    assert_eq!(
+        cached.to_csv_string(),
+        uncached.to_csv_string(),
+        "prototype reuse must not change sweep results"
+    );
+    for (c, u) in cached.runs.iter().zip(&uncached.runs) {
+        // Simulation work is identical counter-for-counter; only the
+        // network-build count may drop (prototypes built once up front
+        // instead of once per run).
+        assert_eq!(c.work.events_processed, u.work.events_processed);
+        assert_eq!(c.work.packets_forwarded, u.work.packets_forwarded);
+        assert_eq!(c.work.hypothesis_updates, u.work.hypothesis_updates);
+        assert_eq!(c.work.particle_resamples, u.work.particle_resamples);
+        assert!(c.work.networks_built <= u.work.networks_built);
+    }
+    assert!(
+        cached.total_work().networks_built < uncached.total_work().networks_built,
+        "the cache must actually remove per-run prior builds"
+    );
+}
+
+#[test]
+fn work_counters_are_deterministic_across_workers() {
+    // Per-run work counters are a pure function of the run: the same
+    // sweep on 1 and 4 workers reports identical counters run-for-run.
+    let runs = grid(0xC0DE).expand();
+    let serial = SweepRunner::serial().run(&runs);
+    let parallel = SweepRunner::with_workers(4).run(&runs);
+    for (s, p) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(s.work, p.work, "run {} work drifted with workers", s.index);
+        assert!(s.work.events_processed > 0, "closed loops process events");
+    }
+    assert_eq!(serial.total_work(), parallel.total_work());
+}
+
+#[test]
 fn coexist_sweep_is_byte_identical_across_workers() {
     // The multi-agent loop draws wake tie-breaks from the truth RNG;
     // those draws must stay inside the per-run seed stream, or worker

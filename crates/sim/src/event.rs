@@ -89,6 +89,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let e = self.heap.pop()?;
         self.popped_until = e.at;
+        crate::perf::count_event();
         Some((e.at, e.event))
     }
 

@@ -3,7 +3,8 @@
 //! This crate provides the vocabulary the rest of the system is written
 //! in: integer virtual [`Time`], integer physical units ([`BitRate`],
 //! [`Bits`], [`Ppm`]), [`Packet`]s and [`Delivery`] observations, a
-//! deterministic [`EventQueue`], and a seeded [`SimRng`].
+//! deterministic [`EventQueue`], a seeded [`SimRng`], and the always-on
+//! work counters / stopwatch of [`perf`] (re-exported by `augur-perf`).
 //!
 //! Design rules (see DESIGN.md §4.1):
 //!
@@ -15,12 +16,14 @@
 
 pub mod event;
 pub mod packet;
+pub mod perf;
 pub mod rng;
 pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
 pub use packet::{Delivery, FlowId, Packet};
+pub use perf::{Stopwatch, WorkCounters};
 pub use rng::SimRng;
 pub use time::{Dur, Time};
 pub use units::{BitRate, Bits, Ppm};

@@ -23,6 +23,13 @@ pub struct Summary {
 
 /// Summarize a sample set.
 ///
+/// The input need not be sorted (a sorted copy is made internally), but
+/// it must be non-empty — an empty sample set has no mean, extrema, or
+/// percentiles, and this function's contract is to panic rather than
+/// invent them. Callers that cannot statically guarantee non-emptiness
+/// should check first (there is deliberately no `try_summarize`: a
+/// summary of nothing has no meaningful representation).
+///
 /// # Panics
 /// Panics on an empty input.
 pub fn summarize(samples: &[f64]) -> Summary {
@@ -46,6 +53,13 @@ pub fn summarize(samples: &[f64]) -> Summary {
 
 /// Percentile (nearest-rank with linear interpolation) of pre-sorted data.
 ///
+/// **Preconditions:** `sorted` must be non-empty and ascending (NaN-free
+/// — sort with `total_cmp` first), and `pct` must lie in `[0, 100]`.
+/// `pct = 0` returns the minimum, `pct = 100` the maximum, and a rank
+/// landing between two samples interpolates linearly. Use
+/// [`try_percentile_of_sorted`] where emptiness or an out-of-range
+/// percentile is a data-dependent possibility rather than a bug.
+///
 /// # Panics
 /// Panics on empty data or a percentile outside `[0, 100]`.
 pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
@@ -54,6 +68,22 @@ pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
         (0.0..=100.0).contains(&pct),
         "percentile {pct} out of range"
     );
+    percentile_unchecked(sorted, pct)
+}
+
+/// Non-panicking [`percentile_of_sorted`]: `None` on empty data or a
+/// percentile outside `[0, 100]`, `Some` of the identical value
+/// otherwise. The perf harness summarizes measurement batches through
+/// this variant so a degenerate batch count surfaces as a missing
+/// statistic, not a panic mid-benchmark.
+pub fn try_percentile_of_sorted(sorted: &[f64], pct: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=100.0).contains(&pct) {
+        return None;
+    }
+    Some(percentile_unchecked(sorted, pct))
+}
+
+fn percentile_unchecked(sorted: &[f64], pct: f64) -> f64 {
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -85,6 +115,58 @@ mod tests {
         assert!((percentile_of_sorted(&sorted, 50.0) - 5.0).abs() < 1e-12);
         assert_eq!(percentile_of_sorted(&sorted, 0.0), 0.0);
         assert_eq!(percentile_of_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_boundaries_pin_extrema() {
+        // pct = 0 is the minimum and pct = 100 the maximum, for any
+        // sample count — no off-by-one at either rank boundary.
+        let sorted = [1.0, 2.0, 4.0, 8.0, 16.0];
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&sorted, 100.0), 16.0);
+        // A rank landing exactly between two samples interpolates at the
+        // midpoint: 75% of 4 gaps is rank 3.0 → sample 8.0; 62.5% is
+        // rank 2.5, halfway between 4.0 and 8.0.
+        assert_eq!(percentile_of_sorted(&sorted, 75.0), 8.0);
+        assert!((percentile_of_sorted(&sorted, 62.5) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element() {
+        for pct in [0.0, 37.5, 50.0, 100.0] {
+            assert_eq!(percentile_of_sorted(&[42.0], pct), 42.0);
+        }
+    }
+
+    #[test]
+    fn try_percentile_matches_panicking_variant() {
+        let sorted = [1.0, 2.0, 4.0, 8.0, 16.0];
+        for pct in [0.0, 10.0, 50.0, 62.5, 99.0, 100.0] {
+            assert_eq!(
+                try_percentile_of_sorted(&sorted, pct),
+                Some(percentile_of_sorted(&sorted, pct))
+            );
+        }
+    }
+
+    #[test]
+    fn try_percentile_rejects_bad_inputs_without_panicking() {
+        assert_eq!(try_percentile_of_sorted(&[], 50.0), None);
+        assert_eq!(try_percentile_of_sorted(&[1.0], -0.001), None);
+        assert_eq!(try_percentile_of_sorted(&[1.0], 100.001), None);
+        assert_eq!(try_percentile_of_sorted(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_rejected() {
+        let _ = percentile_of_sorted(&[1.0], 101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty data")]
+    fn percentile_of_empty_rejected() {
+        let _ = percentile_of_sorted(&[], 50.0);
     }
 
     #[test]
