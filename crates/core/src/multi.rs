@@ -40,10 +40,23 @@ pub struct MultiFlowTruth {
     pub net: Network,
     /// Injection point (the shared buffer).
     pub entry: NodeId,
+    /// Per-flow injection points for graph topologies where flows enter
+    /// the network at different nodes: flow `i` injects at `entries[i]`.
+    /// Empty means every flow shares [`MultiFlowTruth::entry`] (the
+    /// single-bottleneck shape).
+    pub entries: Vec<NodeId>,
     /// `rxs[i]` receives `FlowId(i)`.
     pub rxs: Vec<NodeId>,
     /// Sampling RNG — network choices *and* wake tie-breaks draw from it.
     pub rng: SimRng,
+}
+
+impl MultiFlowTruth {
+    /// Where flow `i` enters the network: its dedicated entry if one was
+    /// declared, the shared entry otherwise.
+    pub fn entry_for(&self, flow: usize) -> NodeId {
+        self.entries.get(flow).copied().unwrap_or(self.entry)
+    }
 }
 
 /// Build `buffer → link → loss → diverter(0) → rx_0 / diverter(1) → …`
@@ -90,6 +103,7 @@ pub fn build_shared_bottleneck(
     MultiFlowTruth {
         net: b.build(),
         entry: buf,
+        entries: Vec::new(),
         rxs,
         rng: SimRng::seed_from_u64(seed),
     }
@@ -129,7 +143,9 @@ fn harvest(
 
 /// Run N agents over a shared ground truth until `t_end`; returns one
 /// [`RunTrace`] per agent (same order). Agent `i`'s packets are
-/// re-stamped to `FlowId(i)` on injection, so every agent may keep
+/// re-stamped to `FlowId(i)` on injection and injected at the truth's
+/// per-flow entry ([`MultiFlowTruth::entry_for`], so graph topologies
+/// can start each flow at its own source node), so every agent may keep
 /// believing it is [`FlowId::SELF`] internally — the loop owns wire
 /// identity, exactly as the single-sender loop owns injection.
 ///
@@ -207,7 +223,7 @@ pub fn run_multi_agent(
         for pkt in &outcome.sent {
             let pkt = Packet::new(flow, pkt.seq, pkt.size, t_wake);
             traces[i].sends.push((pkt.seq, t_wake));
-            truth.net.inject(truth.entry, pkt);
+            truth.net.inject(truth.entry_for(i), pkt);
             // Injection may stop at a stochastic element reached
             // synchronously; resolve by sampling.
             truth.net.run_until_sampled(t_wake, &mut truth.rng);

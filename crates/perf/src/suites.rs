@@ -14,17 +14,19 @@ use augur_scenario::{
     execute_run, presets, traces, Axis, PriorSpec, RunSpec, ScenarioSpec, SenderSpec, SweepGrid,
     SweepRunner, TopologySpec, WorkloadSpec,
 };
-use augur_sim::{Bits, Dur, EventQueue, SimRng, Time, WorkCounters};
+use augur_sim::perf;
+use augur_sim::{BitRate, Bits, Dur, EventQueue, SimRng, Time, WorkCounters};
 use std::hint::black_box;
 
 /// Every suite name, in the order `perf all` runs them.
-pub const NAMES: [&str; 6] = [
+pub const NAMES: [&str; 7] = [
     "event-queue",
     "rate-trace",
     "belief-update",
     "sweep-fig3",
     "sweep-replay",
     "prior-reuse",
+    "topo-route",
 ];
 
 /// Run a named suite. `quick` shrinks workloads to CI-smoke size.
@@ -36,6 +38,7 @@ pub fn run(name: &str, quick: bool) -> Option<SuiteReport> {
         "sweep-fig3" => sweep_fig3(quick),
         "sweep-replay" => sweep_replay(quick),
         "prior-reuse" => prior_reuse(quick),
+        "topo-route" => topo_route(quick),
         _ => return None,
     })
 }
@@ -276,6 +279,65 @@ fn sweep_replay(quick: bool) -> SuiteReport {
     }));
     let serial = report.find("serial").expect("measured");
     report.derive("runs_per_sec", n_runs as f64 / serial.secs_per_iter.median);
+    report
+}
+
+/// Multi-bottleneck topology routing: compile throughput of the largest
+/// shipped builder (a k=4 fat-tree, 36 switches/hosts and 96 links) and
+/// end-to-end forwarding work of both shipped graph presets, whose
+/// packets route through per-link diverter chains. `packets_forwarded`
+/// is the pinned counter — any change to the compiled element layout or
+/// the routing fast path moves it.
+fn topo_route(quick: bool) -> SuiteReport {
+    let compiles = if quick { 20 } else { 200 };
+    let duration = Dur::from_secs(if quick { 5 } else { 30 });
+    let branches = if quick { 256 } else { 2_000 };
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("topo-route", mode(quick));
+    report.results.push(b.measure("fat-tree-compile", move || {
+        let before = perf::snapshot();
+        for _ in 0..compiles {
+            let topo = augur_topo::fat_tree(
+                4,
+                &[(0, 15), (1, 2), (4, 6), (8, 9)],
+                BitRate::from_bps(96_000),
+                Dur::from_millis(1),
+                Bits::new(96_000),
+                Bits::from_bytes(1_500),
+            );
+            black_box(augur_topo::compile(&topo).expect("shipped builder compiles"));
+        }
+        perf::snapshot().since(&before)
+    }));
+    for (name, runs) in [
+        (
+            "dumbbell-cross",
+            presets::dumbbell_cross(duration, 2, branches).expand(),
+        ),
+        (
+            "parking-lot",
+            presets::parking_lot(duration, 2, branches).expand(),
+        ),
+    ] {
+        report
+            .results
+            .push(b.measure(name, move || SweepRunner::serial().run(&runs).total_work()));
+    }
+    let forwarded: u64 = ["dumbbell-cross", "parking-lot"]
+        .iter()
+        .map(|n| {
+            report
+                .find(n)
+                .expect("measured")
+                .work_per_batch
+                .packets_forwarded
+        })
+        .sum();
+    let secs: f64 = ["dumbbell-cross", "parking-lot"]
+        .iter()
+        .map(|n| report.find(n).expect("measured").secs_per_iter.median)
+        .sum();
+    report.derive("forwards_per_sec", forwarded as f64 / secs);
     report
 }
 

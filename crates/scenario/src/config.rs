@@ -28,6 +28,7 @@ use crate::traces;
 use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
 use augur_inference::ModelPrior;
 use augur_sim::{BitRate, Bits, Dur, Ppm};
+use augur_topo::{FlowSpec, GraphTopology, LinkSpec};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -962,6 +963,50 @@ fn decode_queue(v: &Value) -> Result<QueueSpec, ConfigError> {
     Ok(queue)
 }
 
+/// One `{ name, from, to, bps, delay_s, buffer_bits[, queue] }` link of
+/// a graph topology; `queue` defaults to drop-tail.
+fn decode_link(v: &Value, what: &str) -> Result<LinkSpec, ConfigError> {
+    let t = expect_table(v, what)?;
+    let at = (v.line, v.col);
+    let mut d = Dec::new(t, what);
+    let link = LinkSpec {
+        name: expect_str(&d.req("name", at)?.value, "name")?.to_string(),
+        from: expect_str(&d.req("from", at)?.value, "from")?.to_string(),
+        to: expect_str(&d.req("to", at)?.value, "to")?.to_string(),
+        rate: expect_rate_bps(&d.req("bps", at)?.value, "bps")?,
+        delay: dur_s(&d.req("delay_s", at)?.value, "delay_s")?,
+        buffer: Bits::new(expect_u64(&d.req("buffer_bits", at)?.value, "buffer_bits")?),
+        queue: match d.get("queue") {
+            Some(e) => decode_queue(&e.value)?,
+            None => QueueSpec::DropTail,
+        },
+    };
+    d.finish()?;
+    Ok(link)
+}
+
+/// One `{ name, class, src, dst[, path] }` flow of a graph topology;
+/// without `path` the compiler routes it over the fewest hops.
+fn decode_flow(v: &Value, what: &str) -> Result<FlowSpec, ConfigError> {
+    let t = expect_table(v, what)?;
+    let at = (v.line, v.col);
+    let mut d = Dec::new(t, what);
+    let flow = FlowSpec {
+        name: expect_str(&d.req("name", at)?.value, "name")?.to_string(),
+        class: expect_str(&d.req("class", at)?.value, "class")?.to_string(),
+        src: expect_str(&d.req("src", at)?.value, "src")?.to_string(),
+        dst: expect_str(&d.req("dst", at)?.value, "dst")?.to_string(),
+        path: match d.get("path") {
+            Some(e) => Some(map_array(e, |v, what| {
+                expect_str(v, what).map(str::to_string)
+            })?),
+            None => None,
+        },
+    };
+    d.finish()?;
+    Ok(flow)
+}
+
 fn decode_topology(
     t: &Table,
     at: (u32, u32),
@@ -1012,11 +1057,31 @@ fn decode_topology(
             },
             queue: decode_queue(&d.req("queue", at)?.value)?,
         },
+        "graph" => {
+            let g = GraphTopology {
+                nodes: map_array(d.req("nodes", at)?, |v, what| {
+                    expect_str(v, what).map(str::to_string)
+                })?,
+                links: map_array(d.req("links", at)?, decode_link)?,
+                flows: map_array(d.req("flows", at)?, decode_flow)?,
+                packet_size: Bits::new(expect_u64(
+                    &d.req("packet_bits", at)?.value,
+                    "packet_bits",
+                )?),
+            };
+            // Routing problems (unknown nodes, cycles, unreachable
+            // destinations, …) are authoring errors: surface them here,
+            // at `--check` time, not as a runner panic mid-sweep.
+            if let Err(e) = augur_topo::validate(&g) {
+                return err(at.0, at.1, format!("invalid graph topology: {e}"));
+            }
+            TopologySpec::Graph(g)
+        }
         other => {
             return err(
                 kind_e.value.line,
                 kind_e.value.col,
-                format!("unknown topology kind `{other}` (expected model, cellular)"),
+                format!("unknown topology kind `{other}` (expected model, cellular, graph)"),
             )
         }
     };
@@ -1343,45 +1408,133 @@ pub fn parse_grid_at(src: &str, base: Option<&Path>) -> Result<SweepGrid, Config
     // Cross-section validation the per-table decoders cannot see: only
     // TCP bulk transfers run over the cellular path (the ISender's
     // priors and the coexist/scripted harnesses all describe the model
-    // family), so reject those combinations here rather than letting
-    // the runner panic mid-sweep.
-    if matches!(topology, TopologySpec::Cellular { .. }) {
-        let tcp_only =
-            |s: &SenderSpec| matches!(s, SenderSpec::TcpReno { .. } | SenderSpec::TcpCubic { .. });
-        if !tcp_only(&sender) {
-            return err(
-                sender_e.value.line,
-                sender_e.value.col,
-                format!(
-                    "sender kind `{}` cannot run over a cellular topology (only tcp-reno / \
-                     tcp-cubic can)",
-                    sender.label()
-                ),
-            );
-        }
-        if !matches!(workload, WorkloadSpec::ClosedLoop) {
-            return err(
-                workload_e.value.line,
-                workload_e.value.col,
-                "cellular topologies only support the closed-loop workload",
-            );
-        }
-        for (axis, t) in axes.iter().zip(axis_tables(&root)) {
-            if let Axis::Sender(senders) = axis {
-                if let Some(bad) = senders.iter().find(|s| !tcp_only(s)) {
-                    return err(
-                        t.line,
-                        t.col,
-                        format!(
-                            "sender axis value `{}` cannot run over a cellular topology",
-                            bad.label()
-                        ),
-                    );
+    // family), and graph topologies drive exactly one agent per declared
+    // flow, so reject bad combinations here rather than letting the
+    // runner panic mid-sweep.
+    match &topology {
+        TopologySpec::Cellular { .. } => {
+            let tcp_only = |s: &SenderSpec| {
+                matches!(s, SenderSpec::TcpReno { .. } | SenderSpec::TcpCubic { .. })
+            };
+            if !tcp_only(&sender) {
+                return err(
+                    sender_e.value.line,
+                    sender_e.value.col,
+                    format!(
+                        "sender kind `{}` cannot run over a cellular topology (only tcp-reno / \
+                         tcp-cubic can)",
+                        sender.label()
+                    ),
+                );
+            }
+            if !matches!(workload, WorkloadSpec::ClosedLoop) {
+                return err(
+                    workload_e.value.line,
+                    workload_e.value.col,
+                    "cellular topologies only support the closed-loop workload",
+                );
+            }
+            for (axis, t) in axes.iter().zip(axis_tables(&root)) {
+                if let Axis::Sender(senders) = axis {
+                    if let Some(bad) = senders.iter().find(|s| !tcp_only(s)) {
+                        return err(
+                            t.line,
+                            t.col,
+                            format!(
+                                "sender axis value `{}` cannot run over a cellular topology",
+                                bad.label()
+                            ),
+                        );
+                    }
                 }
             }
         }
-    } else {
-        for (axis, t) in axes.iter().zip(axis_tables(&root)) {
+        TopologySpec::Graph(g) => {
+            let exact = |s: &SenderSpec| matches!(s, SenderSpec::IsenderExact { .. });
+            if !exact(&sender) {
+                return err(
+                    sender_e.value.line,
+                    sender_e.value.col,
+                    format!(
+                        "sender kind `{}` cannot drive a graph topology's primary flow (the \
+                         multi-flow harness needs an exact-belief isender)",
+                        sender.label()
+                    ),
+                );
+            }
+            match &workload {
+                WorkloadSpec::Coexist(cx) => {
+                    if 1 + cx.peers.len() != g.flows.len() {
+                        return err(
+                            workload_e.value.line,
+                            workload_e.value.col,
+                            format!(
+                                "graph topology declares {} flows but this workload drives {} \
+                                 agents (primary + {} peers)",
+                                g.flows.len(),
+                                1 + cx.peers.len(),
+                                cx.peers.len()
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    return err(
+                        workload_e.value.line,
+                        workload_e.value.col,
+                        "graph topologies only support the coexist workload (one agent per \
+                         declared flow)",
+                    )
+                }
+            }
+            for (axis, t) in axes.iter().zip(axis_tables(&root)) {
+                match axis {
+                    Axis::Sender(senders) => {
+                        if let Some(bad) = senders.iter().find(|s| !exact(s)) {
+                            return err(
+                                t.line,
+                                t.col,
+                                format!(
+                                    "sender axis value `{}` cannot drive a graph topology's \
+                                     primary flow",
+                                    bad.label()
+                                ),
+                            );
+                        }
+                    }
+                    Axis::Peer(_) if g.flows.len() != 2 => {
+                        return err(
+                            t.line,
+                            t.col,
+                            format!(
+                                "a peer axis replaces the peer list with one peer, but this \
+                                 graph topology declares {} flows (needs exactly 2)",
+                                g.flows.len()
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        TopologySpec::Model(_) => {}
+    }
+    for (axis, t) in axes.iter().zip(axis_tables(&root)) {
+        // Axes that tweak a knob only one topology family has.
+        let model_only = match axis {
+            Axis::LinkRate(_) => Some("a link_bps axis"),
+            Axis::CrossRate(_) => Some("a cross_bps axis"),
+            Axis::BufferCapacity(_) => Some("a buffer_bits axis"),
+            Axis::InitialFullness(_) => Some("a fullness_bits axis"),
+            Axis::Loss(_) => Some("a loss_ppm axis"),
+            _ => None,
+        };
+        if let Some(what) = model_only {
+            if let Err(msg) = topology.try_model(what) {
+                return err(t.line, t.col, msg);
+            }
+        }
+        if !matches!(topology, TopologySpec::Cellular { .. }) {
             let cellular_only = match axis {
                 Axis::RateTrace(_) => Some("rate-trace"),
                 Axis::Queue(_) => Some("queue"),
@@ -1778,6 +1931,61 @@ pub fn grid_to_toml(grid: &SweepGrid) -> String {
                 fmt_queue(queue),
             );
         }
+        TopologySpec::Graph(g) => {
+            let _ = writeln!(
+                out,
+                "kind = \"graph\"\npacket_bits = {}\nnodes = [{}]",
+                g.packet_size.as_u64(),
+                g.nodes
+                    .iter()
+                    .map(|n| fmt_str(n))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push_str("links = [\n");
+            for l in &g.links {
+                let _ = write!(
+                    out,
+                    "  {{ name = {}, from = {}, to = {}, bps = {}, delay_s = {}, \
+                     buffer_bits = {}",
+                    fmt_str(&l.name),
+                    fmt_str(&l.from),
+                    fmt_str(&l.to),
+                    l.rate.as_bps(),
+                    fmt_dur(l.delay),
+                    l.buffer.as_u64(),
+                );
+                // Drop-tail is the decode-side default; emitting it
+                // anyway would only widen the lines.
+                if l.queue != QueueSpec::DropTail {
+                    let _ = write!(out, ", queue = {}", fmt_queue(&l.queue));
+                }
+                out.push_str(" },\n");
+            }
+            out.push_str("]\nflows = [\n");
+            for f in &g.flows {
+                let _ = write!(
+                    out,
+                    "  {{ name = {}, class = {}, src = {}, dst = {}",
+                    fmt_str(&f.name),
+                    fmt_str(&f.class),
+                    fmt_str(&f.src),
+                    fmt_str(&f.dst),
+                );
+                if let Some(path) = &f.path {
+                    let _ = write!(
+                        out,
+                        ", path = [{}]",
+                        path.iter()
+                            .map(|n| fmt_str(n))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                out.push_str(" },\n");
+            }
+            out.push_str("]\n");
+        }
     }
 
     out.push_str("\n[prior]\n");
@@ -2003,6 +2211,130 @@ mod tests {
         assert!(
             e.message
                 .contains("`isender-exact` cannot run over a cellular topology"),
+            "got: {e}"
+        );
+    }
+
+    /// A two-flow line graph (a → b → c) for the graph decode tests,
+    /// with splice points for the flow list, workload, and a trailing
+    /// axis.
+    fn graph_spec(flows: &str, workload: &str, extra: &str) -> String {
+        format!(
+            "[scenario]\n\
+             name = \"g\"\n\
+             duration_s = 1.0\n\
+             base_seed = 1\n\
+             \n\
+             [topology]\n\
+             kind = \"graph\"\n\
+             packet_bits = 12000\n\
+             nodes = [\"a\", \"b\", \"c\"]\n\
+             links = [\n\
+             \x20 {{ name = \"ab\", from = \"a\", to = \"b\", bps = 24000, delay_s = 0.0, buffer_bits = 96000 }},\n\
+             \x20 {{ name = \"ba\", from = \"b\", to = \"a\", bps = 24000, delay_s = 0.0, buffer_bits = 96000 }},\n\
+             \x20 {{ name = \"bc\", from = \"b\", to = \"c\", bps = 24000, delay_s = 0.0, buffer_bits = 96000 }},\n\
+             ]\n\
+             flows = [\n{flows}\n]\n\
+             \n\
+             [prior]\n\
+             kind = \"small\"\n\
+             \n\
+             [sender]\n\
+             kind = \"isender-exact\"\n\
+             alpha = 1.0\n\
+             latency_penalty = 0.0\n\
+             max_branches = 100\n\
+             \n\
+             [workload]\n{workload}\n{extra}"
+        )
+    }
+
+    const LINE_FLOWS: &str =
+        "  { name = \"f0\", class = \"primary\", src = \"a\", dst = \"c\" },\n\
+                              \x20 { name = \"f1\", class = \"cross\", src = \"b\", dst = \"c\" },";
+    const ONE_PEER: &str =
+        "kind = \"coexist\"\npeers = [\n  { kind = \"aimd\", timeout_s = 8.0 },\n]";
+
+    #[test]
+    fn graph_spec_parses_and_round_trips() {
+        let grid = parse_grid(&graph_spec(LINE_FLOWS, ONE_PEER, "")).unwrap();
+        assert!(matches!(grid.base.topology, TopologySpec::Graph(_)));
+        assert_grid_eq(&grid, &parse_grid(&grid_to_toml(&grid)).unwrap());
+    }
+
+    #[test]
+    fn graph_unreachable_destination_names_the_flow() {
+        // No link leaves c, so c → a cannot route.
+        let flows = LINE_FLOWS.replace("src = \"b\", dst = \"c\"", "src = \"c\", dst = \"a\"");
+        let e = parse_grid(&graph_spec(&flows, ONE_PEER, "")).unwrap_err();
+        assert!(
+            e.message
+                .contains("flow \"f1\": destination \"a\" is unreachable from \"c\""),
+            "got: {e}"
+        );
+        assert!(e.line > 0, "topology errors carry a position");
+    }
+
+    #[test]
+    fn graph_routing_cycle_names_the_flow_and_node() {
+        // An explicit path that revisits a node is a routing cycle, not
+        // a runtime assert in Network::route.
+        let flows = LINE_FLOWS.replace(
+            "{ name = \"f0\", class = \"primary\", src = \"a\", dst = \"c\" }",
+            "{ name = \"f0\", class = \"primary\", src = \"a\", dst = \"c\", \
+             path = [\"a\", \"b\", \"a\", \"b\", \"c\"] }",
+        );
+        let e = parse_grid(&graph_spec(&flows, ONE_PEER, "")).unwrap_err();
+        assert!(
+            e.message
+                .contains("routing cycle: flow \"f0\" visits node \"a\" twice"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn graph_flow_count_must_match_the_agent_count() {
+        let peers = ONE_PEER.replace(
+            "peers = [\n  { kind = \"aimd\", timeout_s = 8.0 },",
+            "peers = [\n  { kind = \"aimd\", timeout_s = 8.0 },\n\
+             \x20 { kind = \"aimd\", timeout_s = 8.0 },",
+        );
+        let e = parse_grid(&graph_spec(LINE_FLOWS, &peers, "")).unwrap_err();
+        assert!(
+            e.message
+                .contains("declares 2 flows but this workload drives 3 agents"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn graph_rejects_non_coexist_workloads() {
+        let e = parse_grid(&graph_spec(
+            LINE_FLOWS,
+            "kind = \"scripted-ping\"\ninterval_s = 1.0",
+            "",
+        ))
+        .unwrap_err();
+        assert!(
+            e.message
+                .contains("graph topologies only support the coexist workload"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn model_only_axis_over_graph_is_rejected_at_decode_time() {
+        // Pre-`try_model` this panicked inside `Axis::apply` mid-sweep;
+        // now it is a positioned spec error at --check time.
+        let e = parse_grid(&graph_spec(
+            LINE_FLOWS,
+            ONE_PEER,
+            "\n[[axis]]\nkind = \"link-rate\"\nvalues = [24000, 48000]\n",
+        ))
+        .unwrap_err();
+        assert!(
+            e.message
+                .contains("a link_bps axis requires a model topology, got graph"),
             "got: {e}"
         );
     }

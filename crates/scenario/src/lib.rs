@@ -41,6 +41,7 @@ pub mod runner;
 pub mod spec;
 pub mod traces;
 
+pub use augur_topo::{FlowSpec, GraphTopology, LinkSpec};
 pub use config::{grid_to_toml, load_grid, parse_grid, parse_grid_at, ConfigError};
 pub use grid::{Axis, RunSpec, SweepGrid};
 pub use report::{RunStatus, RunSummary, SweepReport};

@@ -10,11 +10,12 @@ use crate::traces;
 use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
 use augur_inference::ModelPrior;
 use augur_sim::{BitRate, Bits, Dur, Ppm};
+use augur_topo::GraphTopology;
 
 /// Every named preset, in the order `--export-specs` writes them. Each
 /// name doubles as the canonical spec file stem under
 /// `experiments/specs/` and the default CSV stem under `experiments/`.
-pub const NAMES: [&str; 11] = [
+pub const NAMES: [&str; 13] = [
     "fig1",
     "fig3",
     "tab1",
@@ -26,6 +27,8 @@ pub const NAMES: [&str; 11] = [
     "coexist-vs-tcp",
     "ext-aqm",
     "replay-cellular",
+    "dumbbell-cross",
+    "parking-lot",
 ];
 
 /// The canonical grid for a preset name, at the documented default
@@ -44,6 +47,8 @@ pub fn by_name(name: &str) -> Option<SweepGrid> {
         "coexist-vs-tcp" => coexist_vs_tcp(Dur::from_secs(60), 2, 50_000),
         "ext-aqm" => ext_aqm(Dur::from_secs(120)),
         "replay-cellular" => replay_cellular(Dur::from_secs(60)),
+        "dumbbell-cross" => dumbbell_cross(Dur::from_secs(60), 4, 50_000),
+        "parking-lot" => parking_lot(Dur::from_secs(60), 4, 50_000),
         _ => return None,
     })
 }
@@ -114,6 +119,73 @@ pub fn coexist_vs_tcp(duration: Dur, replicates: usize, max_branches: usize) -> 
             PeerSpec::TcpCubic { max_window: 64 },
         ]))
         .axis(Axis::Seeds(replicates))
+}
+
+/// The shared base of the graph-topology presets: the given topology's
+/// flow 0 is an α = 1 exact ISender (its coexistence prior is derived
+/// from its route's bottleneck link, so `prior` here is inert) and every
+/// other declared flow is an AIMD competitor.
+fn graph_base(
+    name: &str,
+    topology: GraphTopology,
+    duration: Dur,
+    max_branches: usize,
+    base_seed: u64,
+) -> ScenarioSpec {
+    let peers = vec![
+        PeerSpec::Aimd {
+            timeout: Dur::from_secs(8),
+        };
+        topology.flows.len() - 1
+    ];
+    ScenarioSpec {
+        name: name.into(),
+        topology: TopologySpec::Graph(topology),
+        prior: PriorSpec::Small,
+        sender: SenderSpec::IsenderExact {
+            alpha: 1.0,
+            latency_penalty: 0.0,
+            max_branches,
+        },
+        workload: WorkloadSpec::Coexist(CoexistSpec { peers }),
+        duration,
+        base_seed,
+    }
+}
+
+/// EXT-E: a three-pair dumbbell — the exact ISender and two AIMD cross
+/// flows colliding in one shared 24 kbit/s bottleneck queue behind fast
+/// access links — across seed replicates. The report's
+/// `class_goodput_bps` column splits goodput into the `primary` and
+/// `cross` classes.
+pub fn dumbbell_cross(duration: Dur, replicates: usize, max_branches: usize) -> SweepGrid {
+    let topo = augur_topo::dumbbell(
+        3,
+        BitRate::from_bps(96_000),
+        BitRate::from_bps(24_000),
+        Dur::from_millis(20),
+        Bits::new(96_000),
+        Bits::from_bytes(1_500),
+    );
+    let base = graph_base("dumbbell-cross", topo, duration, max_branches, 0xD0BB);
+    SweepGrid::new(base).axis(Axis::Seeds(replicates))
+}
+
+/// EXT-F: a three-hop parking lot — the exact ISender drives the `long`
+/// flow across all three 24 kbit/s links while an AIMD `short` flow
+/// competes on each hop — across seed replicates. The Jain and
+/// `class_goodput_bps` columns expose the long flow's multi-bottleneck
+/// disadvantage.
+pub fn parking_lot(duration: Dur, replicates: usize, max_branches: usize) -> SweepGrid {
+    let topo = augur_topo::parking_lot(
+        3,
+        BitRate::from_bps(24_000),
+        Dur::from_millis(10),
+        Bits::new(96_000),
+        Bits::from_bytes(1_500),
+    );
+    let base = graph_base("parking-lot", topo, duration, max_branches, 0x9A51);
+    SweepGrid::new(base).axis(Axis::Seeds(replicates))
 }
 
 /// Figure 3: one 300 s closed-loop run per α ∈ {0.9, 1, 2.5, 5} over the

@@ -90,6 +90,11 @@ pub struct RunSummary {
     pub population: u64,
     /// Scripted workloads: |posterior mean link rate − truth| in bits/s.
     pub rate_err_bps: f64,
+    /// Graph-topology runs: aggregate goodput per declared flow class,
+    /// formatted `class=bits_per_s` space-joined in class declaration
+    /// order (e.g. `long=4800.000 short=9600.000`); empty for
+    /// single-bottleneck runs.
+    pub class_goodput: String,
     /// Wall-clock seconds spent in the run (diagnostic only; excluded
     /// from exports).
     pub wall_s: f64,
@@ -108,7 +113,7 @@ pub struct SweepReport {
 }
 
 /// The export column set, in order.
-pub const COLUMNS: [&str; 22] = [
+pub const COLUMNS: [&str; 23] = [
     "index",
     "scenario",
     "sender",
@@ -131,6 +136,7 @@ pub const COLUMNS: [&str; 22] = [
     "utility",
     "overflow_drops",
     "rate_err_bps",
+    "class_goodput_bps",
 ];
 
 impl SweepReport {
@@ -162,6 +168,7 @@ impl SweepReport {
                 Cell::Num(r.utility),
                 Cell::Int(r.overflow_drops),
                 Cell::Num(r.rate_err_bps),
+                Cell::Str(r.class_goodput.clone()),
             ]);
         }
         t
@@ -263,6 +270,7 @@ mod tests {
             overflow_drops: 0,
             population: 8,
             rate_err_bps: f64::NAN,
+            class_goodput: String::new(),
             wall_s: 0.123,
             work: WorkCounters {
                 events_processed: 9_999_991,
@@ -289,8 +297,9 @@ mod tests {
             "work counters must not leak into exports"
         );
         assert_eq!(report.total_work().events_processed, 2 * 9_999_991);
-        // NaN serializes as missing.
-        assert!(lines[1].ends_with(",0,"));
+        // NaN serializes as missing; the trailing class column is empty
+        // for single-bottleneck runs.
+        assert!(lines[1].ends_with(",0,,"));
     }
 
     #[test]

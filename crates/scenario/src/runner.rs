@@ -15,8 +15,8 @@ use crate::spec::{
 };
 use augur_core::{
     build_shared_bottleneck, coexist_belief, jain_index, run_closed_loop, run_multi_agent,
-    AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, ParticleSender,
-    RestartingSender, RunTrace, SenderAgent, Utility, WakeOutcome,
+    AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, MultiFlowTruth,
+    ParticleSender, RestartingSender, RunTrace, SenderAgent, Utility, WakeOutcome,
 };
 use augur_elements::{build_cellular_with_buffer, DropReason, ModelParams};
 use augur_inference::{
@@ -352,6 +352,7 @@ fn blank_summary(run: &RunSpec) -> RunSummary {
         overflow_drops: 0,
         population: 0,
         rate_err_bps: f64::NAN,
+        class_goodput: String::new(),
         wall_s: 0.0,
         work: WorkCounters::default(),
     }
@@ -573,6 +574,11 @@ fn closed_loop_tcp(run: &RunSpec) -> (RunSummary, TcpTrace) {
             let mut runner =
                 TcpRunner::with_congestion_control(cell.net, cell.entry, cell.rx, cfg, seed, cc);
             runner.run(t_end)
+        }
+        // Spec decoding rejects tcp senders over graph topologies; the
+        // multi-flow path is `coexist_graph_run` (TCP peers included).
+        TopologySpec::Graph(_) => {
+            panic!("tcp senders run over model or cellular topologies, not a graph")
         }
     };
 
@@ -809,18 +815,26 @@ enum PeerAgent {
     Tcp(TcpPeerAgent),
 }
 
-/// N senders over one bottleneck (§3.5), via the multi-agent loop. Flow
+/// N senders sharing one network (§3.5), via the multi-agent loop. Flow
 /// A is the scenario's sender; peer `i` of the [`CoexistSpec`] transmits
-/// as flow `i + 1`. The shared link/buffer/loss come from the spec's
-/// topology and the primary's prior is the dedicated coexistence prior.
+/// as flow `i + 1`. Model topologies build the single shared bottleneck;
+/// graph topologies compile their declared multi-bottleneck network, one
+/// agent per declared flow.
 fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, RunArtifact) {
-    let spec = &run.spec;
-    let topology = spec.topology.model("coexist workload");
     assert!(
         !cx.peers.is_empty(),
         "coexist workload needs at least one peer"
     );
-    let (alpha, latency_penalty, max_branches) = match spec.sender {
+    match &run.spec.topology {
+        TopologySpec::Graph(g) => coexist_graph_run(run, cx, g),
+        _ => coexist_model_run(run, cx),
+    }
+}
+
+/// The coexistence primary's knobs; the primary must be an exact-belief
+/// ISender (its prior is the dedicated coexistence prior).
+fn coexist_primary_knobs(spec: &ScenarioSpec) -> (f64, f64, usize) {
+    match spec.sender {
         SenderSpec::IsenderExact {
             alpha,
             latency_penalty,
@@ -830,16 +844,85 @@ fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, RunArtifact) {
             "coexist workload needs an exact-belief ISender primary, got {}",
             other.label()
         ),
-    };
-    // The coexistence prior models the competitor as a pinger of
-    // 1500-byte packets and grids buffer fullness in 1500-byte steps; a
-    // different wire packet size would make the reported restart counts
-    // measure that mismatch instead of the adaptive-peer misfit.
+    }
+}
+
+// The coexistence prior models the competitor as a pinger of 1500-byte
+// packets and grids buffer fullness in 1500-byte steps; a different wire
+// packet size would make the reported restart counts measure that
+// mismatch instead of the adaptive-peer misfit.
+fn assert_coexist_packet(packet_size: augur_sim::Bits) {
     assert_eq!(
-        topology.packet_size,
+        packet_size,
         augur_sim::Bits::from_bytes(1_500),
         "coexist workload requires 1500-byte packets (the coexistence prior's grid)"
     );
+}
+
+/// Shared multi-flow summarization: per-flow unique-bits goodput
+/// (loss-based peers retransmit, and a duplicate delivery of an
+/// already-received segment is not useful throughput — the single-sender
+/// TCP path dedups the same way via the endpoint's in-order accounting),
+/// Jain fairness over every flow, overflow drops across flows, and the
+/// primary's delay percentiles. Returns the per-flow rates and the
+/// primary's trace.
+fn summarize_multi_flow(
+    summary: &mut RunSummary,
+    mut traces: Vec<RunTrace>,
+    dur_s: f64,
+    pkt_bits: f64,
+    alpha: f64,
+) -> (Vec<f64>, RunTrace) {
+    let unique_bits = |trace: &RunTrace| {
+        let mut seen = std::collections::HashSet::new();
+        trace.acks.iter().filter(|o| seen.insert(o.seq)).count() as f64 * pkt_bits
+    };
+    let rates: Vec<f64> = traces.iter().map(|t| unique_bits(t) / dur_s).collect();
+    let ra = rates[0];
+    let rb: f64 = rates[1..].iter().sum();
+    summary.sends = traces[0].sends.len() as u64;
+    summary.delivered = traces[0].acks.len() as u64;
+    summary.throughput_pps = summary.delivered as f64 / dur_s;
+    summary.goodput_bps = ra;
+    summary.goodput_b_bps = rb;
+    summary.jain = jain_index(&rates);
+    summary.utility = ra + alpha * rb;
+    summary.overflow_drops = traces
+        .iter()
+        .flat_map(|t| t.drops.iter())
+        .filter(|d| d.reason == DropReason::BufferFull)
+        .count() as u64;
+    let send_at: HashMap<u64, Time> = traces[0].sends.iter().map(|&(seq, t)| (seq, t)).collect();
+    let mut delays: Vec<f64> = traces[0]
+        .acks
+        .iter()
+        .filter_map(|o| send_at.get(&o.seq).map(|t| o.at.since(*t).as_secs_f64()))
+        .collect();
+    delays.sort_by(|a, b| a.total_cmp(b));
+    set_delay_percentiles(summary, &delays);
+    let trace_a = traces.swap_remove(0);
+    (rates, trace_a)
+}
+
+/// Sum of belief restarts across the peer agents (0 for belief-free
+/// peers).
+fn peer_restarts(peers: &[PeerAgent]) -> u64 {
+    peers
+        .iter()
+        .map(|p| match p {
+            PeerAgent::Model(m) => m.restarts as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Coexistence over the single shared bottleneck built from the model
+/// topology's link rate, buffer capacity, and loss.
+fn coexist_model_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, RunArtifact) {
+    let spec = &run.spec;
+    let topology = spec.topology.model("coexist workload");
+    let (alpha, latency_penalty, max_branches) = coexist_primary_knobs(spec);
+    assert_coexist_packet(topology.packet_size);
     let link_bps = topology.link_rate.as_bps();
     let buffer_bits = topology.buffer_capacity.as_u64();
     let mut truth = build_shared_bottleneck(
@@ -881,70 +964,23 @@ fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, RunArtifact) {
         .collect();
 
     let t_end = Time::ZERO + spec.duration;
-    let result = {
-        let mut agents: Vec<&mut dyn SenderAgent> = Vec::with_capacity(1 + peers.len());
-        agents.push(&mut primary);
-        for p in &mut peers {
-            agents.push(match p {
-                PeerAgent::Model(m) => m,
-                PeerAgent::Aimd(a) => a,
-                PeerAgent::Tcp(t) => t,
-            });
-        }
-        run_multi_agent(&mut truth, &mut agents, t_end)
-    };
+    let result = run_agents(&mut truth, &mut primary, &mut peers, t_end);
 
     let mut summary = blank_summary(run);
     summary.peer = cx.label();
     summary.population = primary.population() as u64;
     match result {
-        Ok(mut traces) => {
+        Ok(traces) => {
             let dur_s = spec.duration.as_secs_f64();
-            // Goodput counts each sequence number once: loss-based peers
-            // retransmit, and a duplicate delivery of an already-received
-            // segment is not useful throughput (the single-sender TCP
-            // path dedups the same way via the endpoint's in-order
-            // accounting).
-            let pkt_bits = topology.packet_size.as_f64();
-            let unique_bits = |trace: &RunTrace| {
-                let mut seen = std::collections::HashSet::new();
-                trace.acks.iter().filter(|o| seen.insert(o.seq)).count() as f64 * pkt_bits
-            };
-            let rates: Vec<f64> = traces.iter().map(|t| unique_bits(t) / dur_s).collect();
-            let ra = rates[0];
-            let rb: f64 = rates[1..].iter().sum();
-            summary.sends = traces[0].sends.len() as u64;
-            summary.delivered = traces[0].acks.len() as u64;
-            summary.throughput_pps = summary.delivered as f64 / dur_s;
-            summary.goodput_bps = ra;
-            summary.goodput_b_bps = rb;
-            summary.jain = jain_index(&rates);
-            summary.utility = ra + alpha * rb;
-            summary.restarts_a = Some(primary.restarts as u64);
-            summary.restarts_b = Some(
-                peers
-                    .iter()
-                    .map(|p| match p {
-                        PeerAgent::Model(m) => m.restarts as u64,
-                        _ => 0,
-                    })
-                    .sum(),
+            let (_, trace_a) = summarize_multi_flow(
+                &mut summary,
+                traces,
+                dur_s,
+                topology.packet_size.as_f64(),
+                alpha,
             );
-            summary.overflow_drops = traces
-                .iter()
-                .flat_map(|t| t.drops.iter())
-                .filter(|d| d.reason == DropReason::BufferFull)
-                .count() as u64;
-            let send_at: HashMap<u64, Time> =
-                traces[0].sends.iter().map(|&(seq, t)| (seq, t)).collect();
-            let mut delays: Vec<f64> = traces[0]
-                .acks
-                .iter()
-                .filter_map(|o| send_at.get(&o.seq).map(|t| o.at.since(*t).as_secs_f64()))
-                .collect();
-            delays.sort_by(|a, b| a.total_cmp(b));
-            set_delay_percentiles(&mut summary, &delays);
-            let trace_a = traces.swap_remove(0);
+            summary.restarts_a = Some(primary.restarts as u64);
+            summary.restarts_b = Some(peer_restarts(&peers));
             (summary, RunArtifact::ClosedLoop(trace_a))
         }
         Err(_) => {
@@ -952,4 +988,130 @@ fn coexist_run(run: &RunSpec, cx: &CoexistSpec) -> (RunSummary, RunArtifact) {
             (summary, RunArtifact::None)
         }
     }
+}
+
+/// Coexistence over a compiled [`GraphTopology`]: one agent per declared
+/// flow, each injecting at its own source and traversing its own route.
+/// The primary drives flow 0; peer `i` drives flow `i + 1`. Every
+/// belief-carrying agent models the slowest link on *its own* route with
+/// the dedicated coexistence prior (the single-bottleneck abstraction
+/// the paper's sender would bring to a network it cannot see into).
+fn coexist_graph_run(
+    run: &RunSpec,
+    cx: &CoexistSpec,
+    g: &augur_topo::GraphTopology,
+) -> (RunSummary, RunArtifact) {
+    let spec = &run.spec;
+    let (alpha, latency_penalty, max_branches) = coexist_primary_knobs(spec);
+    assert_coexist_packet(g.packet_size);
+    assert_eq!(
+        g.flows.len(),
+        1 + cx.peers.len(),
+        "graph topology declares {} flows for {} agents (primary + peers)",
+        g.flows.len(),
+        1 + cx.peers.len()
+    );
+    let compiled = augur_topo::compile(g).unwrap_or_else(|e| panic!("invalid graph topology: {e}"));
+    let restarting = |flow: usize, alpha: f64, latency_penalty: f64| {
+        let bottleneck = &g.links[compiled.bottlenecks[flow]];
+        let (link_bps, buffer_bits) = (bottleneck.rate.as_bps(), bottleneck.buffer.as_u64());
+        RestartingSender::new(
+            Box::new(move || coexist_belief(link_bps, buffer_bits, max_branches)),
+            Box::new(move || utility_of(alpha, latency_penalty) as Box<dyn Utility + Send>),
+            sender_config(spec),
+        )
+    };
+    let mut primary = restarting(0, alpha, latency_penalty);
+    let mut peers: Vec<PeerAgent> = cx
+        .peers
+        .iter()
+        .enumerate()
+        .map(|(i, p)| match *p {
+            PeerSpec::Isender { alpha } => PeerAgent::Model(restarting(i + 1, alpha, 0.0)),
+            PeerSpec::Aimd { timeout } => {
+                PeerAgent::Aimd(AimdSender::new(timeout).with_packet_size(g.packet_size))
+            }
+            PeerSpec::TcpReno { max_window } | PeerSpec::TcpCubic { max_window } => {
+                let cc: Box<dyn augur_tcp::CongestionControl> =
+                    if matches!(p, PeerSpec::TcpReno { .. }) {
+                        Box::<Reno>::default()
+                    } else {
+                        Box::<Cubic>::default()
+                    };
+                PeerAgent::Tcp(TcpPeerAgent::new(
+                    TcpConfig {
+                        packet_size: g.packet_size,
+                        max_window,
+                        ..TcpConfig::default()
+                    },
+                    cc,
+                ))
+            }
+        })
+        .collect();
+    let mut truth = MultiFlowTruth {
+        entry: compiled.entries[0],
+        entries: compiled.entries,
+        rxs: compiled.rxs,
+        net: compiled.net,
+        rng: SimRng::derive(run.seed, STREAM_TRUTH),
+    };
+
+    let t_end = Time::ZERO + spec.duration;
+    let result = run_agents(&mut truth, &mut primary, &mut peers, t_end);
+
+    let mut summary = blank_summary(run);
+    summary.peer = cx.label();
+    summary.population = primary.population() as u64;
+    match result {
+        Ok(traces) => {
+            let dur_s = spec.duration.as_secs_f64();
+            let (rates, trace_a) =
+                summarize_multi_flow(&mut summary, traces, dur_s, g.packet_size.as_f64(), alpha);
+            summary.class_goodput = class_goodput_label(&g.flows, &rates);
+            summary.restarts_a = Some(primary.restarts as u64);
+            summary.restarts_b = Some(peer_restarts(&peers));
+            (summary, RunArtifact::ClosedLoop(trace_a))
+        }
+        Err(_) => {
+            summary.status = RunStatus::BeliefDied;
+            (summary, RunArtifact::None)
+        }
+    }
+}
+
+/// Run the primary plus peers through the multi-agent loop.
+fn run_agents(
+    truth: &mut MultiFlowTruth,
+    primary: &mut RestartingSender,
+    peers: &mut [PeerAgent],
+    t_end: Time,
+) -> Result<Vec<RunTrace>, BeliefError> {
+    let mut agents: Vec<&mut dyn SenderAgent> = Vec::with_capacity(1 + peers.len());
+    agents.push(primary);
+    for p in peers {
+        agents.push(match p {
+            PeerAgent::Model(m) => m,
+            PeerAgent::Aimd(a) => a,
+            PeerAgent::Tcp(t) => t,
+        });
+    }
+    run_multi_agent(truth, &mut agents, t_end)
+}
+
+/// Aggregate per-flow goodputs by declared flow class, formatted
+/// `class=bits_per_s` in class declaration order.
+fn class_goodput_label(flows: &[augur_topo::FlowSpec], rates: &[f64]) -> String {
+    let mut classes: Vec<(&str, f64)> = Vec::new();
+    for (f, r) in flows.iter().zip(rates) {
+        match classes.iter_mut().find(|(c, _)| *c == f.class.as_str()) {
+            Some((_, sum)) => *sum += r,
+            None => classes.push((f.class.as_str(), *r)),
+        }
+    }
+    classes
+        .iter()
+        .map(|(c, r)| format!("{c}={r:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }

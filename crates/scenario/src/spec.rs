@@ -6,60 +6,14 @@
 //! paper's experiment binaries used to hand-wire becomes data that the
 //! sweep runner can expand, parallelize, and reproduce.
 
-use augur_elements::{build_model, Buffer, CellularParams, ModelNet, ModelParams};
+use augur_elements::{build_model, CellularParams, ModelNet, ModelParams};
 use augur_inference::{Hypothesis, ModelPrior};
-use augur_sim::{BitRate, Bits, Dur, Ppm};
+use augur_sim::{BitRate, Bits, Dur};
+use augur_topo::GraphTopology;
 
-/// The queue discipline of a cellular path's deep buffer (EXT-D's
-/// in-network knob).
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueueSpec {
-    /// Plain FIFO tail drop (the bufferbloat baseline).
-    DropTail,
-    /// Random Early Detection with an EWMA queue estimate.
-    Red {
-        /// Early-drop onset threshold.
-        min_th: Bits,
-        /// Threshold of certain early drop.
-        max_th: Bits,
-        /// Drop probability at `max_th`.
-        max_p: Ppm,
-        /// EWMA weight as a right shift (weight = 2^-shift).
-        w_shift: u32,
-    },
-    /// CoDel: drop when sojourn time stays above `target` for `interval`.
-    CoDel {
-        /// Acceptable standing-queue sojourn time.
-        target: Dur,
-        /// Window the sojourn must exceed `target` before dropping.
-        interval: Dur,
-    },
-}
-
-impl QueueSpec {
-    /// A short stable label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            QueueSpec::DropTail => "drop-tail",
-            QueueSpec::Red { .. } => "red",
-            QueueSpec::CoDel { .. } => "codel",
-        }
-    }
-
-    /// Build the buffer element with this discipline at `capacity`.
-    pub fn build(&self, capacity: Bits) -> Buffer {
-        match *self {
-            QueueSpec::DropTail => Buffer::drop_tail(capacity),
-            QueueSpec::Red {
-                min_th,
-                max_th,
-                max_p,
-                w_shift,
-            } => Buffer::red(capacity, min_th, max_th, max_p, w_shift),
-            QueueSpec::CoDel { target, interval } => Buffer::codel(capacity, target, interval),
-        }
-    }
-}
+// Queue disciplines moved to `augur-topo` (graph links carry them too);
+// re-exported here so `augur_scenario::QueueSpec` keeps working.
+pub use augur_topo::QueueSpec;
 
 /// The ground-truth network a scenario runs against.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,44 +31,98 @@ pub enum TopologySpec {
         /// Queue discipline of the deep buffer.
         queue: QueueSpec,
     },
+    /// A declarative multi-bottleneck graph ([`augur_topo::compile`]):
+    /// named nodes, directed links with per-link queues, and one route
+    /// per flow. Runs through the multi-agent loop — the coexist
+    /// workload supplies one agent per declared flow.
+    Graph(GraphTopology),
 }
 
 impl TopologySpec {
-    /// The model parameters, for scenario kinds that require the Figure-2
-    /// family.
-    ///
-    /// # Panics
-    /// Panics for cellular topologies — `what` names the feature that
-    /// needed the model (an authoring error, not a runtime condition).
-    pub fn model(&self, what: &str) -> &ModelParams {
+    /// A short stable label of the topology kind, for diagnostics.
+    pub fn kind_label(&self) -> &'static str {
         match self {
-            TopologySpec::Model(m) => m,
-            TopologySpec::Cellular { .. } => {
-                panic!("{what} requires a model topology, got cellular")
-            }
+            TopologySpec::Model(_) => "model",
+            TopologySpec::Cellular { .. } => "cellular",
+            TopologySpec::Graph(_) => "graph",
         }
     }
 
-    /// Mutable access to the model parameters (sweep axes write here).
+    /// The model parameters, for scenario kinds that require the Figure-2
+    /// family; an error naming `what` and the actual topology kind
+    /// otherwise. Spec-decode boundaries call this so a mismatched spec
+    /// file fails with a positioned diagnostic instead of a mid-run
+    /// panic.
+    pub fn try_model(&self, what: &str) -> Result<&ModelParams, String> {
+        match self {
+            TopologySpec::Model(m) => Ok(m),
+            other => Err(format!(
+                "{what} requires a model topology, got {}",
+                other.kind_label()
+            )),
+        }
+    }
+
+    /// Mutable access to the model parameters (sweep axes write here), or
+    /// an error naming `what` (see [`TopologySpec::try_model`]).
+    pub fn try_model_mut(&mut self, what: &str) -> Result<&mut ModelParams, String> {
+        match self {
+            TopologySpec::Model(m) => Ok(m),
+            other => Err(format!(
+                "{what} requires a model topology, got {}",
+                other.kind_label()
+            )),
+        }
+    }
+
+    /// [`TopologySpec::try_model`] for in-code call sites whose specs are
+    /// already validated.
     ///
     /// # Panics
-    /// Panics for cellular topologies (see [`TopologySpec::model`]).
+    /// Panics for non-model topologies — `what` names the feature that
+    /// needed the model (an authoring error, not a runtime condition).
+    pub fn model(&self, what: &str) -> &ModelParams {
+        match self.try_model(what) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Mutable [`TopologySpec::model`].
+    ///
+    /// # Panics
+    /// Panics for non-model topologies (see [`TopologySpec::model`]).
     pub fn model_mut(&mut self, what: &str) -> &mut ModelParams {
         match self {
             TopologySpec::Model(m) => m,
-            TopologySpec::Cellular { .. } => {
-                panic!("{what} requires a model topology, got cellular")
-            }
+            other => panic!(
+                "{what} requires a model topology, got {}",
+                other.kind_label()
+            ),
+        }
+    }
+
+    /// The graph topology, for scenario kinds that require one; an error
+    /// naming `what` otherwise.
+    pub fn try_graph(&self, what: &str) -> Result<&GraphTopology, String> {
+        match self {
+            TopologySpec::Graph(g) => Ok(g),
+            other => Err(format!(
+                "{what} requires a graph topology, got {}",
+                other.kind_label()
+            )),
         }
     }
 
     /// The packet size senders should use over this topology: the model's
-    /// configured size, or the paper's 1500-byte packets on the cellular
-    /// path (which carries whatever it is given).
+    /// configured size, the graph's declared size, or the paper's
+    /// 1500-byte packets on the cellular path (which carries whatever it
+    /// is given).
     pub fn packet_size(&self) -> Bits {
         match self {
             TopologySpec::Model(m) => m.packet_size,
             TopologySpec::Cellular { .. } => Bits::from_bytes(1_500),
+            TopologySpec::Graph(g) => g.packet_size,
         }
     }
 }
@@ -426,8 +434,8 @@ impl ScenarioSpec {
     /// model-family topologies.
     ///
     /// # Panics
-    /// Panics for cellular topologies, which are built by the runner's
-    /// TCP-over-cellular path instead.
+    /// Panics for cellular and graph topologies, which are built by the
+    /// runner's TCP-over-cellular and compiled-graph paths instead.
     pub fn build_truth(&self) -> ModelNet {
         build_model(*self.topology.model("build_truth"))
     }

@@ -189,3 +189,31 @@ fn coexist_sweep_is_byte_identical_across_workers() {
         );
     }
 }
+
+#[test]
+fn graph_sweep_is_byte_identical_across_workers() {
+    // Graph topologies add per-flow injection points and diverter-chain
+    // routing on top of the multi-agent loop; none of it may observe
+    // worker scheduling.
+    let grid = augur_scenario::presets::dumbbell_cross(Dur::from_secs(20), 2, 2_048);
+    let runs = grid.expand();
+    let serial = SweepRunner::serial().run(&runs);
+    let parallel = SweepRunner::with_workers(4).run(&runs);
+    assert_eq!(
+        serial.to_csv_string(),
+        parallel.to_csv_string(),
+        "worker count leaked into graph-topology results"
+    );
+    for r in &serial.runs {
+        assert!(
+            r.class_goodput.starts_with("primary=") && r.class_goodput.contains(" cross="),
+            "graph rows split goodput by flow class: {:?}",
+            r.class_goodput
+        );
+        assert!(
+            r.jain.is_nan() || (0.0..=1.0).contains(&r.jain),
+            "jain index in range: {}",
+            r.jain
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Canonical multi-bottleneck shapes.
+//!
+//! Three classic topologies built as [`GraphTopology`] values, ready for
+//! [`crate::compile`] or for field-level tweaking first. Flow 0 is
+//! always the shape's "primary" flow (the one a scenario's main sender
+//! drives); the rest are its competition.
+
+use crate::graph::{FlowSpec, GraphTopology, LinkSpec};
+use crate::queue::QueueSpec;
+use augur_sim::{BitRate, Bits, Dur};
+
+fn link(
+    name: String,
+    from: String,
+    to: String,
+    rate: BitRate,
+    delay: Dur,
+    buffer: Bits,
+) -> LinkSpec {
+    LinkSpec {
+        name,
+        from,
+        to,
+        rate,
+        delay,
+        buffer,
+        queue: QueueSpec::DropTail,
+    }
+}
+
+fn flow(name: String, class: &str, src: String, dst: String) -> FlowSpec {
+    FlowSpec {
+        name,
+        class: class.into(),
+        src,
+        dst,
+        path: None,
+    }
+}
+
+/// A dumbbell: `pairs` sources `s{i}` feed junction `l`, one shared
+/// `l → r` bottleneck (rate `bottleneck`, propagation `delay`, buffer
+/// `buffer`), and per-pair sinks `d{i}`. Access links run at `access`
+/// (faster than the bottleneck, so the shared queue is where flows
+/// collide). Flow 0 (`s0 → d0`, class `primary`) is the scenario's
+/// sender; flows 1… (class `cross`) are its cross traffic.
+///
+/// # Panics
+/// Panics when `pairs` is zero.
+pub fn dumbbell(
+    pairs: usize,
+    access: BitRate,
+    bottleneck: BitRate,
+    delay: Dur,
+    buffer: Bits,
+    packet_size: Bits,
+) -> GraphTopology {
+    assert!(pairs >= 1, "a dumbbell needs at least one source/sink pair");
+    let mut nodes = Vec::with_capacity(2 * pairs + 2);
+    let mut links = Vec::with_capacity(2 * pairs + 1);
+    let mut flows = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        nodes.push(format!("s{i}"));
+    }
+    nodes.push("l".into());
+    nodes.push("r".into());
+    for i in 0..pairs {
+        nodes.push(format!("d{i}"));
+    }
+    for i in 0..pairs {
+        links.push(link(
+            format!("s{i}-l"),
+            format!("s{i}"),
+            "l".into(),
+            access,
+            Dur::ZERO,
+            buffer,
+        ));
+    }
+    links.push(link(
+        "l-r".into(),
+        "l".into(),
+        "r".into(),
+        bottleneck,
+        delay,
+        buffer,
+    ));
+    for i in 0..pairs {
+        links.push(link(
+            format!("r-d{i}"),
+            "r".into(),
+            format!("d{i}"),
+            access,
+            Dur::ZERO,
+            buffer,
+        ));
+    }
+    for i in 0..pairs {
+        let class = if i == 0 { "primary" } else { "cross" };
+        flows.push(flow(
+            format!("f{i}"),
+            class,
+            format!("s{i}"),
+            format!("d{i}"),
+        ));
+    }
+    GraphTopology {
+        nodes,
+        links,
+        flows,
+        packet_size,
+    }
+}
+
+/// A parking lot of `hops` equal links `n0 → n1 → … → n{hops}`: one
+/// `long` flow (flow 0, class `long`) traverses every link while one
+/// single-hop `short{i}` flow (class `short`) competes on each — the
+/// classic multi-bottleneck fairness shape, where proportional fairness
+/// and max-min fairness pull the long flow in opposite directions.
+///
+/// # Panics
+/// Panics when `hops < 2` (one hop is just a shared bottleneck).
+pub fn parking_lot(
+    hops: usize,
+    rate: BitRate,
+    delay: Dur,
+    buffer: Bits,
+    packet_size: Bits,
+) -> GraphTopology {
+    assert!(hops >= 2, "a parking lot needs at least two hops");
+    let nodes: Vec<String> = (0..=hops).map(|i| format!("n{i}")).collect();
+    let links: Vec<LinkSpec> = (0..hops)
+        .map(|i| {
+            link(
+                format!("n{i}-n{}", i + 1),
+                format!("n{i}"),
+                format!("n{}", i + 1),
+                rate,
+                delay,
+                buffer,
+            )
+        })
+        .collect();
+    let mut flows = vec![flow("long".into(), "long", "n0".into(), format!("n{hops}"))];
+    for i in 0..hops {
+        flows.push(flow(
+            format!("short{i}"),
+            "short",
+            format!("n{i}"),
+            format!("n{}", i + 1),
+        ));
+    }
+    GraphTopology {
+        nodes,
+        links,
+        flows,
+        packet_size,
+    }
+}
+
+/// A k-ary fat-tree (k even): `(k/2)²` cores, `k` pods of `k/2`
+/// aggregation and `k/2` edge switches, `(k/2)²` hosts per pod, every
+/// link at `rate`. `pairs` lists `(src, dst)` global host indices (host
+/// `g` lives in pod `g / (k/2)²`); each pair becomes one flow with a
+/// deterministic up-down route — up to the lowest common layer, down to
+/// the destination — so the combined routes never form a forwarding
+/// cycle. Flow 0 is class `primary`, the rest `cross`.
+///
+/// # Panics
+/// Panics when `k` is odd or less than 2, when `pairs` is empty, or
+/// when a host index is out of range.
+pub fn fat_tree(
+    k: usize,
+    pairs: &[(usize, usize)],
+    rate: BitRate,
+    delay: Dur,
+    buffer: Bits,
+    packet_size: Bits,
+) -> GraphTopology {
+    assert!(k >= 2 && k.is_multiple_of(2), "a fat-tree needs an even k >= 2");
+    assert!(!pairs.is_empty(), "a fat-tree scenario needs host pairs");
+    let half = k / 2;
+    let hosts_per_pod = half * half;
+    let host_count = k * hosts_per_pod;
+
+    let core = |c: usize| format!("c{c}");
+    let agg = |p: usize, a: usize| format!("p{p}a{a}");
+    let edge = |p: usize, e: usize| format!("p{p}e{e}");
+    let host = |g: usize| format!("p{}h{}", g / hosts_per_pod, g % hosts_per_pod);
+
+    let mut nodes = Vec::new();
+    for c in 0..half * half {
+        nodes.push(core(c));
+    }
+    for p in 0..k {
+        for a in 0..half {
+            nodes.push(agg(p, a));
+        }
+        for e in 0..half {
+            nodes.push(edge(p, e));
+        }
+        for h in 0..hosts_per_pod {
+            nodes.push(host(p * hosts_per_pod + h));
+        }
+    }
+
+    let mut links = Vec::new();
+    let both = |from: String, to: String, links: &mut Vec<LinkSpec>| {
+        links.push(link(
+            format!("{from}>{to}"),
+            from.clone(),
+            to.clone(),
+            rate,
+            delay,
+            buffer,
+        ));
+        links.push(link(format!("{to}>{from}"), to, from, rate, delay, buffer));
+    };
+    for p in 0..k {
+        for h in 0..hosts_per_pod {
+            both(host(p * hosts_per_pod + h), edge(p, h / half), &mut links);
+        }
+        for e in 0..half {
+            for a in 0..half {
+                both(edge(p, e), agg(p, a), &mut links);
+            }
+        }
+        for a in 0..half {
+            for c in a * half..(a + 1) * half {
+                both(agg(p, a), core(c), &mut links);
+            }
+        }
+    }
+
+    let mut flows = Vec::with_capacity(pairs.len());
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        assert!(
+            src < host_count && dst < host_count,
+            "host index out of range"
+        );
+        assert!(src != dst, "a flow needs distinct hosts");
+        let (sp, sh) = (src / hosts_per_pod, src % hosts_per_pod);
+        let (dp, dh) = (dst / hosts_per_pod, dst % hosts_per_pod);
+        let (se, de) = (sh / half, dh / half);
+        let mut path = vec![host(src), edge(sp, se)];
+        if sp == dp && se == de {
+            // same edge switch: host → edge → host
+        } else if sp == dp {
+            // same pod: up to a deterministically chosen aggregation
+            // switch, back down.
+            path.push(agg(sp, sh % half));
+            path.push(edge(dp, de));
+        } else {
+            // cross-pod: up to a core reachable from the chosen
+            // aggregation index in both pods, then down.
+            let a = sh % half;
+            let c = a * half + dh % half;
+            path.push(agg(sp, a));
+            path.push(core(c));
+            path.push(agg(dp, a));
+            path.push(edge(dp, de));
+        }
+        path.push(host(dst));
+        let class = if i == 0 { "primary" } else { "cross" };
+        flows.push(FlowSpec {
+            name: format!("f{i}"),
+            class: class.into(),
+            src: host(src),
+            dst: host(dst),
+            path: Some(path),
+        });
+    }
+
+    GraphTopology {
+        nodes,
+        links,
+        flows,
+        packet_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{compile, validate};
+    use augur_sim::{FlowId, Packet, SimRng, Time};
+
+    fn bps(b: u64) -> BitRate {
+        BitRate::from_bps(b)
+    }
+
+    fn pkt() -> Bits {
+        Bits::from_bytes(1_500)
+    }
+
+    #[test]
+    fn dumbbell_shares_exactly_one_bottleneck() {
+        let t = dumbbell(
+            3,
+            bps(96_000),
+            bps(24_000),
+            Dur::from_millis(20),
+            Bits::new(96_000),
+            pkt(),
+        );
+        let c = compile(&t).unwrap();
+        let shared = t.links.iter().position(|l| l.name == "l-r").unwrap();
+        for (f, route) in c.routes.iter().enumerate() {
+            assert_eq!(route.len(), 3, "flow {f} takes access → shared → access");
+            assert!(route.contains(&shared));
+            assert_eq!(c.bottlenecks[f], shared);
+        }
+    }
+
+    #[test]
+    fn parking_lot_long_flow_crosses_every_hop() {
+        let t = parking_lot(3, bps(24_000), Dur::ZERO, Bits::new(96_000), pkt());
+        let c = compile(&t).unwrap();
+        assert_eq!(c.routes[0].len(), 3);
+        for (i, route) in c.routes.iter().enumerate().skip(1) {
+            assert_eq!(
+                route,
+                &vec![i - 1],
+                "short{} takes exactly its own hop",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_4_validates_and_routes_up_down() {
+        // k=4: 16 hosts. Same-edge, same-pod, and cross-pod pairs.
+        let t = fat_tree(
+            4,
+            &[(0, 15), (1, 2), (4, 6), (8, 9)],
+            bps(96_000),
+            Dur::ZERO,
+            Bits::new(96_000),
+            pkt(),
+        );
+        validate(&t).unwrap();
+        let c = compile(&t).unwrap();
+        assert_eq!(
+            c.routes[0].len(),
+            6,
+            "cross-pod is host-edge-agg-core-agg-edge-host"
+        );
+        assert_eq!(c.routes[3].len(), 2, "same edge switch is two hops");
+        // Packets actually arrive.
+        let mut net = c.net;
+        let mut rng = SimRng::seed_from_u64(3);
+        for (f, &e) in c.entries.iter().enumerate() {
+            net.inject(
+                e,
+                Packet::new(FlowId(f as u16), 0, Bits::new(12_000), Time::ZERO),
+            );
+        }
+        net.run_until_sampled(Time::from_secs(10), &mut rng);
+        let deliveries = net.take_deliveries();
+        assert_eq!(deliveries.len(), 4);
+        for (node, d) in deliveries {
+            assert_eq!(node, c.rxs[d.packet.flow.0 as usize]);
+        }
+    }
+
+    #[test]
+    fn fat_tree_2_is_the_smallest_instance() {
+        let t = fat_tree(
+            2,
+            &[(0, 1)],
+            bps(24_000),
+            Dur::ZERO,
+            Bits::new(96_000),
+            pkt(),
+        );
+        // 1 core + 2 pods × (1 agg + 1 edge + 1 host) = 7 nodes.
+        assert_eq!(t.nodes.len(), 7);
+        compile(&t).unwrap();
+    }
+}

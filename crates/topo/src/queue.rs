@@ -1,0 +1,59 @@
+//! Queue disciplines as data.
+//!
+//! [`QueueSpec`] describes the discipline of any buffer in a topology —
+//! the cellular path's deep buffer (EXT-D's in-network knob) as well as
+//! every per-link queue of a [`crate::GraphTopology`] — and builds the
+//! concrete [`augur_elements::Buffer`] on demand.
+
+use augur_elements::Buffer;
+use augur_sim::{Bits, Dur, Ppm};
+
+/// The queue discipline of a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueSpec {
+    /// Plain FIFO tail drop (the bufferbloat baseline).
+    DropTail,
+    /// Random Early Detection with an EWMA queue estimate.
+    Red {
+        /// Early-drop onset threshold.
+        min_th: Bits,
+        /// Threshold of certain early drop.
+        max_th: Bits,
+        /// Drop probability at `max_th`.
+        max_p: Ppm,
+        /// EWMA weight as a right shift (weight = 2^-shift).
+        w_shift: u32,
+    },
+    /// CoDel: drop when sojourn time stays above `target` for `interval`.
+    CoDel {
+        /// Acceptable standing-queue sojourn time.
+        target: Dur,
+        /// Window the sojourn must exceed `target` before dropping.
+        interval: Dur,
+    },
+}
+
+impl QueueSpec {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueSpec::DropTail => "drop-tail",
+            QueueSpec::Red { .. } => "red",
+            QueueSpec::CoDel { .. } => "codel",
+        }
+    }
+
+    /// Build the buffer element with this discipline at `capacity`.
+    pub fn build(&self, capacity: Bits) -> Buffer {
+        match *self {
+            QueueSpec::DropTail => Buffer::drop_tail(capacity),
+            QueueSpec::Red {
+                min_th,
+                max_th,
+                max_p,
+                w_shift,
+            } => Buffer::red(capacity, min_th, max_th, max_p, w_shift),
+            QueueSpec::CoDel { target, interval } => Buffer::codel(capacity, target, interval),
+        }
+    }
+}
