@@ -6,6 +6,12 @@
 //! A buffer never drains itself; it must feed a [`crate::link::Link`]
 //! directly downstream, which pulls the head packet each time it finishes
 //! serving (wired by the network builder). Fullness is measured in bits.
+//!
+//! Split representation: [`BufferParams`] (capacity, discipline
+//! configuration) is immutable and shared across hypothesis networks;
+//! [`BufferState`] (queue contents, fullness, AQM running state) is the
+//! compact per-hypothesis half. The [`Buffer`] blueprint pairs them for
+//! construction and standalone use; the network builder splits it.
 
 use augur_sim::{Bits, Dur, Packet, Ppm, Time};
 use std::collections::VecDeque;
@@ -20,22 +26,23 @@ pub struct Queued {
     pub enq_at: Time,
 }
 
-/// Queue-management discipline.
+/// Queue-management discipline configuration (immutable).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BufferKind {
     /// Plain tail drop: the paper's BUFFER element.
     DropTail,
     /// Random Early Detection (Floyd & Jacobson 1993), fixed-point EWMA.
-    Red(RedState),
+    Red(RedParams),
     /// CoDel (Nichols & Jacobson 2012): sojourn-time-based dropping at
     /// dequeue.
-    CoDel(CoDelState),
+    CoDel(CoDelParams),
 }
 
-/// RED's running state. The average queue is kept in 1/256-bit fixed point
-/// so the element stays integer-valued (`Eq + Hash`, DESIGN.md §4.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct RedState {
+/// RED's configuration. The average queue it controls lives in
+/// [`AqmState::Red`], kept in 1/256-bit fixed point so the element stays
+/// integer-valued (`Eq + Hash`, DESIGN.md §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RedParams {
     /// Minimum threshold, bits.
     pub min_th: Bits,
     /// Maximum threshold, bits.
@@ -44,17 +51,29 @@ pub struct RedState {
     pub max_p: Ppm,
     /// EWMA weight as a right-shift: avg += (q - avg) >> w_shift.
     pub w_shift: u32,
-    /// Average queue in 1/256-bit fixed point.
-    pub avg_x256: u64,
 }
 
-/// CoDel's running state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CoDelState {
+/// CoDel's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoDelParams {
     /// Sojourn target (standard: 5 ms).
     pub target: Dur,
     /// Sliding-window interval (standard: 100 ms).
     pub interval: Dur,
+}
+
+impl CoDelParams {
+    /// The control-law interval: `interval / sqrt(count)`, in integer
+    /// microseconds.
+    pub fn control_law(&self, count: u32, from: Time) -> Time {
+        let denom = (count.max(1) as f64).sqrt();
+        from + Dur::from_micros((self.interval.as_micros() as f64 / denom).round() as u64)
+    }
+}
+
+/// CoDel's running state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CoDelRun {
     /// When the sojourn time first exceeded target, if currently above.
     pub first_above: Option<Time>,
     /// True while in the dropping state.
@@ -65,36 +84,36 @@ pub struct CoDelState {
     pub count: u32,
 }
 
-impl CoDelState {
-    /// Fresh CoDel state with the given target and interval.
-    pub fn new(target: Dur, interval: Dur) -> CoDelState {
-        CoDelState {
-            target,
-            interval,
-            first_above: None,
-            dropping: false,
-            drop_next: Time::ZERO,
-            count: 0,
-        }
-    }
-
-    /// The control-law interval: `interval / sqrt(count)`, in integer
-    /// microseconds.
-    pub fn control_law(&self, from: Time) -> Time {
-        let denom = (self.count.max(1) as f64).sqrt();
-        from + Dur::from_micros((self.interval.as_micros() as f64 / denom).round() as u64)
-    }
+/// Per-discipline mutable state, matching the [`BufferKind`] variant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AqmState {
+    /// Tail drop carries no extra state.
+    DropTail,
+    /// RED's average queue in 1/256-bit fixed point.
+    Red {
+        /// EWMA of the instantaneous queue, × 256.
+        avg_x256: u64,
+    },
+    /// CoDel's dropping-state machine.
+    CoDel(CoDelRun),
 }
 
-/// A bounded queue with a selectable discipline.
+/// Immutable buffer parameters: capacity and discipline configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Buffer {
+pub struct BufferParams {
     /// Capacity in bits (tail-drop bound regardless of discipline).
     pub capacity: Bits,
     /// Discipline.
     pub kind: BufferKind,
-    queue: VecDeque<Queued>,
-    queued_bits: Bits,
+}
+
+/// Per-hypothesis mutable buffer state: the queue and AQM running state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BufferState {
+    pub(crate) queue: VecDeque<Queued>,
+    pub(crate) queued_bits: Bits,
+    /// Discipline running state (variant mirrors the params' kind).
+    pub aqm: AqmState,
 }
 
 /// Outcome of offering a packet to a buffer.
@@ -108,44 +127,147 @@ pub enum Admission {
     RedChoice(Ppm),
 }
 
-impl Buffer {
-    /// A tail-drop buffer of the given capacity.
-    pub fn drop_tail(capacity: Bits) -> Buffer {
-        Buffer {
-            capacity,
-            kind: BufferKind::DropTail,
+impl BufferParams {
+    /// Fresh (empty) state matching this configuration.
+    pub fn initial_state(&self) -> BufferState {
+        BufferState {
             queue: VecDeque::new(),
             queued_bits: Bits::ZERO,
+            aqm: match &self.kind {
+                BufferKind::DropTail => AqmState::DropTail,
+                BufferKind::Red(_) => AqmState::Red { avg_x256: 0 },
+                BufferKind::CoDel(_) => AqmState::CoDel(CoDelRun::default()),
+            },
         }
     }
 
-    /// A RED buffer. Thresholds in bits.
-    pub fn red(capacity: Bits, min_th: Bits, max_th: Bits, max_p: Ppm, w_shift: u32) -> Buffer {
-        assert!(min_th < max_th, "RED thresholds inverted");
-        Buffer {
-            capacity,
-            kind: BufferKind::Red(RedState {
-                min_th,
-                max_th,
-                max_p,
-                w_shift,
-                avg_x256: 0,
-            }),
-            queue: VecDeque::new(),
-            queued_bits: Bits::ZERO,
+    /// Would `pkt` fit into `st` right now?
+    pub fn fits(&self, st: &BufferState, pkt: &Packet) -> bool {
+        match st.queued_bits.checked_add(pkt.size) {
+            Some(total) => total <= self.capacity,
+            None => false,
         }
     }
 
-    /// A CoDel buffer with standard target/interval unless overridden.
-    pub fn codel(capacity: Bits, target: Dur, interval: Dur) -> Buffer {
-        Buffer {
-            capacity,
-            kind: BufferKind::CoDel(CoDelState::new(target, interval)),
-            queue: VecDeque::new(),
-            queued_bits: Bits::ZERO,
+    /// Offer a packet for admission at `now`. For `DropTail`/`CoDel` this
+    /// decides immediately; for `Red` it may return [`Admission::RedChoice`]
+    /// and the caller resolves the probabilistic drop through the choice
+    /// mechanism, then calls [`BufferParams::force_enqueue`] on "enqueue".
+    pub fn offer(&self, st: &mut BufferState, pkt: Packet, now: Time) -> Admission {
+        if !self.fits(st, &pkt) {
+            return Admission::TailDrop;
         }
+        if let BufferKind::Red(red) = &self.kind {
+            let AqmState::Red { avg_x256 } = &mut st.aqm else {
+                unreachable!("RED params with non-RED state");
+            };
+            // EWMA update on the *instantaneous* queue at arrival.
+            let q_x256 = st.queued_bits.as_u64() * 256;
+            let delta = q_x256 as i128 - *avg_x256 as i128;
+            *avg_x256 = (*avg_x256 as i128 + (delta >> red.w_shift)) as u64;
+            let avg = Bits::new(*avg_x256 / 256);
+            if avg >= red.max_th {
+                return Admission::RedChoice(Ppm::ONE);
+            }
+            if avg > red.min_th {
+                let span = (red.max_th - red.min_th).as_u64();
+                let over = (avg - red.min_th).as_u64();
+                let p = red.max_p.prob() * over as f64 / span as f64;
+                return Admission::RedChoice(Ppm::from_prob(p.min(1.0)));
+            }
+        }
+        self.force_enqueue(st, pkt, now);
+        Admission::Enqueued
     }
 
+    /// Enqueue unconditionally (post-admission). Panics if it does not fit —
+    /// admission must have been checked.
+    pub fn force_enqueue(&self, st: &mut BufferState, pkt: Packet, now: Time) {
+        assert!(self.fits(st, &pkt), "force_enqueue past capacity");
+        st.queued_bits += pkt.size;
+        st.queue.push_back(Queued {
+            packet: pkt,
+            enq_at: now,
+        });
+    }
+
+    /// Dequeue for service at `now`. Returns the packet to serve plus any
+    /// packets CoDel dropped on the way (these must be recorded as drops by
+    /// the caller).
+    pub fn pull(&self, st: &mut BufferState, now: Time) -> PullResult {
+        let mut dropped = Vec::new();
+        loop {
+            let Some(q) = st.queue.pop_front() else {
+                return PullResult {
+                    serve: None,
+                    dropped,
+                };
+            };
+            st.queued_bits -= q.packet.size;
+            match (&self.kind, &mut st.aqm) {
+                (BufferKind::DropTail, _) | (BufferKind::Red(_), _) => {
+                    return PullResult {
+                        serve: Some(q),
+                        dropped,
+                    };
+                }
+                (BufferKind::CoDel(cfg), AqmState::CoDel(run)) => {
+                    let sojourn = now.since(q.enq_at);
+                    let ok = sojourn < cfg.target;
+                    if ok {
+                        run.first_above = None;
+                        if run.dropping {
+                            run.dropping = false;
+                        }
+                        return PullResult {
+                            serve: Some(q),
+                            dropped,
+                        };
+                    }
+                    // Sojourn above target.
+                    if run.dropping {
+                        if now >= run.drop_next {
+                            dropped.push(q);
+                            run.count += 1;
+                            run.drop_next = cfg.control_law(run.count, run.drop_next);
+                            continue;
+                        }
+                        return PullResult {
+                            serve: Some(q),
+                            dropped,
+                        };
+                    }
+                    match run.first_above {
+                        None => {
+                            run.first_above = Some(now);
+                            return PullResult {
+                                serve: Some(q),
+                                dropped,
+                            };
+                        }
+                        Some(t0) if now.since(t0) >= cfg.interval => {
+                            // Enter dropping state: drop this one.
+                            dropped.push(q);
+                            run.dropping = true;
+                            run.count = if run.count > 2 { run.count - 2 } else { 1 };
+                            run.drop_next = cfg.control_law(run.count, now);
+                            continue;
+                        }
+                        Some(_) => {
+                            return PullResult {
+                                serve: Some(q),
+                                dropped,
+                            };
+                        }
+                    }
+                }
+                (BufferKind::CoDel(_), _) => unreachable!("CoDel params with non-CoDel state"),
+            }
+        }
+    }
+}
+
+impl BufferState {
     /// Bits currently queued.
     pub fn fullness(&self) -> Bits {
         self.queued_bits
@@ -160,126 +282,99 @@ impl Buffer {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+}
+
+/// A bounded queue with a selectable discipline: the construction
+/// blueprint pairing [`BufferParams`] with [`BufferState`]. The network
+/// builder splits it; standalone use (tests, direct simulation) drives
+/// the pair through the delegating methods below.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Buffer {
+    /// Immutable configuration.
+    pub params: BufferParams,
+    /// Mutable queue/AQM state.
+    pub state: BufferState,
+}
+
+impl Buffer {
+    /// A tail-drop buffer of the given capacity.
+    pub fn drop_tail(capacity: Bits) -> Buffer {
+        Buffer::from_params(BufferParams {
+            capacity,
+            kind: BufferKind::DropTail,
+        })
+    }
+
+    /// A RED buffer. Thresholds in bits.
+    pub fn red(capacity: Bits, min_th: Bits, max_th: Bits, max_p: Ppm, w_shift: u32) -> Buffer {
+        assert!(min_th < max_th, "RED thresholds inverted");
+        Buffer::from_params(BufferParams {
+            capacity,
+            kind: BufferKind::Red(RedParams {
+                min_th,
+                max_th,
+                max_p,
+                w_shift,
+            }),
+        })
+    }
+
+    /// A CoDel buffer with standard target/interval unless overridden.
+    pub fn codel(capacity: Bits, target: Dur, interval: Dur) -> Buffer {
+        Buffer::from_params(BufferParams {
+            capacity,
+            kind: BufferKind::CoDel(CoDelParams { target, interval }),
+        })
+    }
+
+    fn from_params(params: BufferParams) -> Buffer {
+        let state = params.initial_state();
+        Buffer { params, state }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> Bits {
+        self.params.capacity
+    }
+
+    /// Bits currently queued.
+    pub fn fullness(&self) -> Bits {
+        self.state.fullness()
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
 
     /// Would `pkt` fit right now?
     pub fn fits(&self, pkt: &Packet) -> bool {
-        match self.queued_bits.checked_add(pkt.size) {
-            Some(total) => total <= self.capacity,
-            None => false,
-        }
+        self.params.fits(&self.state, pkt)
     }
 
-    /// Offer a packet for admission at `now`. For `DropTail`/`CoDel` this
-    /// decides immediately; for `Red` it may return [`Admission::RedChoice`]
-    /// and the caller resolves the probabilistic drop through the choice
-    /// mechanism, then calls [`Buffer::force_enqueue`] on "enqueue".
+    /// See [`BufferParams::offer`].
     pub fn offer(&mut self, pkt: Packet, now: Time) -> Admission {
-        if !self.fits(&pkt) {
-            return Admission::TailDrop;
-        }
-        if let BufferKind::Red(red) = &mut self.kind {
-            // EWMA update on the *instantaneous* queue at arrival.
-            let q_x256 = self.queued_bits.as_u64() * 256;
-            let delta = q_x256 as i128 - red.avg_x256 as i128;
-            red.avg_x256 = (red.avg_x256 as i128 + (delta >> red.w_shift)) as u64;
-            let avg = Bits::new(red.avg_x256 / 256);
-            if avg >= red.max_th {
-                return Admission::RedChoice(Ppm::ONE);
-            }
-            if avg > red.min_th {
-                let span = (red.max_th - red.min_th).as_u64();
-                let over = (avg - red.min_th).as_u64();
-                let p = red.max_p.prob() * over as f64 / span as f64;
-                return Admission::RedChoice(Ppm::from_prob(p.min(1.0)));
-            }
-        }
-        self.force_enqueue(pkt, now);
-        Admission::Enqueued
+        self.params.offer(&mut self.state, pkt, now)
     }
 
-    /// Enqueue unconditionally (post-admission). Panics if it does not fit —
-    /// admission must have been checked.
+    /// See [`BufferParams::force_enqueue`].
     pub fn force_enqueue(&mut self, pkt: Packet, now: Time) {
-        assert!(self.fits(&pkt), "force_enqueue past capacity");
-        self.queued_bits += pkt.size;
-        self.queue.push_back(Queued {
-            packet: pkt,
-            enq_at: now,
-        });
+        self.params.force_enqueue(&mut self.state, pkt, now)
     }
 
-    /// Dequeue for service at `now`. Returns the packet to serve plus any
-    /// packets CoDel dropped on the way (these must be recorded as drops by
-    /// the caller).
+    /// See [`BufferParams::pull`].
     pub fn pull(&mut self, now: Time) -> PullResult {
-        let mut dropped = Vec::new();
-        loop {
-            let Some(q) = self.queue.pop_front() else {
-                return PullResult {
-                    serve: None,
-                    dropped,
-                };
-            };
-            self.queued_bits -= q.packet.size;
-            match &mut self.kind {
-                BufferKind::DropTail | BufferKind::Red(_) => {
-                    return PullResult {
-                        serve: Some(q),
-                        dropped,
-                    };
-                }
-                BufferKind::CoDel(st) => {
-                    let sojourn = now.since(q.enq_at);
-                    let ok = sojourn < st.target;
-                    if ok {
-                        st.first_above = None;
-                        if st.dropping {
-                            st.dropping = false;
-                        }
-                        return PullResult {
-                            serve: Some(q),
-                            dropped,
-                        };
-                    }
-                    // Sojourn above target.
-                    if st.dropping {
-                        if now >= st.drop_next {
-                            dropped.push(q);
-                            st.count += 1;
-                            st.drop_next = st.control_law(st.drop_next);
-                            continue;
-                        }
-                        return PullResult {
-                            serve: Some(q),
-                            dropped,
-                        };
-                    }
-                    match st.first_above {
-                        None => {
-                            st.first_above = Some(now);
-                            return PullResult {
-                                serve: Some(q),
-                                dropped,
-                            };
-                        }
-                        Some(t0) if now.since(t0) >= st.interval => {
-                            // Enter dropping state: drop this one.
-                            dropped.push(q);
-                            st.dropping = true;
-                            st.count = if st.count > 2 { st.count - 2 } else { 1 };
-                            st.drop_next = st.control_law(now);
-                            continue;
-                        }
-                        Some(_) => {
-                            return PullResult {
-                                serve: Some(q),
-                                dropped,
-                            };
-                        }
-                    }
-                }
-            }
-        }
+        self.params.pull(&mut self.state, now)
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (BufferParams, BufferState) {
+        (self.params, self.state)
     }
 }
 
@@ -429,9 +524,9 @@ mod tests {
         let r = b.pull(Time::from_millis(61));
         assert!(r.dropped.is_empty());
         assert_eq!(r.serve.unwrap().packet.seq, 1);
-        if let BufferKind::CoDel(st) = &b.kind {
-            assert!(st.first_above.is_none());
-            assert!(!st.dropping);
+        if let AqmState::CoDel(run) = &b.state.aqm {
+            assert!(run.first_above.is_none());
+            assert!(!run.dropping);
         } else {
             unreachable!()
         }

@@ -6,38 +6,41 @@
 //! deterministic; JITTER's per-packet decision goes through the choice
 //! mechanism (`ChoiceKind::JitterFate`), and only *jittered* packets enter
 //! its in-flight set — unjittered ones pass through synchronously.
+//!
+//! Split representation: [`DelayParams`] / [`JitterParams`] hold the
+//! immutable configuration; [`DelayState`] / [`JitterState`] hold the
+//! in-flight sets. The blueprints pair them for construction.
 
 use augur_sim::{Dur, Packet, Ppm, Time};
 use std::collections::VecDeque;
 
-/// A fixed propagation delay.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct DelayEl {
+/// Fixed-delay configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DelayParams {
     /// Added to every packet.
     pub delay: Dur,
-    /// Packets in flight, FIFO (fixed delay preserves order).
-    in_flight: VecDeque<(Time, Packet)>,
 }
 
-impl DelayEl {
-    /// A delay element.
-    pub fn new(delay: Dur) -> DelayEl {
-        DelayEl {
-            delay,
-            in_flight: VecDeque::new(),
-        }
-    }
+/// Packets currently held by a DELAY element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DelayState {
+    /// Packets in flight, FIFO (fixed delay preserves order).
+    pub(crate) in_flight: VecDeque<(Time, Packet)>,
+}
 
+impl DelayParams {
     /// Accept a packet at `now`; it becomes due at `now + delay`.
-    pub fn accept(&mut self, pkt: Packet, now: Time) {
+    pub fn accept(&self, st: &mut DelayState, pkt: Packet, now: Time) {
         let due = now + self.delay;
         debug_assert!(
-            self.in_flight.back().is_none_or(|(d, _)| *d <= due),
+            st.in_flight.back().is_none_or(|(d, _)| *d <= due),
             "fixed delay must preserve order"
         );
-        self.in_flight.push_back((due, pkt));
+        st.in_flight.push_back((due, pkt));
     }
+}
 
+impl DelayState {
     /// The earliest due time, if any packet is in flight.
     pub fn next_timer(&self) -> Option<Time> {
         self.in_flight.front().map(|(d, _)| *d)
@@ -62,32 +65,79 @@ impl DelayEl {
     }
 }
 
-/// Probabilistic extra delay.
+/// A fixed propagation delay: the construction blueprint.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct JitterEl {
+pub struct DelayEl {
+    /// Immutable configuration.
+    pub params: DelayParams,
+    /// In-flight packets.
+    pub state: DelayState,
+}
+
+impl DelayEl {
+    /// A delay element.
+    pub fn new(delay: Dur) -> DelayEl {
+        DelayEl {
+            params: DelayParams { delay },
+            state: DelayState::default(),
+        }
+    }
+
+    /// See [`DelayParams::accept`].
+    pub fn accept(&mut self, pkt: Packet, now: Time) {
+        self.params.accept(&mut self.state, pkt, now)
+    }
+
+    /// See [`DelayState::next_timer`].
+    pub fn next_timer(&self) -> Option<Time> {
+        self.state.next_timer()
+    }
+
+    /// See [`DelayState::release`].
+    pub fn release(&mut self, now: Time) -> Option<Packet> {
+        self.state.release(now)
+    }
+
+    /// Number of packets in flight.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True iff no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (DelayParams, DelayState) {
+        (self.params, self.state)
+    }
+}
+
+/// Probabilistic-extra-delay configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JitterParams {
     /// Probability a packet is jittered.
     pub p: Ppm,
     /// Extra delay applied to jittered packets.
     pub extra: Dur,
-    /// Jittered packets in flight, FIFO by due time.
-    in_flight: VecDeque<(Time, Packet)>,
 }
 
-impl JitterEl {
-    /// A jitter element.
-    pub fn new(p: Ppm, extra: Dur) -> JitterEl {
-        JitterEl {
-            p,
-            extra,
-            in_flight: VecDeque::new(),
-        }
-    }
+/// Jittered packets currently held by a JITTER element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct JitterState {
+    /// Jittered packets in flight, FIFO by due time.
+    pub(crate) in_flight: VecDeque<(Time, Packet)>,
+}
 
+impl JitterParams {
     /// Hold a packet chosen for jittering; due at `now + extra`.
-    pub fn hold(&mut self, pkt: Packet, now: Time) {
-        self.in_flight.push_back((now + self.extra, pkt));
+    pub fn hold(&self, st: &mut JitterState, pkt: Packet, now: Time) {
+        st.in_flight.push_back((now + self.extra, pkt));
     }
+}
 
+impl JitterState {
     /// The earliest due time among jittered packets.
     pub fn next_timer(&self) -> Option<Time> {
         self.in_flight.front().map(|(d, _)| *d)
@@ -109,6 +159,55 @@ impl JitterEl {
     /// True iff no jittered packets are in flight.
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()
+    }
+}
+
+/// Probabilistic extra delay: the construction blueprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JitterEl {
+    /// Immutable configuration.
+    pub params: JitterParams,
+    /// Jittered packets in flight.
+    pub state: JitterState,
+}
+
+impl JitterEl {
+    /// A jitter element.
+    pub fn new(p: Ppm, extra: Dur) -> JitterEl {
+        JitterEl {
+            params: JitterParams { p, extra },
+            state: JitterState::default(),
+        }
+    }
+
+    /// See [`JitterParams::hold`].
+    pub fn hold(&mut self, pkt: Packet, now: Time) {
+        self.params.hold(&mut self.state, pkt, now)
+    }
+
+    /// See [`JitterState::next_timer`].
+    pub fn next_timer(&self) -> Option<Time> {
+        self.state.next_timer()
+    }
+
+    /// See [`JitterState::release`].
+    pub fn release(&mut self, now: Time) -> Option<Packet> {
+        self.state.release(now)
+    }
+
+    /// Number of jittered packets in flight.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True iff no jittered packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (JitterParams, JitterState) {
+        (self.params, self.state)
     }
 }
 

@@ -7,11 +7,11 @@
 //! mechanism; this module defines the per-element state plus the small
 //! elements that need no file of their own (LOSS, DIVERTER, RECEIVER).
 
-use crate::buffer::Buffer;
-use crate::delay::{DelayEl, JitterEl};
-use crate::gate::{Either, Gate};
-use crate::link::Link;
-use crate::source::Pinger;
+use crate::buffer::{Buffer, BufferParams, BufferState};
+use crate::delay::{DelayEl, DelayParams, DelayState, JitterEl, JitterParams, JitterState};
+use crate::gate::{Either, EitherParams, EitherState, Gate, GateParams, GateState};
+use crate::link::{Link, LinkParams, LinkState};
+use crate::source::{Pinger, PingerParams, PingerState};
 use augur_sim::{FlowId, Ppm, Time};
 
 /// LOSS — "stochastic loss, independently distributed for each packet at a
@@ -63,6 +63,58 @@ pub enum Element {
     Receiver(ReceiverEl),
 }
 
+/// The immutable half of an element: configuration that is identical for
+/// every hypothesis network sharing a structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElementParams {
+    /// Queue capacity and discipline configuration.
+    Buffer(BufferParams),
+    /// Rate process, ARQ configuration, feed wiring.
+    Link(LinkParams),
+    /// Fixed delay amount.
+    Delay(DelayParams),
+    /// Loss probability.
+    Loss(Loss),
+    /// Jitter probability and extra delay.
+    Jitter(JitterParams),
+    /// Emission interval, packet size, flow.
+    Pinger(PingerParams),
+    /// Switching law.
+    Gate(GateParams),
+    /// Switching epoch and probability.
+    Either(EitherParams),
+    /// Matched flow.
+    Diverter(Diverter),
+    /// Terminal receiver (no configuration).
+    Receiver(ReceiverEl),
+}
+
+/// The mutable half of an element: the compact per-hypothesis state a
+/// `Network` clone copies. Variants mirror [`ElementParams`] one-to-one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElementState {
+    /// Queue contents and AQM running state.
+    Buffer(BufferState),
+    /// In-service packet, busy-until, bare-link backlog.
+    Link(LinkState),
+    /// In-flight packets.
+    Delay(DelayState),
+    /// LOSS is stateless.
+    Loss,
+    /// Jittered packets in flight.
+    Jitter(JitterState),
+    /// Next emission instant and sequence number.
+    Pinger(PingerState),
+    /// Connectivity and next decision instant.
+    Gate(GateState),
+    /// Route position and next decision instant.
+    Either(EitherState),
+    /// DIVERTER is stateless.
+    Diverter,
+    /// RECEIVER is stateless (deliveries live in the transient log).
+    Receiver,
+}
+
 impl Element {
     /// The element's next self-scheduled activity, if any.
     pub fn next_timer(&self) -> Option<Time> {
@@ -92,6 +144,81 @@ impl Element {
             Element::Either(_) => "Either",
             Element::Diverter(_) => "Diverter",
             Element::Receiver(_) => "Receiver",
+        }
+    }
+
+    /// Decompose a blueprint element into its immutable/mutable halves
+    /// (the network builder does this once per structure).
+    pub fn split(self) -> (ElementParams, ElementState) {
+        match self {
+            Element::Buffer(b) => {
+                let (p, s) = b.split();
+                (ElementParams::Buffer(p), ElementState::Buffer(s))
+            }
+            Element::Link(l) => {
+                let (p, s) = l.split();
+                (ElementParams::Link(p), ElementState::Link(s))
+            }
+            Element::Delay(d) => {
+                let (p, s) = d.split();
+                (ElementParams::Delay(p), ElementState::Delay(s))
+            }
+            Element::Loss(l) => (ElementParams::Loss(l), ElementState::Loss),
+            Element::Jitter(j) => {
+                let (p, s) = j.split();
+                (ElementParams::Jitter(p), ElementState::Jitter(s))
+            }
+            Element::Pinger(p) => {
+                let (pp, s) = p.split();
+                (ElementParams::Pinger(pp), ElementState::Pinger(s))
+            }
+            Element::Gate(g) => {
+                let (p, s) = g.split();
+                (ElementParams::Gate(p), ElementState::Gate(s))
+            }
+            Element::Either(e) => {
+                let (p, s) = e.split();
+                (ElementParams::Either(p), ElementState::Either(s))
+            }
+            Element::Diverter(d) => (ElementParams::Diverter(d), ElementState::Diverter),
+            Element::Receiver(r) => (ElementParams::Receiver(r), ElementState::Receiver),
+        }
+    }
+}
+
+impl ElementParams {
+    /// A short name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ElementParams::Buffer(_) => "Buffer",
+            ElementParams::Link(_) => "Link",
+            ElementParams::Delay(_) => "Delay",
+            ElementParams::Loss(_) => "Loss",
+            ElementParams::Jitter(_) => "Jitter",
+            ElementParams::Pinger(_) => "Pinger",
+            ElementParams::Gate(_) => "Gate",
+            ElementParams::Either(_) => "Either",
+            ElementParams::Diverter(_) => "Diverter",
+            ElementParams::Receiver(_) => "Receiver",
+        }
+    }
+}
+
+impl ElementState {
+    /// The element's next self-scheduled activity, if any — the single
+    /// timer scan the event loop runs once per event.
+    pub fn next_timer(&self) -> Option<Time> {
+        match self {
+            ElementState::Buffer(_)
+            | ElementState::Loss
+            | ElementState::Diverter
+            | ElementState::Receiver => None,
+            ElementState::Link(l) => l.next_timer(),
+            ElementState::Delay(d) => d.next_timer(),
+            ElementState::Jitter(j) => j.next_timer(),
+            ElementState::Pinger(p) => p.next_timer(),
+            ElementState::Gate(g) => g.next_timer(),
+            ElementState::Either(e) => e.next_timer(),
         }
     }
 }
@@ -129,6 +256,28 @@ mod tests {
 
         let idle_link = Element::Link(Link::constant(BitRate::from_bps(100)));
         assert!(idle_link.next_timer().is_none());
+    }
+
+    #[test]
+    fn split_separates_params_from_state() {
+        let (p, s) = Element::Pinger(Pinger::new(
+            Dur::from_secs(1),
+            Bits::new(100),
+            FlowId::CROSS,
+            Time::from_secs(3),
+        ))
+        .split();
+        assert_eq!(p.kind_name(), "Pinger");
+        // The timer lives in the state half.
+        assert_eq!(s.next_timer(), Some(Time::from_secs(3)));
+
+        let (p, s) = Element::Link(Link::constant(BitRate::from_bps(100))).split();
+        assert_eq!(p.kind_name(), "Link");
+        assert!(s.next_timer().is_none());
+
+        let (p, s) = Element::Receiver(ReceiverEl).split();
+        assert_eq!(p.kind_name(), "Receiver");
+        assert!(s.next_timer().is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!
 //! Packets arriving at a disconnected gate are dropped (recorded as
 //! `DropReason::GateClosed`).
+//!
+//! Split representation: [`GateParams`] / [`EitherParams`] carry the
+//! switching law; [`GateState`] / [`EitherState`] carry the phase (current
+//! position plus next decision instant).
 
 use augur_sim::{Dur, Ppm, Time};
 
@@ -39,11 +43,16 @@ pub enum GateKind {
     },
 }
 
-/// A connectivity gate (INTERMITTENT or SQUAREWAVE).
+/// Immutable gate parameters: the switching law.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Gate {
+pub struct GateParams {
     /// Switching law.
     pub kind: GateKind,
+}
+
+/// Per-hypothesis gate phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateState {
     /// True iff input currently reaches output.
     pub connected: bool,
     /// Next switching decision instant.
@@ -58,37 +67,7 @@ pub fn epoch_switch_prob(epoch: Dur, mtts: Dur) -> Ppm {
     Ppm::from_prob(1.0 - (-x).exp())
 }
 
-impl Gate {
-    /// An INTERMITTENT gate. First decision falls at the end of the first
-    /// epoch.
-    pub fn intermittent(mtts: Dur, epoch: Dur, initially_connected: bool) -> Gate {
-        assert!(epoch > Dur::ZERO, "epoch must be positive");
-        Gate {
-            kind: GateKind::Intermittent {
-                epoch,
-                p_switch: epoch_switch_prob(epoch, mtts),
-                mtts,
-            },
-            connected: initially_connected,
-            next_decision: Time::ZERO + epoch,
-        }
-    }
-
-    /// A SQUAREWAVE gate. First flip at `half_period`.
-    pub fn square_wave(half_period: Dur, initially_connected: bool) -> Gate {
-        assert!(half_period > Dur::ZERO, "half period must be positive");
-        Gate {
-            kind: GateKind::SquareWave { half_period },
-            connected: initially_connected,
-            next_decision: Time::ZERO + half_period,
-        }
-    }
-
-    /// The next decision instant.
-    pub fn next_timer(&self) -> Option<Time> {
-        Some(self.next_decision)
-    }
-
+impl GateParams {
     /// For INTERMITTENT: the per-epoch switch probability to hand to the
     /// choice mechanism. `None` for SQUAREWAVE (deterministic).
     pub fn switch_choice(&self) -> Option<Ppm> {
@@ -100,31 +79,135 @@ impl Gate {
 
     /// Apply a decision at `now`: flip if `switch`, then schedule the next
     /// decision.
-    pub fn decide(&mut self, switch: bool, now: Time) {
-        debug_assert!(now >= self.next_decision);
+    pub fn decide(&self, st: &mut GateState, switch: bool, now: Time) {
+        debug_assert!(now >= st.next_decision);
         if switch {
-            self.connected = !self.connected;
+            st.connected = !st.connected;
         }
         let step = match &self.kind {
             GateKind::Intermittent { epoch, .. } => *epoch,
             GateKind::SquareWave { half_period } => *half_period,
         };
-        self.next_decision += step;
+        st.next_decision += step;
     }
 }
 
-/// The EITHER combinator: routes to the primary successor normally, to the
-/// secondary while switched, flipping memorylessly per epoch.
+impl GateState {
+    /// The next decision instant.
+    pub fn next_timer(&self) -> Option<Time> {
+        Some(self.next_decision)
+    }
+}
+
+/// A connectivity gate (INTERMITTENT or SQUAREWAVE): the construction
+/// blueprint pairing [`GateParams`] with [`GateState`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Either {
+pub struct Gate {
+    /// Immutable switching law.
+    pub params: GateParams,
+    /// Mutable phase.
+    pub state: GateState,
+}
+
+impl Gate {
+    /// An INTERMITTENT gate. First decision falls at the end of the first
+    /// epoch.
+    pub fn intermittent(mtts: Dur, epoch: Dur, initially_connected: bool) -> Gate {
+        assert!(epoch > Dur::ZERO, "epoch must be positive");
+        Gate {
+            params: GateParams {
+                kind: GateKind::Intermittent {
+                    epoch,
+                    p_switch: epoch_switch_prob(epoch, mtts),
+                    mtts,
+                },
+            },
+            state: GateState {
+                connected: initially_connected,
+                next_decision: Time::ZERO + epoch,
+            },
+        }
+    }
+
+    /// A SQUAREWAVE gate. First flip at `half_period`.
+    pub fn square_wave(half_period: Dur, initially_connected: bool) -> Gate {
+        assert!(half_period > Dur::ZERO, "half period must be positive");
+        Gate {
+            params: GateParams {
+                kind: GateKind::SquareWave { half_period },
+            },
+            state: GateState {
+                connected: initially_connected,
+                next_decision: Time::ZERO + half_period,
+            },
+        }
+    }
+
+    /// The next decision instant.
+    pub fn next_timer(&self) -> Option<Time> {
+        self.state.next_timer()
+    }
+
+    /// See [`GateParams::switch_choice`].
+    pub fn switch_choice(&self) -> Option<Ppm> {
+        self.params.switch_choice()
+    }
+
+    /// See [`GateParams::decide`].
+    pub fn decide(&mut self, switch: bool, now: Time) {
+        self.params.decide(&mut self.state, switch, now)
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (GateParams, GateState) {
+        (self.params, self.state)
+    }
+}
+
+/// Immutable EITHER parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EitherParams {
     /// Decision epoch.
     pub epoch: Dur,
     /// Per-epoch switch probability.
     pub p_switch: Ppm,
+}
+
+/// Per-hypothesis EITHER phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EitherState {
     /// True iff currently routing to the secondary (`alt`) successor.
     pub on_alt: bool,
     /// Next decision instant.
     pub next_decision: Time,
+}
+
+impl EitherParams {
+    /// Apply a decision at `now`.
+    pub fn decide(&self, st: &mut EitherState, switch: bool, _now: Time) {
+        if switch {
+            st.on_alt = !st.on_alt;
+        }
+        st.next_decision += self.epoch;
+    }
+}
+
+impl EitherState {
+    /// Next decision instant.
+    pub fn next_timer(&self) -> Option<Time> {
+        Some(self.next_decision)
+    }
+}
+
+/// The EITHER combinator: routes to the primary successor normally, to the
+/// secondary while switched, flipping memorylessly per epoch. Construction
+/// blueprint pairing [`EitherParams`] with [`EitherState`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Either {
+    /// Immutable configuration.
+    pub params: EitherParams,
+    /// Mutable phase.
+    pub state: EitherState,
 }
 
 impl Either {
@@ -132,24 +215,30 @@ impl Either {
     pub fn new(mtts: Dur, epoch: Dur, initially_alt: bool) -> Either {
         assert!(epoch > Dur::ZERO, "epoch must be positive");
         Either {
-            epoch,
-            p_switch: epoch_switch_prob(epoch, mtts),
-            on_alt: initially_alt,
-            next_decision: Time::ZERO + epoch,
+            params: EitherParams {
+                epoch,
+                p_switch: epoch_switch_prob(epoch, mtts),
+            },
+            state: EitherState {
+                on_alt: initially_alt,
+                next_decision: Time::ZERO + epoch,
+            },
         }
     }
 
     /// Next decision instant.
     pub fn next_timer(&self) -> Option<Time> {
-        Some(self.next_decision)
+        self.state.next_timer()
     }
 
-    /// Apply a decision at `now`.
-    pub fn decide(&mut self, switch: bool, _now: Time) {
-        if switch {
-            self.on_alt = !self.on_alt;
-        }
-        self.next_decision += self.epoch;
+    /// See [`EitherParams::decide`].
+    pub fn decide(&mut self, switch: bool, now: Time) {
+        self.params.decide(&mut self.state, switch, now)
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (EitherParams, EitherState) {
+        (self.params, self.state)
     }
 }
 
@@ -170,14 +259,14 @@ mod tests {
     #[test]
     fn square_wave_flips_deterministically() {
         let mut g = Gate::square_wave(Dur::from_secs(100), true);
-        assert!(g.connected);
+        assert!(g.state.connected);
         assert!(g.switch_choice().is_none());
         assert_eq!(g.next_timer(), Some(Time::from_secs(100)));
         g.decide(true, Time::from_secs(100));
-        assert!(!g.connected);
+        assert!(!g.state.connected);
         assert_eq!(g.next_timer(), Some(Time::from_secs(200)));
         g.decide(true, Time::from_secs(200));
-        assert!(g.connected);
+        assert!(g.state.connected);
     }
 
     #[test]
@@ -186,20 +275,20 @@ mod tests {
         let p = g.switch_choice().unwrap();
         assert!(p.prob() > 0.0 && p.prob() < 0.02);
         g.decide(false, Time::from_secs(1));
-        assert!(g.connected);
+        assert!(g.state.connected);
         assert_eq!(g.next_timer(), Some(Time::from_secs(2)));
         g.decide(true, Time::from_secs(2));
-        assert!(!g.connected);
+        assert!(!g.state.connected);
     }
 
     #[test]
     fn either_switches_route() {
         let mut e = Either::new(Dur::from_secs(10), Dur::from_secs(1), false);
-        assert!(!e.on_alt);
+        assert!(!e.state.on_alt);
         e.decide(true, Time::from_secs(1));
-        assert!(e.on_alt);
+        assert!(e.state.on_alt);
         e.decide(false, Time::from_secs(2));
-        assert!(e.on_alt);
+        assert!(e.state.on_alt);
         assert_eq!(e.next_timer(), Some(Time::from_secs(3)));
     }
 }

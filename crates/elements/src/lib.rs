@@ -28,14 +28,21 @@ pub mod network;
 pub mod node;
 pub mod source;
 
-pub use buffer::{Buffer, BufferKind};
+pub use buffer::{
+    AqmState, Buffer, BufferKind, BufferParams, BufferState, CoDelParams, CoDelRun, RedParams,
+};
 pub use cellular::{build_cellular, build_cellular_with_buffer, CellularNet, CellularParams};
 pub use choice::{ChoiceKind, ChoiceSpec};
-pub use delay::{DelayEl, JitterEl};
-pub use element::{Diverter, Element, Loss, ReceiverEl};
-pub use gate::{Either, Gate, GateKind};
-pub use link::{Link, RateProcess, TraceEnd};
-pub use model::{build_model, GateSpec, ModelNet, ModelParams};
-pub use network::{DropReason, DropRecord, Network, NetworkBuilder, Step, BACKLOG_FLOW};
-pub use node::{Node, NodeId};
-pub use source::Pinger;
+pub use delay::{DelayEl, DelayParams, DelayState, JitterEl, JitterParams, JitterState};
+pub use element::{Diverter, Element, ElementParams, ElementState, Loss, ReceiverEl};
+pub use gate::{Either, EitherParams, EitherState, Gate, GateKind, GateParams, GateState};
+pub use link::{Link, LinkParams, LinkState, RateProcess, TraceEnd};
+pub use model::{
+    build_model, GateSpec, ModelNet, ModelParams, FIG2_BUFFER, FIG2_DIVERTER, FIG2_ENTRY,
+    FIG2_GATE, FIG2_LINK, FIG2_LOSS, FIG2_PINGER, FIG2_RX_CROSS, FIG2_RX_SELF,
+};
+pub use network::{
+    DropReason, DropRecord, Network, NetworkBuilder, NetworkStructure, Step, BACKLOG_FLOW,
+};
+pub use node::{Node, NodeId, NodeParams};
+pub use source::{Pinger, PingerParams, PingerState};

@@ -284,9 +284,10 @@ impl RateProcess {
     }
 }
 
-/// A throughput-limited link.
+/// Immutable link parameters: the rate process, ARQ configuration, and
+/// the upstream feed wiring.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Link {
+pub struct LinkParams {
     /// Speed over time.
     pub rate: RateProcess,
     /// Per-transmission loss hidden by link-layer ARQ (0 disables ARQ).
@@ -295,38 +296,27 @@ pub struct Link {
     pub arq_retry_delay: Dur,
     /// Upstream buffer to pull from on completion (wired by the builder).
     pub feed: Option<NodeId>,
+}
+
+/// Per-hypothesis mutable link state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinkState {
     /// Packet currently being serialized.
     pub in_service: Option<Packet>,
     /// When the current serialization finishes.
     pub busy_until: Time,
-    /// Internal unbounded FIFO, used only when `feed` is `None`.
+    /// Internal unbounded FIFO, used only when the params' `feed` is `None`.
     pub backlog: VecDeque<Packet>,
 }
 
-impl Link {
-    /// A constant-rate link with no ARQ.
-    pub fn constant(rate: BitRate) -> Link {
-        Link::new(RateProcess::Const(rate), Ppm::ZERO, Dur::ZERO)
-    }
-
-    /// A fully-specified link.
-    pub fn new(rate: RateProcess, arq_loss: Ppm, arq_retry_delay: Dur) -> Link {
-        rate.validate();
-        assert!(!arq_loss.is_one(), "ARQ with loss 1.0 never delivers");
-        Link {
-            rate,
-            arq_loss,
-            arq_retry_delay,
-            feed: None,
+impl LinkParams {
+    /// Fresh (idle) state.
+    pub fn initial_state(&self) -> LinkState {
+        LinkState {
             in_service: None,
             busy_until: Time::ZERO,
             backlog: VecDeque::new(),
         }
-    }
-
-    /// Is the link free to accept a packet right now?
-    pub fn idle(&self) -> bool {
-        self.in_service.is_none()
     }
 
     /// Begin serializing `pkt` at `now`. Completion integrates the rate
@@ -336,20 +326,27 @@ impl Link {
     ///
     /// # Panics
     /// Panics if the link is already busy.
-    pub fn start_service(&mut self, pkt: Packet, now: Time) {
-        assert!(self.idle(), "start_service on busy link");
-        self.busy_until = self.rate.service_end(now, pkt.size);
-        self.in_service = Some(pkt);
+    pub fn start_service(&self, st: &mut LinkState, pkt: Packet, now: Time) {
+        assert!(st.idle(), "start_service on busy link");
+        st.busy_until = self.rate.service_end(now, pkt.size);
+        st.in_service = Some(pkt);
     }
 
     /// Begin a retransmission of the current packet at `now` (ARQ). The
     /// retry serializes starting after `arq_retry_delay`, at whatever the
     /// rate process does from *that* instant on.
-    pub fn start_retransmission(&mut self, now: Time) {
-        let pkt = self
+    pub fn start_retransmission(&self, st: &mut LinkState, now: Time) {
+        let pkt = st
             .in_service
             .expect("retransmission with nothing in service");
-        self.busy_until = self.rate.service_end(now + self.arq_retry_delay, pkt.size);
+        st.busy_until = self.rate.service_end(now + self.arq_retry_delay, pkt.size);
+    }
+}
+
+impl LinkState {
+    /// Is the link free to accept a packet right now?
+    pub fn idle(&self) -> bool {
+        self.in_service.is_none()
     }
 
     /// Take the completed packet out of service.
@@ -363,6 +360,67 @@ impl Link {
     /// The link's next timer: its completion instant, if busy.
     pub fn next_timer(&self) -> Option<Time> {
         self.in_service.map(|_| self.busy_until)
+    }
+}
+
+/// A throughput-limited link: the construction blueprint pairing
+/// [`LinkParams`] with [`LinkState`]. The network builder splits it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Immutable configuration.
+    pub params: LinkParams,
+    /// Mutable service state.
+    pub state: LinkState,
+}
+
+impl Link {
+    /// A constant-rate link with no ARQ.
+    pub fn constant(rate: BitRate) -> Link {
+        Link::new(RateProcess::Const(rate), Ppm::ZERO, Dur::ZERO)
+    }
+
+    /// A fully-specified link.
+    pub fn new(rate: RateProcess, arq_loss: Ppm, arq_retry_delay: Dur) -> Link {
+        rate.validate();
+        assert!(!arq_loss.is_one(), "ARQ with loss 1.0 never delivers");
+        let params = LinkParams {
+            rate,
+            arq_loss,
+            arq_retry_delay,
+            feed: None,
+        };
+        let state = params.initial_state();
+        Link { params, state }
+    }
+
+    /// Is the link free to accept a packet right now?
+    pub fn idle(&self) -> bool {
+        self.state.idle()
+    }
+
+    /// See [`LinkParams::start_service`].
+    pub fn start_service(&mut self, pkt: Packet, now: Time) {
+        self.params.start_service(&mut self.state, pkt, now)
+    }
+
+    /// See [`LinkParams::start_retransmission`].
+    pub fn start_retransmission(&mut self, now: Time) {
+        self.params.start_retransmission(&mut self.state, now)
+    }
+
+    /// See [`LinkState::complete`].
+    pub fn complete(&mut self) -> Packet {
+        self.state.complete()
+    }
+
+    /// See [`LinkState::next_timer`].
+    pub fn next_timer(&self) -> Option<Time> {
+        self.state.next_timer()
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (LinkParams, LinkState) {
+        (self.params, self.state)
     }
 }
 
@@ -422,11 +480,11 @@ mod tests {
             Dur::from_millis(50),
         );
         l.start_service(pkt(12_000), Time::ZERO);
-        assert_eq!(l.busy_until, Time::from_secs(1));
+        assert_eq!(l.state.busy_until, Time::from_secs(1));
         // Simulate ARQ failure at completion: retransmit.
         l.start_retransmission(Time::from_secs(1));
-        assert_eq!(l.busy_until, Time::from_micros(2_050_000));
-        assert!(l.in_service.is_some());
+        assert_eq!(l.state.busy_until, Time::from_micros(2_050_000));
+        assert!(l.state.in_service.is_some());
     }
 
     #[test]
@@ -530,7 +588,7 @@ mod tests {
         };
         let mut l = Link::new(rp, Ppm::ZERO, Dur::ZERO);
         l.start_service(pkt(24_000), Time::ZERO);
-        assert_eq!(l.busy_until, Time::from_secs(13));
+        assert_eq!(l.state.busy_until, Time::from_secs(13));
         // Mid-segment start: 0.5 s at 12 kbit/s (6_000 bits), then
         // 6_000 bits at 1 kbit/s (6 s) — done at 7 s.
         let mut l2 = Link::new(
@@ -545,7 +603,7 @@ mod tests {
             Dur::ZERO,
         );
         l2.start_service(pkt(12_000), Time::from_millis(500));
-        assert_eq!(l2.busy_until, Time::from_secs(7));
+        assert_eq!(l2.state.busy_until, Time::from_secs(7));
     }
 
     /// Integration across a loop wraparound: 3_000 bits starting at
@@ -617,8 +675,8 @@ mod tests {
         // inside the slow segment — 12_000 bits take 12 s, ending at 13 s.
         let mut l = Link::new(rp, Ppm::from_prob(0.5), Dur::from_millis(100));
         l.start_service(pkt(12_000), Time::ZERO);
-        assert_eq!(l.busy_until, Time::from_secs(1));
+        assert_eq!(l.state.busy_until, Time::from_secs(1));
         l.start_retransmission(Time::from_millis(900));
-        assert_eq!(l.busy_until, Time::from_secs(13));
+        assert_eq!(l.state.busy_until, Time::from_secs(13));
     }
 }

@@ -187,6 +187,29 @@ pub struct ModelNet {
     pub params: ModelParams,
 }
 
+/// Fixed node ids of the Figure-2 topology. `build_model` adds its nodes
+/// in one fixed order, so every Figure-2 network — every hypothesis in
+/// every prior — shares these ids. Callers that need a node id before any
+/// network exists (the runner's belief wiring, the prior's loss fold) use
+/// these instead of building a probe network.
+pub const FIG2_PINGER: NodeId = NodeId(0);
+/// The gate in front of the cross traffic.
+pub const FIG2_GATE: NodeId = NodeId(1);
+/// The shared tail-drop buffer — also the ISender's injection point.
+pub const FIG2_BUFFER: NodeId = NodeId(2);
+/// Alias for [`FIG2_BUFFER`]: where the ISender injects.
+pub const FIG2_ENTRY: NodeId = FIG2_BUFFER;
+/// The bottleneck link.
+pub const FIG2_LINK: NodeId = NodeId(3);
+/// The last-mile stochastic loss element.
+pub const FIG2_LOSS: NodeId = NodeId(4);
+/// The flow diverter in front of the receivers.
+pub const FIG2_DIVERTER: NodeId = NodeId(5);
+/// The ISender's receiver (its deliveries are the observations).
+pub const FIG2_RX_SELF: NodeId = NodeId(6);
+/// The cross traffic's receiver.
+pub const FIG2_RX_CROSS: NodeId = NodeId(7);
+
 /// Build the Figure-2 topology from parameters.
 pub fn build_model(params: ModelParams) -> ModelNet {
     let mut b = NetworkBuilder::new();
@@ -244,7 +267,20 @@ mod tests {
     fn paper_ground_truth_builds() {
         let m = build_model(ModelParams::paper_ground_truth());
         assert_eq!(m.net.node_count(), 8);
-        assert_eq!(m.net.buffer(m.buffer).capacity, Bits::new(96_000));
+        assert_eq!(m.net.buffer_params(m.buffer).capacity, Bits::new(96_000));
+    }
+
+    #[test]
+    fn node_ids_match_the_fig2_constants() {
+        let m = build_model(ModelParams::paper_ground_truth());
+        assert_eq!(m.pinger, FIG2_PINGER);
+        assert_eq!(m.gate, FIG2_GATE);
+        assert_eq!(m.buffer, FIG2_BUFFER);
+        assert_eq!(m.entry, FIG2_ENTRY);
+        assert_eq!(m.link, FIG2_LINK);
+        assert_eq!(m.loss, FIG2_LOSS);
+        assert_eq!(m.rx_self, FIG2_RX_SELF);
+        assert_eq!(m.rx_cross, FIG2_RX_CROSS);
     }
 
     #[test]

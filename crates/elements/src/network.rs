@@ -7,6 +7,26 @@
 //! as belief-state hypotheses and compacts branches whose states have
 //! reconverged (§3.2, DESIGN.md §4.1).
 //!
+//! # Structure sharing
+//!
+//! A network is split into two halves:
+//!
+//! * [`NetworkStructure`] — the immutable topology and parameters: routing
+//!   (`next`/`alt` successors and buffer→link feeds), element
+//!   configuration, rate-process schedules and trace samples, gate
+//!   switching laws, buffer capacities and queue-discipline settings.
+//!   Built once per blueprint by [`NetworkBuilder::build`] and shared
+//!   behind an `Arc` by every hypothesis forked from it.
+//! * `NetworkState` (private) — the compact mutable half: queue contents,
+//!   in-flight packets, timers, gate/either phase, the clock, the pending
+//!   choice, and the transient logs.
+//!
+//! `Network::clone` therefore copies only the state and bumps the Arc —
+//! the belief engine's forks and the particle filter's resamples never
+//! re-copy schedules or topology. [`PartialEq`] and [`Hash`] preserve the
+//! pre-split semantics exactly (identity is the *combined* value), so
+//! branch compaction and dedup behave identically.
+//!
 //! # Drivers
 //!
 //! Simulation advances with [`Network::run_until`], which processes
@@ -27,12 +47,16 @@
 //! step; the belief engine must do so before compacting, or observations
 //! would be silently discarded when branches merge.
 
-use crate::buffer::{Admission, Buffer};
+use crate::buffer::{Admission, AqmState, BufferKind, BufferParams, BufferState, Queued};
 use crate::choice::{ChoiceKind, ChoiceSpec};
-use crate::element::Element;
-use crate::node::{Node, NodeId};
-use augur_sim::{Bits, Delivery, FlowId, Packet, SimRng, Time};
+use crate::element::{Diverter, Element, ElementParams, ElementState, Loss, ReceiverEl};
+use crate::gate::GateKind;
+use crate::link::{LinkState, RateProcess};
+use crate::node::{Node, NodeId, NodeParams};
+use augur_sim::{Bits, Delivery, Dur, FlowId, Packet, Ppm, SimRng, Time};
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Flow id used for packets that pre-fill a buffer (the prior's "initial
 /// fullness"). They drain through the network like any other packet but
@@ -74,90 +98,336 @@ pub enum Step {
     Pending(ChoiceSpec),
 }
 
-/// A composed network of elements.
+/// The immutable half of a network: topology, wiring and element
+/// parameters, shared (behind an `Arc`) by every hypothesis built from
+/// the same blueprint.
+#[derive(Debug, PartialEq, Eq)]
+pub struct NetworkStructure {
+    pub(crate) nodes: Vec<NodeParams>,
+}
+
+impl NetworkStructure {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// The compact mutable half of a network: everything a hypothesis fork
+/// needs to copy.
 #[derive(Debug, Clone)]
-pub struct Network {
-    nodes: Vec<Node>,
+struct NetworkState {
+    elements: Vec<ElementState>,
     now: Time,
     pending: Option<ChoiceSpec>,
     deliveries: Vec<(NodeId, Delivery)>,
     drops: Vec<DropRecord>,
 }
 
+/// A composed network of elements: an `Arc`-shared [`NetworkStructure`]
+/// plus this hypothesis's private state.
+#[derive(Debug)]
+pub struct Network {
+    structure: Arc<NetworkStructure>,
+    state: NetworkState,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Network {
+        augur_sim::perf::count_state_clone();
+        Network {
+            structure: Arc::clone(&self.structure),
+            state: self.state.clone(),
+        }
+    }
+}
+
 impl PartialEq for Network {
     fn eq(&self, other: &Self) -> bool {
         // Transient logs are deliberately excluded: drain them before
-        // comparing (the belief engine does).
-        self.now == other.now && self.pending == other.pending && self.nodes == other.nodes
+        // comparing (the belief engine does). Forked hypotheses share one
+        // structure allocation, so the pointer check settles the
+        // structural half for free.
+        self.state.now == other.state.now
+            && self.state.pending == other.state.pending
+            && self.state.elements == other.state.elements
+            && (Arc::ptr_eq(&self.structure, &other.structure) || self.structure == other.structure)
     }
 }
 impl Eq for Network {}
 
+// ----------------------------------------------------------------------
+// Hash: reproduce the pre-split stream exactly.
+//
+// The legacy Network hashed (now, pending, Vec<Node>) where each Node was
+// (combined element, next, alt). The ref views below re-interleave the
+// split params/state halves in the legacy field order, and the enums
+// mirror the legacy variant order so the derived discriminant hashes
+// match. `hash_matches_legacy_fingerprints` pins the stream empirically.
+// ----------------------------------------------------------------------
+
+#[derive(Hash)]
+struct NodeRef<'a> {
+    element: ElementRef<'a>,
+    next: &'a Option<NodeId>,
+    alt: &'a Option<NodeId>,
+}
+
+#[derive(Hash)]
+enum ElementRef<'a> {
+    Buffer(BufferRef<'a>),
+    Link(LinkRef<'a>),
+    Delay(DelayRef<'a>),
+    Loss(&'a Loss),
+    Jitter(JitterRef<'a>),
+    Pinger(PingerRef<'a>),
+    Gate(GateRef<'a>),
+    Either(EitherRef<'a>),
+    Diverter(&'a Diverter),
+    Receiver(&'a ReceiverEl),
+}
+
+#[derive(Hash)]
+struct BufferRef<'a> {
+    capacity: &'a Bits,
+    kind: BufferKindRef<'a>,
+    queue: &'a VecDeque<Queued>,
+    queued_bits: &'a Bits,
+}
+
+#[derive(Hash)]
+enum BufferKindRef<'a> {
+    DropTail,
+    Red(RedRef<'a>),
+    CoDel(CoDelRef<'a>),
+}
+
+#[derive(Hash)]
+struct RedRef<'a> {
+    min_th: &'a Bits,
+    max_th: &'a Bits,
+    max_p: &'a Ppm,
+    w_shift: &'a u32,
+    avg_x256: &'a u64,
+}
+
+#[derive(Hash)]
+struct CoDelRef<'a> {
+    target: &'a Dur,
+    interval: &'a Dur,
+    first_above: &'a Option<Time>,
+    dropping: &'a bool,
+    drop_next: &'a Time,
+    count: &'a u32,
+}
+
+#[derive(Hash)]
+struct LinkRef<'a> {
+    rate: &'a RateProcess,
+    arq_loss: &'a Ppm,
+    arq_retry_delay: &'a Dur,
+    feed: &'a Option<NodeId>,
+    in_service: &'a Option<Packet>,
+    busy_until: &'a Time,
+    backlog: &'a VecDeque<Packet>,
+}
+
+#[derive(Hash)]
+struct DelayRef<'a> {
+    delay: &'a Dur,
+    in_flight: &'a VecDeque<(Time, Packet)>,
+}
+
+#[derive(Hash)]
+struct JitterRef<'a> {
+    p: &'a Ppm,
+    extra: &'a Dur,
+    in_flight: &'a VecDeque<(Time, Packet)>,
+}
+
+#[derive(Hash)]
+struct PingerRef<'a> {
+    interval: &'a Dur,
+    size: &'a Bits,
+    flow: &'a FlowId,
+    next_at: &'a Time,
+    next_seq: &'a u64,
+}
+
+#[derive(Hash)]
+struct GateRef<'a> {
+    kind: &'a GateKind,
+    connected: &'a bool,
+    next_decision: &'a Time,
+}
+
+#[derive(Hash)]
+struct EitherRef<'a> {
+    epoch: &'a Dur,
+    p_switch: &'a Ppm,
+    on_alt: &'a bool,
+    next_decision: &'a Time,
+}
+
+/// The combined (params + state) view of node `i`, for hashing.
+fn node_ref<'a>(s: &'a NetworkStructure, st: &'a [ElementState], i: usize) -> NodeRef<'a> {
+    let node = &s.nodes[i];
+    let element = match (&node.element, &st[i]) {
+        (ElementParams::Buffer(p), ElementState::Buffer(b)) => {
+            let kind = match (&p.kind, &b.aqm) {
+                (BufferKind::DropTail, AqmState::DropTail) => BufferKindRef::DropTail,
+                (BufferKind::Red(rp), AqmState::Red { avg_x256 }) => BufferKindRef::Red(RedRef {
+                    min_th: &rp.min_th,
+                    max_th: &rp.max_th,
+                    max_p: &rp.max_p,
+                    w_shift: &rp.w_shift,
+                    avg_x256,
+                }),
+                (BufferKind::CoDel(cp), AqmState::CoDel(run)) => BufferKindRef::CoDel(CoDelRef {
+                    target: &cp.target,
+                    interval: &cp.interval,
+                    first_above: &run.first_above,
+                    dropping: &run.dropping,
+                    drop_next: &run.drop_next,
+                    count: &run.count,
+                }),
+                _ => unreachable!("buffer discipline params/state mismatch"),
+            };
+            ElementRef::Buffer(BufferRef {
+                capacity: &p.capacity,
+                kind,
+                queue: &b.queue,
+                queued_bits: &b.queued_bits,
+            })
+        }
+        (ElementParams::Link(p), ElementState::Link(l)) => ElementRef::Link(LinkRef {
+            rate: &p.rate,
+            arq_loss: &p.arq_loss,
+            arq_retry_delay: &p.arq_retry_delay,
+            feed: &p.feed,
+            in_service: &l.in_service,
+            busy_until: &l.busy_until,
+            backlog: &l.backlog,
+        }),
+        (ElementParams::Delay(p), ElementState::Delay(d)) => ElementRef::Delay(DelayRef {
+            delay: &p.delay,
+            in_flight: &d.in_flight,
+        }),
+        (ElementParams::Loss(l), ElementState::Loss) => ElementRef::Loss(l),
+        (ElementParams::Jitter(p), ElementState::Jitter(j)) => ElementRef::Jitter(JitterRef {
+            p: &p.p,
+            extra: &p.extra,
+            in_flight: &j.in_flight,
+        }),
+        (ElementParams::Pinger(p), ElementState::Pinger(ps)) => ElementRef::Pinger(PingerRef {
+            interval: &p.interval,
+            size: &p.size,
+            flow: &p.flow,
+            next_at: &ps.next_at,
+            next_seq: &ps.next_seq,
+        }),
+        (ElementParams::Gate(p), ElementState::Gate(g)) => ElementRef::Gate(GateRef {
+            kind: &p.kind,
+            connected: &g.connected,
+            next_decision: &g.next_decision,
+        }),
+        (ElementParams::Either(p), ElementState::Either(e)) => ElementRef::Either(EitherRef {
+            epoch: &p.epoch,
+            p_switch: &p.p_switch,
+            on_alt: &e.on_alt,
+            next_decision: &e.next_decision,
+        }),
+        (ElementParams::Diverter(d), ElementState::Diverter) => ElementRef::Diverter(d),
+        (ElementParams::Receiver(r), ElementState::Receiver) => ElementRef::Receiver(r),
+        _ => unreachable!("element params/state kind mismatch"),
+    };
+    NodeRef {
+        element,
+        next: &node.next,
+        alt: &node.alt,
+    }
+}
+
 impl Hash for Network {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.now.hash(state);
-        self.pending.hash(state);
-        self.nodes.hash(state);
+        self.state.now.hash(state);
+        self.state.pending.hash(state);
+        // The legacy Vec<Node> hash wrote a length prefix, then each node.
+        state.write_usize(self.structure.nodes.len());
+        for i in 0..self.structure.nodes.len() {
+            node_ref(&self.structure, &self.state.elements, i).hash(state);
+        }
     }
 }
 
 impl Network {
     /// Current virtual time (the last processed instant).
     pub fn now(&self) -> Time {
-        self.now
+        self.state.now
     }
 
-    /// Read access to a node.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.0]
+    /// The shared immutable half.
+    pub fn structure(&self) -> &NetworkStructure {
+        &self.structure
+    }
+
+    /// True iff both networks share the same structure *allocation*
+    /// (i.e. one is a fork of the other, or both were forked from the
+    /// same build).
+    pub fn shares_structure(&self, other: &Network) -> bool {
+        Arc::ptr_eq(&self.structure, &other.structure)
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.structure.nodes.len()
     }
 
-    /// The buffer at `id`.
+    /// The buffer parameters at `id`.
     ///
     /// # Panics
     /// Panics if the node is not a buffer.
-    pub fn buffer(&self, id: NodeId) -> &Buffer {
-        match &self.nodes[id.0].element {
-            Element::Buffer(b) => b,
+    pub fn buffer_params(&self, id: NodeId) -> &BufferParams {
+        match &self.structure.nodes[id.0].element {
+            ElementParams::Buffer(b) => b,
             other => panic!("{id} is a {}, not a Buffer", other.kind_name()),
+        }
+    }
+
+    /// The buffer state at `id`.
+    ///
+    /// # Panics
+    /// Panics if the node is not a buffer.
+    pub fn buffer_state(&self, id: NodeId) -> &BufferState {
+        match &self.state.elements[id.0] {
+            ElementState::Buffer(b) => b,
+            _ => panic!(
+                "{id} is a {}, not a Buffer",
+                self.structure.nodes[id.0].element.kind_name()
+            ),
         }
     }
 
     /// Drain the delivery log.
     pub fn take_deliveries(&mut self) -> Vec<(NodeId, Delivery)> {
-        std::mem::take(&mut self.deliveries)
+        std::mem::take(&mut self.state.deliveries)
     }
 
     /// Drain the drop log.
     pub fn take_drops(&mut self) -> Vec<DropRecord> {
-        std::mem::take(&mut self.drops)
+        std::mem::take(&mut self.state.drops)
     }
 
     /// True iff both transient logs are empty (precondition for
     /// comparing/compacting networks).
     pub fn logs_empty(&self) -> bool {
-        self.deliveries.is_empty() && self.drops.is_empty()
+        self.state.deliveries.is_empty() && self.state.drops.is_empty()
     }
 
     /// The earliest internal event, if any element has one scheduled.
+    /// Delegates to the same single timer scan the event loop runs.
     pub fn next_event_time(&self) -> Option<Time> {
-        self.nodes
-            .iter()
-            .filter_map(|n| n.element.next_timer())
-            .min()
-    }
-
-    fn next_internal_event(&self) -> Option<(Time, NodeId)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.element.next_timer().map(|t| (t, NodeId(i))))
-            .min()
+        self.state.next_internal_event().map(|(t, _)| t)
     }
 
     /// Process internal events in time order up to and including `until`.
@@ -166,28 +436,7 @@ impl Network {
     /// # Panics
     /// Panics if `until` is in the past.
     pub fn run_until(&mut self, until: Time) -> Step {
-        assert!(
-            until >= self.now,
-            "run_until({until}) is before now ({})",
-            self.now
-        );
-        loop {
-            if let Some(p) = &self.pending {
-                return Step::Pending(*p);
-            }
-            match self.next_internal_event() {
-                Some((t, nid)) if t <= until => {
-                    debug_assert!(t >= self.now, "timer in the past at {nid}");
-                    self.now = t;
-                    augur_sim::perf::count_event();
-                    self.fire(nid);
-                }
-                _ => {
-                    self.now = until;
-                    return Step::Idle;
-                }
-            }
-        }
+        self.state.run_until(&self.structure, until)
     }
 
     /// Resolve the pending choice with `option` (0 = common outcome,
@@ -197,70 +446,7 @@ impl Network {
     /// # Panics
     /// Panics if no choice is pending or the option index is not 0/1.
     pub fn resolve(&mut self, option: usize) {
-        assert!(option < 2, "binary choice has no option {option}");
-        let p = self.pending.take().expect("resolve with no pending choice");
-        let nid = p.node;
-        match p.kind {
-            ChoiceKind::LossFate => {
-                let pkt = p.packet.expect("loss fate without packet");
-                if option == 0 {
-                    let next = self.nodes[nid.0].next.expect("loss must have successor");
-                    self.route(next, pkt);
-                } else {
-                    self.record_drop(nid, pkt, DropReason::Stochastic);
-                }
-            }
-            ChoiceKind::JitterFate => {
-                let pkt = p.packet.expect("jitter fate without packet");
-                if option == 0 {
-                    let next = self.nodes[nid.0].next.expect("jitter must have successor");
-                    self.route(next, pkt);
-                } else {
-                    let now = self.now;
-                    match &mut self.nodes[nid.0].element {
-                        Element::Jitter(j) => j.hold(pkt, now),
-                        _ => unreachable!("jitter fate at non-jitter node"),
-                    }
-                }
-            }
-            ChoiceKind::GateSwitch => {
-                let now = self.now;
-                match &mut self.nodes[nid.0].element {
-                    Element::Gate(g) => g.decide(option == 1, now),
-                    _ => unreachable!("gate switch at non-gate node"),
-                }
-            }
-            ChoiceKind::EitherSwitch => {
-                let now = self.now;
-                match &mut self.nodes[nid.0].element {
-                    Element::Either(e) => e.decide(option == 1, now),
-                    _ => unreachable!("either switch at non-either node"),
-                }
-            }
-            ChoiceKind::ArqFate => {
-                if option == 0 {
-                    self.complete_service(nid);
-                } else {
-                    let now = self.now;
-                    match &mut self.nodes[nid.0].element {
-                        Element::Link(l) => l.start_retransmission(now),
-                        _ => unreachable!("arq fate at non-link node"),
-                    }
-                }
-            }
-            ChoiceKind::RedFate => {
-                let pkt = p.packet.expect("red fate without packet");
-                if option == 0 {
-                    let now = self.now;
-                    match &mut self.nodes[nid.0].element {
-                        Element::Buffer(b) => b.force_enqueue(pkt, now),
-                        _ => unreachable!("red fate at non-buffer node"),
-                    }
-                } else {
-                    self.record_drop(nid, pkt, DropReason::Aqm);
-                }
-            }
-        }
+        self.state.resolve(&self.structure, option)
     }
 
     /// Run to `until`, resolving every choice by sampling with `rng` —
@@ -284,15 +470,124 @@ impl Network {
     /// Panics if a choice is pending.
     pub fn inject(&mut self, entry: NodeId, pkt: Packet) {
         assert!(
-            self.pending.is_none(),
+            self.state.pending.is_none(),
             "inject while a choice is pending — resolve it first"
         );
-        self.route(entry, pkt);
+        self.state.route(&self.structure, entry, pkt);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Internal machinery: the event loop, over state with read-only structure.
+// ----------------------------------------------------------------------
+
+impl NetworkState {
+    /// The earliest internal event and the node whose timer fires — the
+    /// single O(nodes) scan per processed event (also behind
+    /// `Network::next_event_time`).
+    fn next_internal_event(&self) -> Option<(Time, NodeId)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.next_timer().map(|t| (t, NodeId(i))))
+            .min()
     }
 
-    // ------------------------------------------------------------------
-    // Internal machinery
-    // ------------------------------------------------------------------
+    fn run_until(&mut self, s: &NetworkStructure, until: Time) -> Step {
+        assert!(
+            until >= self.now,
+            "run_until({until}) is before now ({})",
+            self.now
+        );
+        loop {
+            if let Some(p) = &self.pending {
+                return Step::Pending(*p);
+            }
+            match self.next_internal_event() {
+                Some((t, nid)) if t <= until => {
+                    debug_assert!(t >= self.now, "timer in the past at {nid}");
+                    self.now = t;
+                    augur_sim::perf::count_event();
+                    self.fire(s, nid);
+                }
+                _ => {
+                    self.now = until;
+                    return Step::Idle;
+                }
+            }
+        }
+    }
+
+    fn resolve(&mut self, s: &NetworkStructure, option: usize) {
+        assert!(option < 2, "binary choice has no option {option}");
+        let p = self.pending.take().expect("resolve with no pending choice");
+        let nid = p.node;
+        let now = self.now;
+        match p.kind {
+            ChoiceKind::LossFate => {
+                let pkt = p.packet.expect("loss fate without packet");
+                if option == 0 {
+                    let next = s.nodes[nid.0].next.expect("loss must have successor");
+                    self.route(s, next, pkt);
+                } else {
+                    self.record_drop(nid, pkt, DropReason::Stochastic);
+                }
+            }
+            ChoiceKind::JitterFate => {
+                let pkt = p.packet.expect("jitter fate without packet");
+                if option == 0 {
+                    let next = s.nodes[nid.0].next.expect("jitter must have successor");
+                    self.route(s, next, pkt);
+                } else {
+                    match (&s.nodes[nid.0].element, &mut self.elements[nid.0]) {
+                        (ElementParams::Jitter(jp), ElementState::Jitter(js)) => {
+                            jp.hold(js, pkt, now)
+                        }
+                        _ => unreachable!("jitter fate at non-jitter node"),
+                    }
+                }
+            }
+            ChoiceKind::GateSwitch => match (&s.nodes[nid.0].element, &mut self.elements[nid.0]) {
+                (ElementParams::Gate(gp), ElementState::Gate(gs)) => {
+                    gp.decide(gs, option == 1, now)
+                }
+                _ => unreachable!("gate switch at non-gate node"),
+            },
+            ChoiceKind::EitherSwitch => {
+                match (&s.nodes[nid.0].element, &mut self.elements[nid.0]) {
+                    (ElementParams::Either(ep), ElementState::Either(es)) => {
+                        ep.decide(es, option == 1, now)
+                    }
+                    _ => unreachable!("either switch at non-either node"),
+                }
+            }
+            ChoiceKind::ArqFate => {
+                if option == 0 {
+                    self.complete_service(s, nid);
+                } else {
+                    match (&s.nodes[nid.0].element, &mut self.elements[nid.0]) {
+                        (ElementParams::Link(lp), ElementState::Link(ls)) => {
+                            lp.start_retransmission(ls, now)
+                        }
+                        _ => unreachable!("arq fate at non-link node"),
+                    }
+                }
+            }
+            ChoiceKind::RedFate => {
+                let pkt = p.packet.expect("red fate without packet");
+                if option == 0 {
+                    match (&s.nodes[nid.0].element, &mut self.elements[nid.0]) {
+                        (ElementParams::Buffer(bp), ElementState::Buffer(bs)) => {
+                            bp.force_enqueue(bs, pkt, now)
+                        }
+                        _ => unreachable!("red fate at non-buffer node"),
+                    }
+                } else {
+                    self.record_drop(nid, pkt, DropReason::Aqm);
+                }
+            }
+        }
+    }
 
     fn record_drop(&mut self, node: NodeId, packet: Packet, reason: DropReason) {
         self.drops.push(DropRecord {
@@ -304,41 +599,52 @@ impl Network {
     }
 
     /// Fire the timer of node `nid` (its `next_timer()` equals `self.now`).
-    fn fire(&mut self, nid: NodeId) {
+    fn fire(&mut self, s: &NetworkStructure, nid: NodeId) {
         let now = self.now;
-        match &mut self.nodes[nid.0].element {
-            Element::Link(l) => {
-                debug_assert_eq!(l.next_timer(), Some(now));
-                if !l.arq_loss.is_zero() {
+        match &s.nodes[nid.0].element {
+            ElementParams::Link(lp) => {
+                debug_assert_eq!(self.elements[nid.0].next_timer(), Some(now));
+                if !lp.arq_loss.is_zero() {
                     self.pending = Some(ChoiceSpec {
                         at: now,
                         node: nid,
                         kind: ChoiceKind::ArqFate,
-                        p1: l.arq_loss,
+                        p1: lp.arq_loss,
                         packet: None,
                     });
                 } else {
-                    self.complete_service(nid);
+                    self.complete_service(s, nid);
                 }
             }
-            Element::Delay(d) => {
-                if let Some(pkt) = d.release(now) {
-                    let next = self.nodes[nid.0].next.expect("delay must have successor");
-                    self.route(next, pkt);
+            ElementParams::Delay(_) => {
+                let pkt = match &mut self.elements[nid.0] {
+                    ElementState::Delay(d) => d.release(now),
+                    _ => unreachable!("delay params over non-delay state"),
+                };
+                if let Some(pkt) = pkt {
+                    let next = s.nodes[nid.0].next.expect("delay must have successor");
+                    self.route(s, next, pkt);
                 }
             }
-            Element::Jitter(j) => {
-                if let Some(pkt) = j.release(now) {
-                    let next = self.nodes[nid.0].next.expect("jitter must have successor");
-                    self.route(next, pkt);
+            ElementParams::Jitter(_) => {
+                let pkt = match &mut self.elements[nid.0] {
+                    ElementState::Jitter(j) => j.release(now),
+                    _ => unreachable!("jitter params over non-jitter state"),
+                };
+                if let Some(pkt) = pkt {
+                    let next = s.nodes[nid.0].next.expect("jitter must have successor");
+                    self.route(s, next, pkt);
                 }
             }
-            Element::Pinger(p) => {
-                let pkt = p.emit(now);
-                let next = self.nodes[nid.0].next.expect("pinger must have successor");
-                self.route(next, pkt);
+            ElementParams::Pinger(pp) => {
+                let pkt = match &mut self.elements[nid.0] {
+                    ElementState::Pinger(ps) => pp.emit(ps, now),
+                    _ => unreachable!("pinger params over non-pinger state"),
+                };
+                let next = s.nodes[nid.0].next.expect("pinger must have successor");
+                self.route(s, next, pkt);
             }
-            Element::Gate(g) => match g.switch_choice() {
+            ElementParams::Gate(gp) => match gp.switch_choice() {
                 Some(p_switch) => {
                     self.pending = Some(ChoiceSpec {
                         at: now,
@@ -348,15 +654,18 @@ impl Network {
                         packet: None,
                     });
                 }
-                None => g.decide(true, now), // square wave: always flip
+                None => match &mut self.elements[nid.0] {
+                    // Square wave: always flip.
+                    ElementState::Gate(gs) => gp.decide(gs, true, now),
+                    _ => unreachable!("gate params over non-gate state"),
+                },
             },
-            Element::Either(e) => {
-                let p_switch = e.p_switch;
+            ElementParams::Either(ep) => {
                 self.pending = Some(ChoiceSpec {
                     at: now,
                     node: nid,
                     kind: ChoiceKind::EitherSwitch,
-                    p1: p_switch,
+                    p1: ep.p_switch,
                     packet: None,
                 });
             }
@@ -366,44 +675,49 @@ impl Network {
 
     /// Take the served packet off the link, route it onward, and pull the
     /// next packet from the feed buffer (if any).
-    fn complete_service(&mut self, link_id: NodeId) {
-        let (pkt, feed) = match &mut self.nodes[link_id.0].element {
-            Element::Link(l) => (l.complete(), l.feed),
+    fn complete_service(&mut self, s: &NetworkStructure, link_id: NodeId) {
+        let feed = match &s.nodes[link_id.0].element {
+            ElementParams::Link(lp) => lp.feed,
             other => unreachable!("complete_service on {}", other.kind_name()),
         };
+        let pkt = self.link_state_mut(link_id).complete();
         // Refill the link first: upstream pull and downstream routing are
         // independent, and doing the pull first keeps any new pending
         // choice (raised while routing `pkt`) the last thing that happens.
         if let Some(buf_id) = feed {
-            self.pull_feed(buf_id, link_id);
+            self.pull_feed(s, buf_id, link_id);
         } else {
             let now = self.now;
-            if let Element::Link(l) = &mut self.nodes[link_id.0].element {
-                if let Some(next_pkt) = l.backlog.pop_front() {
-                    l.start_service(next_pkt, now);
+            match (&s.nodes[link_id.0].element, &mut self.elements[link_id.0]) {
+                (ElementParams::Link(lp), ElementState::Link(ls)) => {
+                    if let Some(next_pkt) = ls.backlog.pop_front() {
+                        lp.start_service(ls, next_pkt, now);
+                    }
                 }
+                _ => unreachable!(),
             }
         }
-        let next = self.nodes[link_id.0]
-            .next
-            .expect("link must have successor");
-        self.route(next, pkt);
+        let next = s.nodes[link_id.0].next.expect("link must have successor");
+        self.route(s, next, pkt);
     }
 
     /// Dequeue from `buf_id` into the (idle) link `link_id`.
-    fn pull_feed(&mut self, buf_id: NodeId, link_id: NodeId) {
+    fn pull_feed(&mut self, s: &NetworkStructure, buf_id: NodeId, link_id: NodeId) {
         let now = self.now;
-        let pull = match &mut self.nodes[buf_id.0].element {
-            Element::Buffer(b) => b.pull(now),
+        let bp = match &s.nodes[buf_id.0].element {
+            ElementParams::Buffer(bp) => bp,
             other => unreachable!("pull_feed on {}", other.kind_name()),
         };
+        let pull = bp.pull(self.buffer_state_mut(buf_id), now);
         for q in pull.dropped {
             self.record_drop(buf_id, q.packet, DropReason::Aqm);
         }
         if let Some(q) = pull.serve {
-            match &mut self.nodes[link_id.0].element {
-                Element::Link(l) => l.start_service(q.packet, now),
-                other => unreachable!("feed target is {}", other.kind_name()),
+            match (&s.nodes[link_id.0].element, &mut self.elements[link_id.0]) {
+                (ElementParams::Link(lp), ElementState::Link(ls)) => {
+                    lp.start_service(ls, q.packet, now)
+                }
+                _ => unreachable!("feed target is {}", s.nodes[link_id.0].element.kind_name()),
             }
         }
     }
@@ -411,19 +725,19 @@ impl Network {
     /// Route a packet synchronously from `at_node` until it comes to rest
     /// (queued, in service, delayed, delivered, dropped) or a choice
     /// interrupts.
-    fn route(&mut self, mut at_node: NodeId, pkt: Packet) {
+    fn route(&mut self, s: &NetworkStructure, mut at_node: NodeId, pkt: Packet) {
         augur_sim::perf::count_packet_forward();
         let now = self.now;
         let mut hops = 0usize;
         loop {
             hops += 1;
             assert!(
-                hops <= self.nodes.len() + 1,
+                hops <= self.elements.len() + 1,
                 "routing cycle detected at {at_node}"
             );
-            let (next, alt) = (self.nodes[at_node.0].next, self.nodes[at_node.0].alt);
-            match &mut self.nodes[at_node.0].element {
-                Element::Receiver(_) => {
+            let (next, alt) = (s.nodes[at_node.0].next, s.nodes[at_node.0].alt);
+            match &s.nodes[at_node.0].element {
+                ElementParams::Receiver(_) => {
                     self.deliveries.push((
                         at_node,
                         Delivery {
@@ -433,33 +747,44 @@ impl Network {
                     ));
                     return;
                 }
-                Element::Diverter(d) => {
+                ElementParams::Diverter(d) => {
                     at_node = if pkt.flow == d.flow {
                         next.expect("diverter must have next")
                     } else {
                         alt.expect("diverter must have alt")
                     };
                 }
-                Element::Either(e) => {
-                    at_node = if e.on_alt {
+                ElementParams::Either(_) => {
+                    let on_alt = match &self.elements[at_node.0] {
+                        ElementState::Either(e) => e.on_alt,
+                        _ => unreachable!("either params over non-either state"),
+                    };
+                    at_node = if on_alt {
                         alt.expect("either must have alt")
                     } else {
                         next.expect("either must have next")
                     };
                 }
-                Element::Gate(g) => {
-                    if g.connected {
+                ElementParams::Gate(_) => {
+                    let connected = match &self.elements[at_node.0] {
+                        ElementState::Gate(g) => g.connected,
+                        _ => unreachable!("gate params over non-gate state"),
+                    };
+                    if connected {
                         at_node = next.expect("gate must have next");
                     } else {
                         self.record_drop(at_node, pkt, DropReason::GateClosed);
                         return;
                     }
                 }
-                Element::Delay(d) => {
-                    d.accept(pkt, now);
+                ElementParams::Delay(dp) => {
+                    match &mut self.elements[at_node.0] {
+                        ElementState::Delay(ds) => dp.accept(ds, pkt, now),
+                        _ => unreachable!("delay params over non-delay state"),
+                    }
                     return;
                 }
-                Element::Loss(l) => {
+                ElementParams::Loss(l) => {
                     if l.p.is_zero() {
                         at_node = next.expect("loss must have next");
                     } else if l.p.is_one() {
@@ -476,35 +801,41 @@ impl Network {
                         return;
                     }
                 }
-                Element::Jitter(j) => {
-                    if j.p.is_zero() {
+                ElementParams::Jitter(jp) => {
+                    if jp.p.is_zero() {
                         at_node = next.expect("jitter must have next");
                     } else {
                         self.pending = Some(ChoiceSpec {
                             at: now,
                             node: at_node,
                             kind: ChoiceKind::JitterFate,
-                            p1: j.p,
+                            p1: jp.p,
                             packet: Some(pkt),
                         });
                         return;
                     }
                 }
-                Element::Buffer(b) => {
+                ElementParams::Buffer(bp) => {
                     let link_id = next.expect("buffer must feed a link");
                     // Bypass an empty buffer when the link is idle: the
                     // packet starts serializing immediately.
-                    let bypass = b.is_empty() && {
-                        match &self.nodes[link_id.0].element {
-                            Element::Link(l) => l.idle(),
-                            other => unreachable!("buffer feeds {}", other.kind_name()),
-                        }
+                    let empty = match &self.elements[at_node.0] {
+                        ElementState::Buffer(bs) => bs.is_empty(),
+                        _ => unreachable!("buffer params over non-buffer state"),
                     };
+                    let bypass = empty
+                        && match &self.elements[link_id.0] {
+                            ElementState::Link(ls) => ls.idle(),
+                            _ => unreachable!(
+                                "buffer feeds {}",
+                                s.nodes[link_id.0].element.kind_name()
+                            ),
+                        };
                     if bypass {
                         at_node = link_id;
                         continue;
                     }
-                    match self.buffer_mut(at_node).offer(pkt, now) {
+                    match bp.offer(self.buffer_state_mut(at_node), pkt, now) {
                         Admission::Enqueued => return,
                         Admission::TailDrop => {
                             self.record_drop(at_node, pkt, DropReason::BufferFull);
@@ -522,29 +853,37 @@ impl Network {
                         }
                     }
                 }
-                Element::Link(l) => {
-                    if l.idle() {
-                        l.start_service(pkt, now);
+                ElementParams::Link(lp) => {
+                    let ls = self.link_state_mut(at_node);
+                    if ls.idle() {
+                        lp.start_service(ls, pkt, now);
                     } else {
                         assert!(
-                            l.feed.is_none(),
+                            lp.feed.is_none(),
                             "fed link received a direct arrival while busy"
                         );
-                        l.backlog.push_back(pkt);
+                        ls.backlog.push_back(pkt);
                     }
                     return;
                 }
-                Element::Pinger(_) => {
+                ElementParams::Pinger(_) => {
                     unreachable!("packets cannot be routed into a Pinger (it is a source)")
                 }
             }
         }
     }
 
-    fn buffer_mut(&mut self, id: NodeId) -> &mut Buffer {
-        match &mut self.nodes[id.0].element {
-            Element::Buffer(b) => b,
-            other => panic!("{id} is a {}, not a Buffer", other.kind_name()),
+    fn buffer_state_mut(&mut self, id: NodeId) -> &mut BufferState {
+        match &mut self.elements[id.0] {
+            ElementState::Buffer(b) => b,
+            _ => unreachable!("{id} is not a Buffer"),
+        }
+    }
+
+    fn link_state_mut(&mut self, id: NodeId) -> &mut LinkState {
+        match &mut self.elements[id.0] {
+            ElementState::Link(l) => l,
+            _ => unreachable!("{id} is not a Link"),
         }
     }
 }
@@ -607,19 +946,21 @@ impl NetworkBuilder {
         self
     }
 
-    /// Validate the graph, wire buffer→link feeds, apply prefills, and
+    /// Validate the graph, split elements into shared structure and
+    /// per-hypothesis state, wire buffer→link feeds, apply prefills, and
     /// start initial service. See module docs for the invariants.
     ///
     /// # Panics
     /// Panics on an invalid topology (dangling successors, buffer not
     /// feeding a link, cycles, over-capacity prefill, …).
-    pub fn build(mut self) -> Network {
-        augur_sim::perf::count_network_build();
-        let n = self.nodes.len();
+    pub fn build(self) -> Network {
+        augur_sim::perf::count_structure_build();
+        let NetworkBuilder { nodes, prefills } = self;
+        let n = nodes.len();
         assert!(n > 0, "empty network");
 
         // Successor discipline per element type.
-        for (i, node) in self.nodes.iter().enumerate() {
+        for (i, node) in nodes.iter().enumerate() {
             let id = NodeId(i);
             let needs_alt = matches!(node.element, Element::Diverter(_) | Element::Either(_));
             match node.element {
@@ -656,25 +997,18 @@ impl NetworkBuilder {
             }
         }
 
-        // Buffers must feed links; wire the pull path.
+        // Buffers must feed links; record the pull path (wired into the
+        // link params during the split below).
         let mut feeds: Vec<Option<NodeId>> = vec![None; n];
-        for (i, node) in self.nodes.iter().enumerate() {
+        for (i, node) in nodes.iter().enumerate() {
             if let Element::Buffer(_) = node.element {
                 let next = node.next.unwrap();
-                match &self.nodes[next.0].element {
+                match &nodes[next.0].element {
                     Element::Link(_) => {
                         assert!(feeds[next.0].is_none(), "link {next} fed by two buffers");
                         feeds[next.0] = Some(NodeId(i));
                     }
                     other => panic!("buffer n{i} must feed a Link, found {}", other.kind_name()),
-                }
-            }
-        }
-        for (i, feed) in feeds.iter().enumerate() {
-            if let Some(buf) = feed {
-                match &mut self.nodes[i].element {
-                    Element::Link(l) => l.feed = Some(*buf),
-                    _ => unreachable!(),
                 }
             }
         }
@@ -694,12 +1028,30 @@ impl NetworkBuilder {
         }
         for i in 0..n {
             if color[i] == 0 {
-                dfs(&self.nodes, &mut color, i);
+                dfs(&nodes, &mut color, i);
             }
         }
 
-        let mut net = Network {
-            nodes: self.nodes,
+        // Split each blueprint node into its immutable/mutable halves.
+        let mut params_nodes = Vec::with_capacity(n);
+        let mut elements = Vec::with_capacity(n);
+        for (i, node) in nodes.into_iter().enumerate() {
+            let (mut p, st) = node.element.split();
+            if let ElementParams::Link(lp) = &mut p {
+                lp.feed = feeds[i];
+            }
+            params_nodes.push(NodeParams {
+                element: p,
+                next: node.next,
+                alt: node.alt,
+            });
+            elements.push(st);
+        }
+        let structure = NetworkStructure {
+            nodes: params_nodes,
+        };
+        let mut state = NetworkState {
+            elements,
             now: Time::ZERO,
             pending: None,
             deliveries: Vec::new(),
@@ -707,22 +1059,30 @@ impl NetworkBuilder {
         };
 
         // Prefills: backlog packets with synthetic sequence numbers.
-        for (buf_id, fill, pkt_size) in self.prefills {
+        for (buf_id, fill, pkt_size) in prefills {
             assert!(
                 pkt_size > Bits::ZERO,
                 "prefill packet size must be positive"
             );
-            let buf = net.buffer_mut(buf_id);
+            let bp = match &structure.nodes[buf_id.0].element {
+                ElementParams::Buffer(b) => b,
+                other => panic!("{buf_id} is a {}, not a Buffer", other.kind_name()),
+            };
             assert!(
-                fill <= buf.capacity,
+                fill <= bp.capacity,
                 "prefill {fill} exceeds capacity {} of {buf_id}",
-                buf.capacity
+                bp.capacity
             );
+            let bs = state.buffer_state_mut(buf_id);
             let mut remaining = fill;
             let mut seq = 0u64;
             while remaining > Bits::ZERO {
                 let size = remaining.min(pkt_size);
-                buf.force_enqueue(Packet::new(BACKLOG_FLOW, seq, size, Time::ZERO), Time::ZERO);
+                bp.force_enqueue(
+                    bs,
+                    Packet::new(BACKLOG_FLOW, seq, size, Time::ZERO),
+                    Time::ZERO,
+                );
                 seq += 1;
                 remaining = remaining.saturating_sub(size);
             }
@@ -730,30 +1090,49 @@ impl NetworkBuilder {
 
         // Kick: start serving prefilled backlog immediately.
         for i in 0..n {
-            if let Element::Link(l) = &net.nodes[i].element {
-                if let (true, Some(buf_id)) = (l.idle(), l.feed) {
-                    if !net.buffer(buf_id).is_empty() {
-                        net.pull_feed(buf_id, NodeId(i));
+            if let ElementParams::Link(lp) = &structure.nodes[i].element {
+                if let Some(buf_id) = lp.feed {
+                    let idle = match &state.elements[i] {
+                        ElementState::Link(ls) => ls.idle(),
+                        _ => unreachable!(),
+                    };
+                    let backlogged = match &state.elements[buf_id.0] {
+                        ElementState::Buffer(bs) => !bs.is_empty(),
+                        _ => unreachable!(),
+                    };
+                    if idle && backlogged {
+                        state.pull_feed(&structure, buf_id, NodeId(i));
                     }
                 }
             }
         }
-        net
+
+        Network {
+            structure: Arc::new(structure),
+            state,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::Buffer;
     use crate::delay::DelayEl;
-    use crate::element::{Diverter, Loss, ReceiverEl};
     use crate::gate::Gate;
     use crate::link::Link;
     use crate::source::Pinger;
-    use augur_sim::{BitRate, Dur, Ppm};
+    use augur_sim::{BitRate, Dur};
+    use std::collections::hash_map::DefaultHasher;
 
     fn pkt(seq: u64) -> Packet {
         Packet::new(FlowId::SELF, seq, Bits::new(12_000), Time::ZERO)
+    }
+
+    fn fingerprint(net: &Network) -> u64 {
+        let mut h = DefaultHasher::new();
+        net.hash(&mut h);
+        h.finish()
     }
 
     /// buffer(capacity) -> link(rate) -> receiver
@@ -976,13 +1355,11 @@ mod tests {
         a.take_deliveries();
         b.take_deliveries();
         assert!(a.logs_empty() && b.logs_empty());
+        // Separately-built structures: equality falls back to the deep
+        // comparison (no shared allocation).
+        assert!(!a.shares_structure(&b));
         assert_eq!(a, b);
-        use std::collections::hash_map::DefaultHasher;
-        let mut ha = DefaultHasher::new();
-        let mut hb = DefaultHasher::new();
-        a.hash(&mut ha);
-        b.hash(&mut hb);
-        assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 
     #[test]
@@ -1018,7 +1395,31 @@ mod tests {
         assert_eq!(delivered.run_until(Time::from_secs(2)), Step::Idle);
         lost.take_drops();
         delivered.take_deliveries();
+        // Forks keep sharing one structure allocation, compare equal, and
+        // hash identically — the dedup map folds them into one branch.
+        assert!(lost.shares_structure(&delivered));
         assert_eq!(lost, delivered);
+        assert_eq!(fingerprint(&lost), fingerprint(&delivered));
+    }
+
+    #[test]
+    fn clone_shares_structure_and_copies_only_state() {
+        let (net, entry, _) = simple_path(50_000, 12_000);
+        let before = augur_sim::perf::snapshot();
+        let mut fork = net.clone();
+        let d = augur_sim::perf::snapshot().since(&before);
+        assert_eq!(d.state_clones, 1, "clone is a state copy");
+        assert_eq!(d.structures_built, 0, "clone builds no structure");
+        assert!(fork.shares_structure(&net));
+
+        fork.inject(entry, pkt(0));
+        fork.run_until(Time::from_secs(1));
+        fork.take_deliveries();
+        assert!(
+            fork.shares_structure(&net),
+            "running mutates only the state half"
+        );
+        assert_ne!(fork, net, "diverged state compares unequal");
     }
 
     #[test]
@@ -1159,5 +1560,143 @@ mod tests {
         net.run_until(Time::from_secs(1));
         let d = net.take_deliveries();
         assert_eq!(d[0].1.at, Time::from_millis(40));
+    }
+
+    /// The split representation must produce the exact hash stream of the
+    /// pre-split `Network` (one `Vec<Node>` of combined elements): these
+    /// constants were captured from that implementation with
+    /// `DefaultHasher`. They pin identity across the refactor — branch
+    /// dedup and compaction rely on it. If std's `DefaultHasher` ever
+    /// changes algorithm, re-capture and re-pin.
+    #[test]
+    fn hash_matches_legacy_fingerprints() {
+        use crate::delay::JitterEl;
+        use crate::gate::Either;
+
+        const NET1_FRESH: u64 = 0xc1e9819e15c7b6e5;
+        const NET1_RUN: u64 = 0x442a52afefc1dc04;
+        const NET2_FRESH: u64 = 0x933563783a76a0b6;
+        const NET2_RUN: u64 = 0x28076dd6aa36066a;
+        const NET3_PENDING: u64 = 0x85b993fdc228d76d;
+
+        // Net 1: the full Figure-2 element set via a model-like chain.
+        let mut b = NetworkBuilder::new();
+        let pinger = b.add(Element::Pinger(Pinger::new(
+            Dur::from_millis(700),
+            Bits::new(12_000),
+            FlowId::CROSS,
+            Time::ZERO,
+        )));
+        let gate = b.add(Element::Gate(Gate::intermittent(
+            Dur::from_secs(100),
+            Dur::from_secs(1),
+            true,
+        )));
+        let buf = b.add(Element::Buffer(Buffer::drop_tail(Bits::new(96_000))));
+        let link = b.add(Element::Link(Link::constant(BitRate::from_bps(12_000))));
+        let loss = b.add(Element::Loss(Loss {
+            p: Ppm::from_prob(0.2),
+        }));
+        let div = b.add(Element::Diverter(Diverter { flow: FlowId::SELF }));
+        let rx_self = b.add(Element::Receiver(ReceiverEl));
+        let rx_cross = b.add(Element::Receiver(ReceiverEl));
+        b.connect(pinger, gate);
+        b.connect(gate, buf);
+        b.connect(buf, link);
+        b.connect(link, loss);
+        b.connect(loss, div);
+        b.connect(div, rx_self);
+        b.connect_alt(div, rx_cross);
+        b.prefill(buf, Bits::new(24_000), Bits::new(12_000));
+        let mut net1 = b.build();
+        assert_eq!(fingerprint(&net1), NET1_FRESH);
+        let mut rng = SimRng::seed_from_u64(42);
+        net1.inject(
+            buf,
+            Packet::new(FlowId::SELF, 0, Bits::new(12_000), Time::ZERO),
+        );
+        net1.run_until_sampled(Time::from_micros(4_321_000), &mut rng);
+        net1.take_deliveries();
+        net1.take_drops();
+        assert_eq!(fingerprint(&net1), NET1_RUN);
+
+        // Net 2: RED + CoDel + Delay + Jitter + ARQ link with schedule rate.
+        let mut b = NetworkBuilder::new();
+        let red = b.add(Element::Buffer(Buffer::red(
+            Bits::new(48_000),
+            Bits::new(6_000),
+            Bits::new(24_000),
+            Ppm::from_prob(0.1),
+            2,
+        )));
+        let l1 = b.add(Element::Link(Link::new(
+            RateProcess::Schedule {
+                steps: vec![
+                    (Dur::ZERO, BitRate::from_bps(24_000)),
+                    (Dur::from_secs(2), BitRate::from_bps(6_000)),
+                ],
+                period: Dur::from_secs(4),
+            },
+            Ppm::from_prob(0.1),
+            Dur::from_millis(40),
+        )));
+        let codel = b.add(Element::Buffer(Buffer::codel(
+            Bits::new(48_000),
+            Dur::from_millis(5),
+            Dur::from_millis(100),
+        )));
+        let l2 = b.add(Element::Link(Link::constant(BitRate::from_bps(9_600))));
+        let delay = b.add(Element::Delay(DelayEl::new(Dur::from_millis(25))));
+        let jit = b.add(Element::Jitter(JitterEl::new(
+            Ppm::from_prob(0.3),
+            Dur::from_millis(200),
+        )));
+        let rx = b.add(Element::Receiver(ReceiverEl));
+        b.connect(red, l1);
+        b.connect(l1, codel);
+        b.connect(codel, l2);
+        b.connect(l2, delay);
+        b.connect(delay, jit);
+        b.connect(jit, rx);
+        let mut net2 = b.build();
+        assert_eq!(fingerprint(&net2), NET2_FRESH);
+        let mut rng = SimRng::seed_from_u64(7);
+        for i in 0..6 {
+            net2.run_until_sampled(Time::from_millis(300 * i), &mut rng);
+            net2.inject(
+                red,
+                Packet::new(FlowId::SELF, i, Bits::new(12_000), net2.now()),
+            );
+        }
+        net2.run_until_sampled(Time::from_millis(2_100), &mut rng);
+        net2.take_deliveries();
+        net2.take_drops();
+        assert_eq!(fingerprint(&net2), NET2_RUN);
+
+        // Net 3: Either + a pending choice left unresolved.
+        let mut b = NetworkBuilder::new();
+        let either = b.add(Element::Either(Either::new(
+            Dur::from_secs(2),
+            Dur::from_secs(1),
+            false,
+        )));
+        let lossy = b.add(Element::Loss(Loss {
+            p: Ppm::from_prob(0.5),
+        }));
+        let rx1 = b.add(Element::Receiver(ReceiverEl));
+        let rx2 = b.add(Element::Receiver(ReceiverEl));
+        b.connect(either, lossy);
+        b.connect(lossy, rx1);
+        b.connect_alt(either, rx2);
+        let mut net3 = b.build();
+        net3.inject(
+            either,
+            Packet::new(FlowId::SELF, 9, Bits::new(8_000), Time::ZERO),
+        );
+        match net3.run_until(Time::from_millis(500)) {
+            Step::Pending(_) => {}
+            s => panic!("{s:?}"),
+        }
+        assert_eq!(fingerprint(&net3), NET3_PENDING);
     }
 }

@@ -1,6 +1,6 @@
 //! Nodes: an element plus its wiring in the network graph.
 
-use crate::element::Element;
+use crate::element::{Element, ElementParams};
 use std::fmt;
 
 /// Index of a node within a [`crate::network::Network`].
@@ -36,4 +36,17 @@ impl Node {
             alt: None,
         }
     }
+}
+
+/// The immutable half of a node: element parameters plus wiring. A
+/// `NetworkStructure` is a `Vec<NodeParams>` shared by every hypothesis
+/// network built from the same blueprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeParams {
+    /// The element's immutable configuration.
+    pub element: ElementParams,
+    /// Primary successor.
+    pub next: Option<NodeId>,
+    /// Secondary successor (DIVERTER / EITHER only).
+    pub alt: Option<NodeId>,
 }

@@ -7,22 +7,62 @@
 //! the pinger's sequence numbering a pure function of time — important for
 //! belief-state compaction (branches that differ only in gate history
 //! reconverge).
+//!
+//! Split representation: [`PingerParams`] (interval, size, flow) is
+//! immutable; [`PingerState`] (next emission instant and sequence number)
+//! is per-hypothesis.
 
 use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Time};
 
-/// An isochronous packet source.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Pinger {
+/// Immutable pinger parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PingerParams {
     /// Time between packets.
     pub interval: Dur,
     /// Size of each packet.
     pub size: Bits,
     /// Flow id stamped on emitted packets.
     pub flow: FlowId,
+}
+
+/// Per-hypothesis pinger state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PingerState {
     /// Next emission instant.
     pub next_at: Time,
     /// Next sequence number.
     pub next_seq: u64,
+}
+
+impl PingerParams {
+    /// Emit the packet due at `now` and schedule the next one.
+    ///
+    /// # Panics
+    /// Panics if called before the emission is due.
+    pub fn emit(&self, st: &mut PingerState, now: Time) -> Packet {
+        assert!(now >= st.next_at, "pinger emission not yet due");
+        let pkt = Packet::new(self.flow, st.next_seq, self.size, now);
+        st.next_seq += 1;
+        st.next_at += self.interval;
+        pkt
+    }
+}
+
+impl PingerState {
+    /// The next emission time.
+    pub fn next_timer(&self) -> Option<Time> {
+        Some(self.next_at)
+    }
+}
+
+/// An isochronous packet source: the construction blueprint pairing
+/// [`PingerParams`] with [`PingerState`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pinger {
+    /// Immutable configuration.
+    pub params: PingerParams,
+    /// Mutable emission state.
+    pub state: PingerState,
 }
 
 impl Pinger {
@@ -31,11 +71,15 @@ impl Pinger {
     pub fn new(interval: Dur, size: Bits, flow: FlowId, start_at: Time) -> Pinger {
         assert!(interval > Dur::ZERO, "pinger interval must be positive");
         Pinger {
-            interval,
-            size,
-            flow,
-            next_at: start_at,
-            next_seq: 0,
+            params: PingerParams {
+                interval,
+                size,
+                flow,
+            },
+            state: PingerState {
+                next_at: start_at,
+                next_seq: 0,
+            },
         }
     }
 
@@ -48,19 +92,17 @@ impl Pinger {
 
     /// The next emission time.
     pub fn next_timer(&self) -> Option<Time> {
-        Some(self.next_at)
+        self.state.next_timer()
     }
 
-    /// Emit the packet due at `now` and schedule the next one.
-    ///
-    /// # Panics
-    /// Panics if called before the emission is due.
+    /// See [`PingerParams::emit`].
     pub fn emit(&mut self, now: Time) -> Packet {
-        assert!(now >= self.next_at, "pinger emission not yet due");
-        let pkt = Packet::new(self.flow, self.next_seq, self.size, now);
-        self.next_seq += 1;
-        self.next_at += self.interval;
-        pkt
+        self.params.emit(&mut self.state, now)
+    }
+
+    /// Split into the immutable/mutable halves.
+    pub fn split(self) -> (PingerParams, PingerState) {
+        (self.params, self.state)
     }
 }
 
@@ -95,7 +137,7 @@ mod tests {
             FlowId::CROSS,
             Time::ZERO,
         );
-        assert_eq!(p.interval, Dur::from_micros(1_428_572));
+        assert_eq!(p.params.interval, Dur::from_micros(1_428_572));
     }
 
     #[test]

@@ -191,13 +191,26 @@ impl<M: Clone + Eq + Hash> Belief<M> {
     }
 
     /// Posterior marginal of an arbitrary statistic of the hypothesis.
+    ///
+    /// The return order is deterministic: descending weight, ties broken
+    /// by a fixed-key fingerprint of the key (the keys are only `Eq +
+    /// Hash`, not `Ord`), never by `HashMap` iteration order.
     pub fn marginal<K: Eq + Hash, F: Fn(&Hypothesis<M>) -> K>(&self, f: F) -> Vec<(K, f64)> {
+        fn fingerprint<K: Hash>(k: &K) -> u64 {
+            use std::hash::Hasher;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            h.finish()
+        }
         let mut acc: std::collections::HashMap<K, f64> = std::collections::HashMap::new();
         for h in &self.branches {
             *acc.entry(f(h)).or_insert(0.0) += h.weight;
         }
         let mut v: Vec<(K, f64)> = acc.into_iter().collect();
-        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then_with(|| fingerprint(&a.0).cmp(&fingerprint(&b.0)))
+        });
         v
     }
 

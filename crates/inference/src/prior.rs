@@ -17,7 +17,7 @@
 
 use crate::exact::{Belief, BeliefConfig};
 use crate::hypothesis::Hypothesis;
-use augur_elements::{build_model, GateSpec, ModelParams};
+use augur_elements::{build_model, GateSpec, ModelParams, FIG2_ENTRY, FIG2_LOSS, FIG2_RX_SELF};
 use augur_sim::{BitRate, Bits, Dur, Ppm};
 
 /// A discretized uniform prior over the Figure-2 model.
@@ -127,8 +127,12 @@ impl ModelPrior {
         out
     }
 
-    /// Enumerate the prior as uniformly-weighted hypotheses.
+    /// Enumerate the prior as uniformly-weighted hypotheses. One call is
+    /// one "network build" in the work counters: the expensive operation
+    /// is enumerating a prior, and sweeps that share prototypes (the
+    /// runner's `PriorCache`) do it once per *distinct prior*.
     pub fn hypotheses(&self) -> Vec<Hypothesis<ModelParams>> {
+        augur_sim::perf::count_network_build();
         let grid = self.grid();
         let w = 1.0 / grid.len() as f64;
         grid.into_iter()
@@ -143,20 +147,11 @@ impl ModelPrior {
     /// Build a ready-to-run belief: hypotheses enumerated, entry/receiver
     /// node ids wired, last-mile loss fold enabled.
     pub fn belief(&self, mut cfg: BeliefConfig) -> Belief<ModelParams> {
-        // All grid points share the topology of `build_model`, so the node
-        // ids of any one instance apply to all.
-        let probe = build_model(ModelParams {
-            link_rate: self.link_rates[0],
-            cross_rate: self.link_rates[0],
-            gate: GateSpec::AlwaysOn,
-            loss: Ppm::ZERO,
-            buffer_capacity: Bits::new(12_000),
-            initial_fullness: Bits::ZERO,
-            packet_size: self.packet_size,
-            cross_active: true,
-        });
-        cfg.fold_loss_node = Some(probe.loss);
-        Belief::new(self.hypotheses(), probe.entry, probe.rx_self, cfg)
+        // All grid points share the topology of `build_model`, so the
+        // fixed Figure-2 node ids apply to every hypothesis — no probe
+        // network needed.
+        cfg.fold_loss_node = Some(FIG2_LOSS);
+        Belief::new(self.hypotheses(), FIG2_ENTRY, FIG2_RX_SELF, cfg)
     }
 }
 

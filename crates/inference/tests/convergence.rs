@@ -239,3 +239,71 @@ fn belief_dies_when_truth_is_outside_prior() {
     });
     assert!(died, "belief should have rejected every hypothesis");
 }
+
+#[test]
+fn marginal_order_is_deterministic_under_weight_ties() {
+    // A fresh uniform belief has genuinely tied weights: 8 hypotheses at
+    // 1/8 collapse to 4 (loss, link_rate) groups at 1/4 each. The sort
+    // must fall back to the fixed-key fingerprint tie-break, and repeated
+    // calls must agree exactly — order included.
+    let belief = ModelPrior::small().belief(BeliefConfig::default());
+    let first = belief.marginal(|h| (h.meta.loss, h.meta.link_rate));
+    assert_eq!(first.len(), 4);
+    for (_, w) in &first {
+        assert!((w - 0.25).abs() < 1e-12, "weights should all tie at 1/4");
+    }
+    for _ in 0..50 {
+        let again = belief.marginal(|h| (h.meta.loss, h.meta.link_rate));
+        assert_eq!(first, again, "marginal order drifted between calls");
+    }
+
+    // Same check on a single-axis key with two tied groups.
+    let rates = belief.marginal(|h| h.meta.link_rate);
+    assert_eq!(rates.len(), 2);
+    for _ in 0..50 {
+        assert_eq!(rates, belief.marginal(|h| h.meta.link_rate));
+    }
+}
+
+#[test]
+fn branch_dedup_counts_are_pinned_on_a_small_exact_sweep() {
+    // Satellite check for the structure/state split: hypothesis forks and
+    // state-reconvergence compaction operate on per-hypothesis *state*
+    // clones now, and the dedup arithmetic must be unchanged. Pin the
+    // aggregate branch accounting of a short scripted run so any drift in
+    // Network equality/hashing (which drives compaction) fails loudly.
+    let mut truth = ground_truth(0.2);
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut belief = ModelPrior::small().belief(BeliefConfig::default());
+    let mut send_seq = 0u64;
+
+    let mut total_forks = 0usize;
+    let mut total_compacted = 0usize;
+    let mut total_pruned = 0usize;
+    let mut final_branches = 0usize;
+    drive(&mut truth, &mut rng, 2, 20, |t, acks| {
+        let stats = belief.advance(t, acks).expect("belief died");
+        total_forks += stats.forks;
+        total_compacted += stats.compacted;
+        total_pruned += stats.pruned;
+        final_branches = stats.branches;
+        if t.as_micros() % 2_000_000 == 0 && t < Time::from_secs(20) {
+            belief.inject(Packet::new(
+                FlowId::SELF,
+                send_seq,
+                Bits::from_bytes(1_500),
+                t,
+            ));
+            send_seq += 1;
+        }
+    });
+
+    assert!(total_compacted > 0, "run must exercise dedup compaction");
+    // Pinned against the pre-split exact engine; a change here means the
+    // refactor altered fork/dedup behavior, not just representation.
+    assert_eq!(
+        (total_forks, total_compacted, total_pruned, final_branches),
+        (342, 194, 0, 4),
+        "branch accounting drifted"
+    );
+}

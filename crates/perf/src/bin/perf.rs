@@ -9,7 +9,8 @@
 //!
 //! Suites (the authoritative list is `augur_perf::suites::NAMES`, also
 //! printed by `--list`): `event-queue`, `rate-trace`, `belief-update`,
-//! `sweep-fig3`, `sweep-replay`, `prior-reuse`, `topo-route`, or `all`.
+//! `belief-fork`, `sweep-fig3`, `sweep-replay`, `prior-reuse`,
+//! `topo-route`, or `all`.
 //! `--quick` shrinks every workload to CI-smoke size.
 //!
 //! Each suite writes `BENCH_<suite>.json` under `AUGUR_OUT` (default

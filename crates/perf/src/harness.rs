@@ -47,6 +47,13 @@ impl BenchConfig {
         self.iters_per_batch = iters_per_batch;
         self
     }
+
+    /// Override the batch count (ratio-of-medians suites want extra
+    /// samples so one noisy batch can't move the headline number).
+    pub fn batches(mut self, batches: u32) -> BenchConfig {
+        self.batches = batches;
+        self
+    }
 }
 
 /// Outlier-robust summary of per-iteration wall times, in seconds.
@@ -156,38 +163,99 @@ impl Bencher {
         name: impl Into<String>,
         mut iter: impl FnMut() -> WorkCounters,
     ) -> Measurement {
-        let name = name.into();
         for _ in 0..self.config.warmup_iters {
             iter();
         }
-        let mut batch_secs = Vec::with_capacity(self.config.batches as usize);
-        let mut work_per_batch: Option<WorkCounters> = None;
+        let mut series = BatchSeries::new(name);
         for batch in 0..self.config.batches {
-            let before = perf::snapshot();
-            let watch = Stopwatch::start();
-            let mut off_thread = WorkCounters::default();
-            for _ in 0..self.config.iters_per_batch {
-                off_thread += iter();
-            }
-            let secs = watch.elapsed_secs();
-            let mut work = perf::snapshot().since(&before);
-            work += off_thread;
-            batch_secs.push(secs / self.config.iters_per_batch as f64);
-            match work_per_batch {
-                None => work_per_batch = Some(work),
-                Some(first) => assert_eq!(
-                    first, work,
-                    "measurement {name:?}: batch {batch} performed different work than batch 0 \
-                     — the workload is not deterministic"
-                ),
-            }
+            let (secs, work) = self.run_batch(&mut iter);
+            series.record(batch, secs, work);
         }
+        series.finish(self.config)
+    }
+
+    /// Measure two closures with their batches interleaved
+    /// (a, b, a, b, …) so slow drift on the machine — thermal
+    /// downclocking after sustained load, a background task — lands on
+    /// both sides evenly instead of biasing whichever side was measured
+    /// second. Use for A/B comparisons whose headline number is a ratio
+    /// of the two medians. Same determinism contract as [`Bencher::measure`].
+    pub fn measure_interleaved(
+        &self,
+        name_a: impl Into<String>,
+        mut iter_a: impl FnMut() -> WorkCounters,
+        name_b: impl Into<String>,
+        mut iter_b: impl FnMut() -> WorkCounters,
+    ) -> (Measurement, Measurement) {
+        for _ in 0..self.config.warmup_iters {
+            iter_a();
+            iter_b();
+        }
+        let mut series_a = BatchSeries::new(name_a);
+        let mut series_b = BatchSeries::new(name_b);
+        for batch in 0..self.config.batches {
+            let (secs, work) = self.run_batch(&mut iter_a);
+            series_a.record(batch, secs, work);
+            let (secs, work) = self.run_batch(&mut iter_b);
+            series_b.record(batch, secs, work);
+        }
+        (series_a.finish(self.config), series_b.finish(self.config))
+    }
+
+    /// One timed batch: `iters_per_batch` iterations, returning seconds
+    /// per iteration and the batch's work-counter delta (on-thread delta
+    /// plus whatever the closure reports as off-thread work).
+    fn run_batch(&self, iter: &mut impl FnMut() -> WorkCounters) -> (f64, WorkCounters) {
+        let before = perf::snapshot();
+        let watch = Stopwatch::start();
+        let mut off_thread = WorkCounters::default();
+        for _ in 0..self.config.iters_per_batch {
+            off_thread += iter();
+        }
+        let secs = watch.elapsed_secs();
+        let mut work = perf::snapshot().since(&before);
+        work += off_thread;
+        (secs / self.config.iters_per_batch as f64, work)
+    }
+}
+
+/// Accumulates one measurement's batch samples, enforcing the
+/// identical-work-per-batch contract as each batch lands.
+struct BatchSeries {
+    name: String,
+    batch_secs: Vec<f64>,
+    work_per_batch: Option<WorkCounters>,
+}
+
+impl BatchSeries {
+    fn new(name: impl Into<String>) -> BatchSeries {
+        BatchSeries {
+            name: name.into(),
+            batch_secs: Vec::new(),
+            work_per_batch: None,
+        }
+    }
+
+    fn record(&mut self, batch: u32, secs: f64, work: WorkCounters) {
+        self.batch_secs.push(secs);
+        match self.work_per_batch {
+            None => self.work_per_batch = Some(work),
+            Some(first) => assert_eq!(
+                first, work,
+                "measurement {:?}: batch {batch} performed different work than batch 0 \
+                 — the workload is not deterministic",
+                self.name
+            ),
+        }
+    }
+
+    fn finish(self, config: BenchConfig) -> Measurement {
         Measurement {
-            secs_per_iter: TimeSummary::of(&batch_secs),
-            work_per_batch: work_per_batch.expect("at least one batch ran"),
-            batch_secs,
-            config: self.config,
-            name,
+            secs_per_iter: TimeSummary::of(&self.batch_secs),
+            work_per_batch: self.work_per_batch.expect("at least one batch ran"),
+            batch_secs: self.batch_secs,
+            config,
+            name: self.name,
         }
     }
 }

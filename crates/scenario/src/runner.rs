@@ -18,7 +18,9 @@ use augur_core::{
     AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, MultiFlowTruth,
     ParticleSender, RestartingSender, RunTrace, SenderAgent, Utility, WakeOutcome,
 };
-use augur_elements::{build_cellular_with_buffer, DropReason, ModelParams};
+use augur_elements::{
+    build_cellular_with_buffer, DropReason, ModelParams, FIG2_ENTRY, FIG2_LOSS, FIG2_RX_SELF,
+};
 use augur_inference::{
     Belief, BeliefConfig, BeliefError, Hypothesis, Observation, ParticleConfig, ParticleFilter,
 };
@@ -372,8 +374,8 @@ pub fn spec_ground_truth(spec: &ScenarioSpec, seed: u64) -> GroundTruth {
     }
 }
 
-/// Build the exact belief for a spec. All Figure-2 models share node ids,
-/// so the truth instance doubles as the topology probe.
+/// Build the exact belief for a spec. All Figure-2 models share the fixed
+/// `FIG2_*` node ids, so no topology probe is built.
 pub fn spec_belief(spec: &ScenarioSpec, max_branches: usize) -> Belief<ModelParams> {
     spec_belief_in(spec, max_branches, &PriorCache::empty())
 }
@@ -385,14 +387,17 @@ pub fn spec_belief_in(
     max_branches: usize,
     priors: &PriorCache,
 ) -> Belief<ModelParams> {
-    let probe = spec.build_truth();
+    // Every Figure-2 model shares the fixed FIG2_* node ids, so no probe
+    // network is needed — but keep the model-topology guard so non-model
+    // specs still fail loudly here.
+    let _ = spec.topology.model("spec_belief_in");
     Belief::new(
         priors.hypotheses(&spec.prior),
-        probe.entry,
-        probe.rx_self,
+        FIG2_ENTRY,
+        FIG2_RX_SELF,
         BeliefConfig {
             max_branches,
-            fold_loss_node: Some(probe.loss),
+            fold_loss_node: Some(FIG2_LOSS),
             ..BeliefConfig::default()
         },
     )
@@ -423,15 +428,15 @@ fn build_filter(
     seed: u64,
     priors: &PriorCache,
 ) -> ParticleFilter<ModelParams> {
-    let probe = spec.build_truth();
+    let _ = spec.topology.model("build_filter");
     priors.with_hypotheses(&spec.prior, |hyps| {
         ParticleFilter::from_prior(
             hyps,
-            probe.entry,
-            probe.rx_self,
+            FIG2_ENTRY,
+            FIG2_RX_SELF,
             ParticleConfig {
                 n_particles,
-                fold_loss_node: Some(probe.loss),
+                fold_loss_node: Some(FIG2_LOSS),
                 ..ParticleConfig::default()
             },
             SimRng::derive_seed(seed, STREAM_ENGINE),

@@ -268,6 +268,9 @@ impl PriorSpec {
             PriorSpec::Small => ModelPrior::small().hypotheses(),
             PriorSpec::Custom(p) => p.hypotheses(),
             PriorSpec::FineLinkRate { n, lo_bps, hi_bps } => {
+                // The ModelPrior-backed arms count inside
+                // `ModelPrior::hypotheses`; this arm enumerates directly.
+                augur_sim::perf::count_network_build();
                 let n = *n;
                 assert!(n > 0, "FineLinkRate prior needs at least one hypothesis");
                 // Backstop for hand-built specs; config decoding rejects

@@ -50,9 +50,18 @@ pub struct WorkCounters {
     /// Rate-process service integrations (piecewise-exact
     /// `service_end` evaluations on time-varying links).
     pub rate_integrations: u64,
-    /// Element networks assembled by `NetworkBuilder::build` — the cost
-    /// the sweep-level prior-prototype cache exists to avoid.
+    /// Full prior enumerations: hypothesis sets built from scratch, one
+    /// network construction per grid point. The sweep-level prototype
+    /// cache exists to keep this at one per *distinct prior*, not one
+    /// per run.
     pub networks_built: u64,
+    /// Network state clones: per-hypothesis mutable state copied while
+    /// the immutable structure is shared by `Arc`. Belief forks and
+    /// particle resamples are state clones, not structure builds.
+    pub state_clones: u64,
+    /// Immutable network structures assembled by `NetworkBuilder::build`
+    /// (topology, element parameters, rate schedules).
+    pub structures_built: u64,
 }
 
 impl WorkCounters {
@@ -74,11 +83,13 @@ impl WorkCounters {
                 .rate_integrations
                 .wrapping_sub(earlier.rate_integrations),
             networks_built: self.networks_built.wrapping_sub(earlier.networks_built),
+            state_clones: self.state_clones.wrapping_sub(earlier.state_clones),
+            structures_built: self.structures_built.wrapping_sub(earlier.structures_built),
         }
     }
 
     /// `(name, value)` pairs in a stable order, for report emission.
-    pub fn named(&self) -> [(&'static str, u64); 6] {
+    pub fn named(&self) -> [(&'static str, u64); 8] {
         [
             ("events_processed", self.events_processed),
             ("packets_forwarded", self.packets_forwarded),
@@ -86,6 +97,8 @@ impl WorkCounters {
             ("particle_resamples", self.particle_resamples),
             ("rate_integrations", self.rate_integrations),
             ("networks_built", self.networks_built),
+            ("state_clones", self.state_clones),
+            ("structures_built", self.structures_built),
         ]
     }
 
@@ -103,6 +116,8 @@ impl AddAssign for WorkCounters {
         self.particle_resamples = self.particle_resamples.wrapping_add(rhs.particle_resamples);
         self.rate_integrations = self.rate_integrations.wrapping_add(rhs.rate_integrations);
         self.networks_built = self.networks_built.wrapping_add(rhs.networks_built);
+        self.state_clones = self.state_clones.wrapping_add(rhs.state_clones);
+        self.structures_built = self.structures_built.wrapping_add(rhs.structures_built);
     }
 }
 
@@ -113,6 +128,8 @@ struct Cells {
     particle_resamples: Cell<u64>,
     rate_integrations: Cell<u64>,
     networks_built: Cell<u64>,
+    state_clones: Cell<u64>,
+    structures_built: Cell<u64>,
 }
 
 thread_local! {
@@ -124,6 +141,8 @@ thread_local! {
             particle_resamples: Cell::new(0),
             rate_integrations: Cell::new(0),
             networks_built: Cell::new(0),
+            state_clones: Cell::new(0),
+            structures_built: Cell::new(0),
         }
     };
 }
@@ -166,10 +185,23 @@ pub fn count_rate_integration() {
     bump(|c| &c.rate_integrations, 1);
 }
 
-/// Record one network assembled from a builder.
+/// Record one full prior enumeration (a hypothesis set built from
+/// scratch rather than forked from a cached prototype).
 #[inline]
 pub fn count_network_build() {
     bump(|c| &c.networks_built, 1);
+}
+
+/// Record one network state clone (structure shared by `Arc`).
+#[inline]
+pub fn count_state_clone() {
+    bump(|c| &c.state_clones, 1);
+}
+
+/// Record one immutable network structure assembled by a builder.
+#[inline]
+pub fn count_structure_build() {
+    bump(|c| &c.structures_built, 1);
 }
 
 /// The calling thread's cumulative counters. Counters are never reset;
@@ -183,6 +215,8 @@ pub fn snapshot() -> WorkCounters {
         particle_resamples: c.particle_resamples.get(),
         rate_integrations: c.rate_integrations.get(),
         networks_built: c.networks_built.get(),
+        state_clones: c.state_clones.get(),
+        structures_built: c.structures_built.get(),
     })
 }
 
@@ -223,6 +257,10 @@ mod tests {
         count_particle_resample();
         count_rate_integration();
         count_network_build();
+        count_state_clone();
+        count_state_clone();
+        count_state_clone();
+        count_structure_build();
         let work = snapshot().since(&before);
         assert_eq!(work.events_processed, 2);
         assert_eq!(work.packets_forwarded, 1);
@@ -230,7 +268,9 @@ mod tests {
         assert_eq!(work.particle_resamples, 1);
         assert_eq!(work.rate_integrations, 1);
         assert_eq!(work.networks_built, 1);
-        assert_eq!(work.total(), 13);
+        assert_eq!(work.state_clones, 3);
+        assert_eq!(work.structures_built, 1);
+        assert_eq!(work.total(), 17);
     }
 
     #[test]
@@ -280,6 +320,8 @@ mod tests {
                 "particle_resamples",
                 "rate_integrations",
                 "networks_built",
+                "state_clones",
+                "structures_built",
             ]
         );
     }

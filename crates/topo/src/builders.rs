@@ -177,7 +177,10 @@ pub fn fat_tree(
     buffer: Bits,
     packet_size: Bits,
 ) -> GraphTopology {
-    assert!(k >= 2 && k.is_multiple_of(2), "a fat-tree needs an even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "a fat-tree needs an even k >= 2"
+    );
     assert!(!pairs.is_empty(), "a fat-tree scenario needs host pairs");
     let half = k / 2;
     let hosts_per_pod = half * half;
