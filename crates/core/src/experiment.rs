@@ -8,13 +8,14 @@
 //! modeling are future work in the paper and here); the sender wakes on
 //! each acknowledgment and on its own timer.
 
+use crate::driver::FlowDriver;
 use crate::isender::SenderAgent;
-use augur_elements::{DropRecord, Network, NodeId, Step};
+use augur_elements::{DropRecord, Network, NodeId};
 use augur_inference::{BeliefError, Observation};
-use augur_sim::{FlowId, SimRng, Time};
+use augur_sim::{SimRng, Time};
 
 /// A completed run's record.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunTrace {
     /// Every transmission: (sequence number, send time).
     pub sends: Vec<(u64, Time)>,
@@ -34,7 +35,7 @@ pub struct RunTrace {
 }
 
 /// Diagnostics captured at each sender wake.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WakeRecord {
     /// Wake time.
     pub at: Time,
@@ -86,120 +87,19 @@ pub struct GroundTruth {
     pub rng: SimRng,
 }
 
-impl GroundTruth {
-    /// Advance the real network, stopping at the first instant at which
-    /// one or more of the sender's packets are delivered, or at `limit`.
-    /// Returns (time reached, acks at that instant).
-    fn advance_to_ack_or(
-        &mut self,
-        limit: Time,
-        own_flow: FlowId,
-        trace: &mut RunTrace,
-    ) -> (Time, Vec<Observation>) {
-        loop {
-            let t_next = match self.net.next_event_time() {
-                Some(t) if t <= limit => t,
-                _ => {
-                    self.net.run_until_sampled(limit, &mut self.rng);
-                    let acks = self.collect(own_flow, trace);
-                    // Deliveries exactly at `limit` still count.
-                    return (limit, acks);
-                }
-            };
-            // Process everything at t_next (events plus sampled choices).
-            self.net.run_until_sampled(t_next, &mut self.rng);
-            let acks = self.collect(own_flow, trace);
-            if !acks.is_empty() {
-                return (t_next, acks);
-            }
-        }
-    }
-
-    /// Drain ground-truth logs into the trace; return new acknowledgments.
-    fn collect(&mut self, own_flow: FlowId, trace: &mut RunTrace) -> Vec<Observation> {
-        let mut acks = Vec::new();
-        for (node, d) in self.net.take_deliveries() {
-            if node == self.rx_self && d.packet.flow == own_flow {
-                let o = Observation {
-                    seq: d.packet.seq,
-                    at: d.at,
-                };
-                acks.push(o);
-                trace.acks.push(o);
-                trace.delivered_bits += d.packet.size.as_u64();
-            } else if d.packet.flow == FlowId::CROSS {
-                trace
-                    .cross_deliveries
-                    .push((d.packet.seq, d.at, d.packet.size.as_u64()));
-            }
-        }
-        trace.drops.extend(self.net.take_drops());
-        acks
-    }
-}
-
 /// Run any [`SenderAgent`] (exact-belief [`crate::ISender`], particle
 /// [`crate::ParticleSender`], …) against ground truth until `t_end`. The
 /// sender makes its first decision at time zero.
+///
+/// Thin wrapper over the N=1 path of [`FlowDriver`] (see its module
+/// docs for the wake contract): the sender wakes on its own timer and
+/// at each acknowledgment, its packets are injected at `truth.entry`
+/// with their own flow stamp, and cross-traffic deliveries plus all
+/// ground-truth drops are logged to the one trace.
 pub fn run_closed_loop<S: SenderAgent + ?Sized>(
     truth: &mut GroundTruth,
     sender: &mut S,
     t_end: Time,
 ) -> Result<RunTrace, BeliefError> {
-    let mut trace = RunTrace::default();
-    let own_flow = sender.own_flow();
-    let mut pending_acks: Vec<Observation> = Vec::new();
-    // Support staged runs: resume from wherever the ground truth stopped
-    // (zero on the first call).
-    let mut wake_at = truth.net.now();
-
-    // Ground truth must process its own events at the start instant
-    // (pinger emissions, backlog service starts) before the sender's
-    // first injection — the belief does the same inside its first
-    // `advance`, and the two sides must agree on same-instant ordering
-    // for observations to match.
-    truth.net.run_until_sampled(wake_at, &mut truth.rng);
-    pending_acks.extend(truth.collect(own_flow, &mut trace));
-
-    while wake_at <= t_end {
-        // The sender and ground truth agree on the current instant.
-        debug_assert!(truth.net.now() <= wake_at || truth.net.now() == wake_at);
-        let outcome = sender.on_wake(wake_at, &pending_acks)?;
-        trace.wakes.push(WakeRecord {
-            at: wake_at,
-            acks: pending_acks.len(),
-            sent: outcome.sent.len(),
-            branches: sender.population(),
-            effective: sender.effective_population(),
-        });
-        pending_acks.clear();
-        for pkt in &outcome.sent {
-            trace.sends.push((pkt.seq, wake_at));
-            truth.net.inject(truth.entry, *pkt);
-            // Injection may stop at a stochastic element (e.g. last-mile
-            // loss reached synchronously); resolve by sampling.
-            while let Step::Pending(spec) = truth.net.run_until(wake_at) {
-                let pick = usize::from(truth.rng.bernoulli(spec.p1));
-                truth.net.resolve(pick);
-            }
-        }
-        // Injections may have produced instant deliveries (not in Fig. 2,
-        // but possible in custom topologies): collect them for next wake.
-        pending_acks.extend(truth.collect(own_flow, &mut trace));
-        if !pending_acks.is_empty() {
-            continue; // wake again at the same instant
-        }
-
-        if wake_at >= t_end {
-            break;
-        }
-        let limit = outcome.next_wake.min(t_end);
-        let (reached, acks) = truth.advance_to_ack_or(limit, own_flow, &mut trace);
-        pending_acks = acks;
-        wake_at = reached;
-        if reached >= t_end && pending_acks.is_empty() {
-            break;
-        }
-    }
-    Ok(trace)
+    FlowDriver::closed_loop(truth).run_single(sender, t_end)
 }

@@ -19,6 +19,8 @@
 //! * [`experiment`] — the closed loop embedding the sender in a
 //!   ground-truth simulation (§4), whose receiver acknowledges each
 //!   packet's arrival time (§3.4);
+//! * [`driver`] — the heap-scheduled [`FlowDriver`] event loop every
+//!   closed-loop harness runs on, from N=1 to many thousands of flows;
 //! * [`multi`] — the N-sender closed loop over a shared bottleneck
 //!   (§3.5's open question), with per-flow ACK routing, event-driven
 //!   wakes, and seeded tie-breaking;
@@ -26,6 +28,7 @@
 //!   belief-restarting ISender and a compact AIMD competitor.
 
 pub mod coexist;
+pub mod driver;
 pub mod experiment;
 pub mod isender;
 pub mod multi;
@@ -33,9 +36,13 @@ pub mod planner;
 pub mod utility;
 
 pub use coexist::{coexist_belief, AimdSender, BeliefFactory, RestartingSender, UtilityFactory};
+pub use driver::{DriverError, FlowDriver, FlowEndpoint, FlowTableError};
 pub use experiment::{run_closed_loop, GroundTruth, RunTrace, WakeRecord};
 pub use isender::{ISender, ISenderConfig, ParticleSender, SenderAgent, WakeOutcome};
-pub use multi::{build_shared_bottleneck, jain_index, run_multi_agent, MultiFlowTruth};
+pub use multi::{
+    build_many_flow_bottleneck, build_shared_bottleneck, jain_index, run_multi_agent,
+    MultiFlowTruth,
+};
 pub use planner::{
     decide, decide_weighted, rollout, subsample_weighted, Action, Decision, PlannerConfig,
 };

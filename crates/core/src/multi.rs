@@ -5,57 +5,70 @@
 //! wire flow (agent `i` transmits as `FlowId(i)`), acknowledgments are
 //! routed per flow, and scheduling is event-driven — an agent wakes at
 //! the instant its flow's packets are delivered or at its own requested
-//! timer, never on a fixed poll.
-//!
-//! # Scheduling fairness
-//!
-//! Two agents frequently request the *same* wake instant (two identical
-//! ISenders stay symmetric until their acknowledgment streams diverge).
-//! Resolving such ties by agent index would hand one flow a permanent
-//! first-transmitter advantage — a fatal bias in a harness whose whole
-//! point is measuring fairness. Ties are instead broken by a draw from
-//! the truth RNG, so the advantage is a fair coin flip per tie and the
-//! run stays a pure function of the seed.
-//!
-//! # Tail accounting
-//!
-//! The loop ends when every agent's next wake lies beyond `t_end`, but
-//! packets already in flight keep arriving until then. The harness
-//! drains the ground truth to exactly `t_end` and harvests those final
-//! deliveries into the per-flow traces, so reported throughput covers
-//! the full window rather than stopping at the last wake.
+//! timer, never on a fixed poll. Both entry points are thin wrappers
+//! over [`crate::FlowDriver`]; see its module docs for the scheduling
+//! and fairness contract (seeded tie-breaks, acknowledgment wakes,
+//! tail accounting to the horizon).
 
-use crate::experiment::{RunTrace, WakeRecord};
+use crate::driver::{DriverError, FlowDriver, FlowEndpoint, FlowTableError};
+use crate::experiment::RunTrace;
 use crate::isender::SenderAgent;
 use augur_elements::{
     Buffer, Diverter, Element, Link, Loss, Network, NetworkBuilder, NodeId, ReceiverEl,
 };
-use augur_inference::{BeliefError, Observation};
-use augur_sim::{BitRate, Bits, Dur, FlowId, Packet, Ppm, SimRng, Time};
+use augur_sim::{BitRate, Bits, FlowId, Ppm, SimRng, Time};
 
-/// A shared bottleneck with one receiver per flow: ground truth for the
-/// multi-sender loop.
+/// Ground truth for the multi-sender loop: a network plus a validated
+/// per-flow endpoint table (`flows[i]` is where `FlowId(i)` enters and
+/// is received).
+///
+/// The table is constructed once through [`MultiFlowTruth::new`], which
+/// rejects empty tables and flow counts beyond the u16 wire-id space —
+/// what used to be a runtime `assert!` inside the run loop is a typed
+/// error at construction time.
 pub struct MultiFlowTruth {
     /// The network.
     pub net: Network,
-    /// Injection point (the shared buffer).
-    pub entry: NodeId,
-    /// Per-flow injection points for graph topologies where flows enter
-    /// the network at different nodes: flow `i` injects at `entries[i]`.
-    /// Empty means every flow shares [`MultiFlowTruth::entry`] (the
-    /// single-bottleneck shape).
-    pub entries: Vec<NodeId>,
-    /// `rxs[i]` receives `FlowId(i)`.
-    pub rxs: Vec<NodeId>,
+    /// Per-flow endpoints; validated non-empty and within `FlowId` range.
+    pub(crate) flows: Vec<FlowEndpoint>,
     /// Sampling RNG — network choices *and* wake tie-breaks draw from it.
     pub rng: SimRng,
 }
 
 impl MultiFlowTruth {
-    /// Where flow `i` enters the network: its dedicated entry if one was
-    /// declared, the shared entry otherwise.
+    /// Validate and assemble a per-flow ground truth.
+    pub fn new(
+        net: Network,
+        flows: Vec<FlowEndpoint>,
+        rng: SimRng,
+    ) -> Result<MultiFlowTruth, FlowTableError> {
+        if flows.is_empty() {
+            return Err(FlowTableError::Empty);
+        }
+        if flows.len() > usize::from(u16::MAX) + 1 {
+            return Err(FlowTableError::TooManyFlows { flows: flows.len() });
+        }
+        Ok(MultiFlowTruth { net, flows, rng })
+    }
+
+    /// Number of declared flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The validated per-flow endpoint table.
+    pub fn endpoints(&self) -> &[FlowEndpoint] {
+        &self.flows
+    }
+
+    /// Where flow `i` enters the network.
     pub fn entry_for(&self, flow: usize) -> NodeId {
-        self.entries.get(flow).copied().unwrap_or(self.entry)
+        self.flows[flow].entry
+    }
+
+    /// The receiver acknowledging flow `i`.
+    pub fn rx_for(&self, flow: usize) -> NodeId {
+        self.flows[flow].rx
     }
 }
 
@@ -63,6 +76,12 @@ impl MultiFlowTruth {
 /// for `flows` competing senders: one drop-tail buffer and constant-rate
 /// link shared by all, then a diverter chain peeling off one flow per
 /// receiver.
+///
+/// The per-receiver diverter chain costs O(flow index) routing passes
+/// per delivery — the right shape for the 2–4 flow coexistence studies
+/// it was built for, with per-receiver queues visible to the topology.
+/// Many-flow scaling runs should use [`build_many_flow_bottleneck`],
+/// which shares one receiver across all flows.
 pub fn build_shared_bottleneck(
     link: BitRate,
     buffer: Bits,
@@ -100,148 +119,58 @@ pub fn build_shared_bottleneck(
         }
         b.connect_alt(upstream, rxs[flows - 1]);
     }
-    MultiFlowTruth {
-        net: b.build(),
-        entry: buf,
-        entries: Vec::new(),
-        rxs,
-        rng: SimRng::seed_from_u64(seed),
-    }
+    let table = rxs
+        .into_iter()
+        .map(|rx| FlowEndpoint { entry: buf, rx })
+        .collect();
+    MultiFlowTruth::new(b.build(), table, SimRng::seed_from_u64(seed))
+        .expect("shared bottleneck flow table is non-empty and in range")
 }
 
-/// Drain ground-truth logs into per-flow traces and pending-ack queues;
-/// a delivery pulls its agent's wake forward to the delivery instant
-/// (the event-driven "ACK wakes the sender early" behavior).
-fn harvest(
-    truth: &mut MultiFlowTruth,
-    n: usize,
-    traces: &mut [RunTrace],
-    pending: &mut [Vec<Observation>],
-    wake: &mut [Time],
-) {
-    for (_, d) in truth.net.take_deliveries() {
-        let k = d.packet.flow.0 as usize;
-        if k >= n {
-            continue; // backlog / foreign flows belong to nobody here
-        }
-        let obs = Observation {
-            seq: d.packet.seq,
-            at: d.at,
-        };
-        traces[k].acks.push(obs);
-        traces[k].delivered_bits += d.packet.size.as_u64();
-        pending[k].push(obs);
-        wake[k] = wake[k].min(d.at);
-    }
-    for drop in truth.net.take_drops() {
-        let k = drop.packet.flow.0 as usize;
-        if k < n {
-            traces[k].drops.push(drop);
-        }
-    }
+/// Build `buffer → link → loss → rx` shared by *all* `flows` senders:
+/// the many-flow scaling shape. Every flow injects at the one drop-tail
+/// buffer and is acknowledged at the one receiver; the driver routes
+/// deliveries back to agents by [`FlowId`], so no per-flow topology is
+/// needed and a delivery costs O(1) routing passes regardless of N.
+pub fn build_many_flow_bottleneck(
+    link: BitRate,
+    buffer: Bits,
+    loss: Ppm,
+    flows: usize,
+    seed: u64,
+) -> MultiFlowTruth {
+    assert!(flows >= 1, "a many-flow bottleneck needs at least one flow");
+    let mut b = NetworkBuilder::new();
+    let buf = b.add(Element::Buffer(Buffer::drop_tail(buffer)));
+    let link_n = b.add(Element::Link(Link::constant(link)));
+    let loss_n = b.add(Element::Loss(Loss { p: loss }));
+    let rx = b.add(Element::Receiver(ReceiverEl));
+    b.connect(buf, link_n);
+    b.connect(link_n, loss_n);
+    b.connect(loss_n, rx);
+    let table = (0..flows)
+        .map(|_| FlowEndpoint { entry: buf, rx })
+        .collect();
+    MultiFlowTruth::new(b.build(), table, SimRng::seed_from_u64(seed))
+        .expect("many-flow bottleneck flow table is non-empty; flow count checked by caller")
 }
 
 /// Run N agents over a shared ground truth until `t_end`; returns one
 /// [`RunTrace`] per agent (same order). Agent `i`'s packets are
 /// re-stamped to `FlowId(i)` on injection and injected at the truth's
-/// per-flow entry ([`MultiFlowTruth::entry_for`], so graph topologies
-/// can start each flow at its own source node), so every agent may keep
-/// believing it is [`FlowId::SELF`] internally — the loop owns wire
-/// identity, exactly as the single-sender loop owns injection.
+/// i-th endpoint, so every agent may keep believing it is
+/// [`FlowId::SELF`] internally — the loop owns wire identity.
 ///
-/// Errors propagate from any agent whose belief dies; agents that
-/// handle misspecification themselves (e.g.
-/// [`crate::coexist::RestartingSender`]) never return one.
+/// Thin wrapper over [`FlowDriver::over`] + [`FlowDriver::run`]. Errors
+/// propagate from any agent whose belief dies
+/// ([`DriverError::Belief`]); handing the driver more agents than the
+/// truth declares flows is [`DriverError::AgentCount`].
 pub fn run_multi_agent(
     truth: &mut MultiFlowTruth,
     agents: &mut [&mut dyn SenderAgent],
     t_end: Time,
-) -> Result<Vec<RunTrace>, BeliefError> {
-    let n = agents.len();
-    assert!(n >= 1, "the multi-agent loop needs at least one agent");
-    assert!(
-        truth.rxs.len() >= n,
-        "ground truth has {} receivers for {} agents",
-        truth.rxs.len(),
-        n
-    );
-    let mut traces: Vec<RunTrace> = vec![RunTrace::default(); n];
-    let mut pending: Vec<Vec<Observation>> = vec![Vec::new(); n];
-    let start = truth.net.now();
-    let mut wake: Vec<Time> = vec![start; n];
-
-    // Let the ground truth process its own events at the start instant
-    // before any agent's first injection (cf. `run_closed_loop`).
-    truth.net.run_until_sampled(start, &mut truth.rng);
-    harvest(truth, n, &mut traces, &mut pending, &mut wake);
-
-    loop {
-        // Advance ground truth toward the earliest wake (capped at the
-        // horizon) event by event; any delivery on the way wakes its
-        // flow's agent immediately, possibly before every scheduled
-        // timer.
-        loop {
-            let target = (*wake.iter().min().expect("agents is nonempty")).min(t_end);
-            match truth.net.next_event_time() {
-                Some(te) if te <= target => {
-                    truth.net.run_until_sampled(te, &mut truth.rng);
-                    harvest(truth, n, &mut traces, &mut pending, &mut wake);
-                    if te >= target {
-                        break;
-                    }
-                }
-                _ => {
-                    truth.net.run_until_sampled(target, &mut truth.rng);
-                    harvest(truth, n, &mut traces, &mut pending, &mut wake);
-                    break;
-                }
-            }
-        }
-        let t_wake = *wake.iter().min().expect("agents is nonempty");
-        if t_wake > t_end {
-            break;
-        }
-
-        // Pick the waking agent; simultaneous wakes are resolved by a
-        // seeded draw so no index gets a standing first-mover advantage.
-        let tied: Vec<usize> = (0..n).filter(|&i| wake[i] == t_wake).collect();
-        let i = match tied.len() {
-            1 => tied[0],
-            m => tied[truth.rng.uniform_u64(0, m as u64 - 1) as usize],
-        };
-
-        let acks = std::mem::take(&mut pending[i]);
-        let outcome = agents[i].on_wake(t_wake, &acks)?;
-        traces[i].wakes.push(WakeRecord {
-            at: t_wake,
-            acks: acks.len(),
-            sent: outcome.sent.len(),
-            branches: agents[i].population(),
-            effective: agents[i].effective_population(),
-        });
-        let flow = FlowId(i as u16);
-        for pkt in &outcome.sent {
-            let pkt = Packet::new(flow, pkt.seq, pkt.size, t_wake);
-            traces[i].sends.push((pkt.seq, t_wake));
-            truth.net.inject(truth.entry_for(i), pkt);
-            // Injection may stop at a stochastic element reached
-            // synchronously; resolve by sampling.
-            truth.net.run_until_sampled(t_wake, &mut truth.rng);
-        }
-        // Schedule the next timer first; instant deliveries harvested
-        // below may legitimately pull any wake (including agent i's own)
-        // back to this instant.
-        wake[i] = outcome.next_wake.max(t_wake + Dur::from_micros(1));
-        harvest(truth, n, &mut traces, &mut pending, &mut wake);
-    }
-
-    // Tail accounting: no separate drain is needed — the advance loop's
-    // `min(wake, t_end)` cap ran the ground truth to exactly `t_end` and
-    // harvested the final deliveries before the loop broke, so bits
-    // delivered between the last wake and the horizon are already in the
-    // traces.
-    debug_assert!(truth.net.now() == t_end);
-    Ok(traces)
+) -> Result<Vec<RunTrace>, DriverError> {
+    FlowDriver::over(truth).run(agents, t_end)
 }
 
 /// Jain's fairness index over per-flow rates: `(Σr)² / (n · Σr²)`,
@@ -258,6 +187,7 @@ pub fn jain_index(rates: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use augur_sim::Packet;
 
     #[test]
     fn jain_index_bounds() {
@@ -279,7 +209,7 @@ mod tests {
             );
             for f in 0..flows {
                 truth.net.inject(
-                    truth.entry,
+                    truth.entry_for(f),
                     Packet::new(FlowId(f as u16), 0, Bits::new(12_000), Time::ZERO),
                 );
             }
@@ -289,8 +219,69 @@ mod tests {
             let d = truth.net.take_deliveries();
             assert_eq!(d.len(), flows);
             for (node, del) in d {
-                assert_eq!(node, truth.rxs[del.packet.flow.0 as usize]);
+                assert_eq!(node, truth.rx_for(del.packet.flow.0 as usize));
             }
         }
+    }
+
+    #[test]
+    fn many_flow_bottleneck_shares_one_receiver() {
+        let mut truth = build_many_flow_bottleneck(
+            BitRate::from_bps(48_000),
+            Bits::new(96_000),
+            Ppm::ZERO,
+            1000,
+            7,
+        );
+        assert_eq!(truth.flow_count(), 1000);
+        assert_eq!(truth.rx_for(0), truth.rx_for(999));
+        for f in [0usize, 500, 999] {
+            truth.net.inject(
+                truth.entry_for(f),
+                Packet::new(FlowId(f as u16), 0, Bits::new(12_000), Time::ZERO),
+            );
+        }
+        truth
+            .net
+            .run_until_sampled(Time::from_secs(20), &mut truth.rng);
+        let d = truth.net.take_deliveries();
+        assert_eq!(d.len(), 3);
+        for (node, del) in &d {
+            assert_eq!(*node, truth.rx_for(del.packet.flow.0 as usize));
+        }
+    }
+
+    #[test]
+    fn flow_table_validation_is_typed() {
+        let probe = build_many_flow_bottleneck(
+            BitRate::from_bps(12_000),
+            Bits::new(96_000),
+            Ppm::ZERO,
+            1,
+            7,
+        );
+        let ep = probe.endpoints()[0];
+        let err = MultiFlowTruth::new(probe.net, Vec::new(), SimRng::seed_from_u64(7))
+            .err()
+            .expect("empty flow table must be rejected");
+        assert_eq!(err, FlowTableError::Empty);
+
+        let probe = build_many_flow_bottleneck(
+            BitRate::from_bps(12_000),
+            Bits::new(96_000),
+            Ppm::ZERO,
+            1,
+            7,
+        );
+        let too_many = vec![ep; usize::from(u16::MAX) + 2];
+        let err = MultiFlowTruth::new(probe.net, too_many, SimRng::seed_from_u64(7))
+            .err()
+            .expect("oversized flow table must be rejected");
+        assert_eq!(
+            err,
+            FlowTableError::TooManyFlows {
+                flows: usize::from(u16::MAX) + 2
+            }
+        );
     }
 }

@@ -9,18 +9,20 @@
 
 use crate::harness::{BenchConfig, Bencher, Measurement};
 use crate::report::SuiteReport;
-use augur_elements::{RateProcess, TraceEnd};
+use augur_core::{build_many_flow_bottleneck, run_multi_agent, AimdSender, RunTrace, SenderAgent};
+use augur_elements::{DropRecord, RateProcess, TraceEnd};
+use augur_inference::Observation;
 use augur_inference::{BeliefConfig, ModelPrior};
 use augur_scenario::{
     execute_run, presets, spec_belief_in, traces, Axis, PriorCache, PriorSpec, RunSpec,
     ScenarioSpec, SenderSpec, SweepGrid, SweepRunner, TopologySpec, WorkloadSpec,
 };
 use augur_sim::perf;
-use augur_sim::{BitRate, Bits, Dur, EventQueue, FlowId, Packet, SimRng, Time, WorkCounters};
+use augur_sim::{BitRate, Bits, Dur, EventQueue, FlowId, Packet, Ppm, SimRng, Time, WorkCounters};
 use std::hint::black_box;
 
 /// Every suite name, in the order `perf all` runs them.
-pub const NAMES: [&str; 8] = [
+pub const NAMES: [&str; 9] = [
     "event-queue",
     "rate-trace",
     "belief-update",
@@ -29,6 +31,7 @@ pub const NAMES: [&str; 8] = [
     "sweep-replay",
     "prior-reuse",
     "topo-route",
+    "many-flow",
 ];
 
 /// Run a named suite. `quick` shrinks workloads to CI-smoke size.
@@ -42,6 +45,7 @@ pub fn run(name: &str, quick: bool) -> Option<SuiteReport> {
         "sweep-replay" => sweep_replay(quick),
         "prior-reuse" => prior_reuse(quick),
         "topo-route" => topo_route(quick),
+        "many-flow" => many_flow(quick),
         _ => return None,
     })
 }
@@ -493,6 +497,73 @@ fn topo_route(quick: bool) -> SuiteReport {
     report
 }
 
+/// One [`augur_core::FlowDriver`] population run: N AIMD agents over the
+/// shared many-flow bottleneck for `duration` of simulated time.
+fn many_flow_drive(n: usize, duration: Dur) -> Vec<RunTrace> {
+    let mut truth = build_many_flow_bottleneck(
+        BitRate::from_bps(12_000_000),
+        Bits::new(480_000),
+        Ppm::ZERO,
+        n,
+        0xF10,
+    );
+    let mut store: Vec<AimdSender> = (0..n)
+        .map(|_| AimdSender::new(Dur::from_secs(8)).with_packet_size(Bits::from_bytes(1_500)))
+        .collect();
+    let mut agents: Vec<&mut dyn SenderAgent> = store
+        .iter_mut()
+        .map(|a| a as &mut dyn SenderAgent)
+        .collect();
+    run_multi_agent(&mut truth, &mut agents, Time::ZERO + duration)
+        .expect("belief-free agents cannot die")
+}
+
+/// Heap bytes a finished trace retains, excluding the struct itself —
+/// the per-flow memory the driver hands back to its caller.
+fn trace_heap_bytes(t: &RunTrace) -> usize {
+    use std::mem::size_of;
+    t.sends.capacity() * size_of::<(u64, Time)>()
+        + t.acks.capacity() * size_of::<Observation>()
+        + t.drops.capacity() * size_of::<DropRecord>()
+        + t.cross_deliveries.capacity() * size_of::<(u64, Time, u64)>()
+        + t.wakes.capacity() * size_of::<augur_core::WakeRecord>()
+}
+
+/// The many-flow scaling suite: the heap-scheduled [`augur_core::FlowDriver`]
+/// driving N ∈ {100, 1k, 10k} AIMD agents over one shared 12 Mbit/s
+/// bottleneck. `flow_wakes` is the pinned counter — one per agent
+/// dispatch, so any change to the wake heap's scheduling (spurious
+/// wakes, missed timers) moves it. Derives the advisory dispatch
+/// throughput at N=10k and the deterministic per-flow trace memory of a
+/// full N=10k run.
+fn many_flow(quick: bool) -> SuiteReport {
+    let duration = Dur::from_secs(if quick { 3 } else { 10 });
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("many-flow", mode(quick));
+    for (name, n) in [
+        ("drive-100", 100usize),
+        ("drive-1k", 1_000),
+        ("drive-10k", 10_000),
+    ] {
+        report.results.push(b.measure(name, move || {
+            let before = perf::snapshot();
+            black_box(many_flow_drive(n, duration));
+            perf::snapshot().since(&before)
+        }));
+    }
+    let at_10k = report.find("drive-10k").expect("measured");
+    report.derive(
+        "wakes_per_sec",
+        at_10k.work_per_batch.flow_wakes as f64 / at_10k.secs_per_iter.median,
+    );
+    // One standalone N=10k run for the memory half: same seed as the
+    // measurement, so the derived value is deterministic.
+    let traces = many_flow_drive(10_000, duration);
+    let bytes: usize = traces.iter().map(trace_heap_bytes).sum();
+    report.derive("per_flow_trace_bytes", bytes as f64 / traces.len() as f64);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,8 +579,10 @@ mod tests {
     fn quick_micro_suites_have_deterministic_counters() {
         // Two back-to-back executions of a suite must produce identical
         // work counters — the property the CI perf-smoke job checks
-        // across processes, pinned here in-process for the micro suites.
-        for name in ["event-queue", "rate-trace"] {
+        // across processes, pinned here in-process for the micro suites
+        // and the many-flow driver suite (whose `flow_wakes` counter is
+        // the wake-heap scheduling fingerprint).
+        for name in ["event-queue", "rate-trace", "many-flow"] {
             let a = run(name, true).unwrap();
             let b = run(name, true).unwrap();
             for (ma, mb) in a.results.iter().zip(&b.results) {

@@ -21,8 +21,8 @@
 
 use crate::grid::{Axis, SweepGrid};
 use crate::spec::{
-    CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
-    WorkloadSpec,
+    CoexistSpec, ManyFlowSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec,
+    TopologySpec, WorkloadSpec,
 };
 use crate::traces;
 use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
@@ -1253,13 +1253,44 @@ fn decode_workload(t: &Table, at: (u32, u32)) -> Result<WorkloadSpec, ConfigErro
             }
             WorkloadSpec::Coexist(CoexistSpec { peers })
         }
+        "many-flows" => {
+            let flows_e = d.req("flows", at)?;
+            let flows = expect_u64(&flows_e.value, "flows")? as usize;
+            if flows == 0 || flows > usize::from(u16::MAX) + 1 {
+                return err(
+                    flows_e.value.line,
+                    flows_e.value.col,
+                    format!(
+                        "`flows` must be between 1 and 65536 (wire flow ids are u16), got {flows}"
+                    ),
+                );
+            }
+            let mix_e = d.req("mix", at)?;
+            let mix = map_array(mix_e, decode_peer)?;
+            if mix.is_empty() {
+                return err(
+                    mix_e.value.line,
+                    mix_e.value.col,
+                    "`mix` must name at least one agent kind",
+                );
+            }
+            if mix.iter().any(|p| matches!(p, PeerSpec::Isender { .. })) {
+                return err(
+                    mix_e.value.line,
+                    mix_e.value.col,
+                    "`mix` agents must be belief-free (aimd, tcp-reno, tcp-cubic) — a \
+                     many-flow run cannot carry one belief engine per flow",
+                );
+            }
+            WorkloadSpec::ManyFlows(ManyFlowSpec { flows, mix })
+        }
         other => {
             return err(
                 kind_e.value.line,
                 kind_e.value.col,
                 format!(
                     "unknown workload kind `{other}` (expected closed-loop, scripted-ping, \
-                     coexist)"
+                     coexist, many-flows)"
                 ),
             )
         }
@@ -1320,6 +1351,17 @@ fn decode_axis(t: &Table, at: (u32, u32), base: Option<&Path>) -> Result<Axis, C
         "prior-size" => Axis::PriorSize(map_array(d.req("values", at)?, |v, w| {
             Ok(expect_u64(v, w)? as usize)
         })?),
+        "flows" => Axis::Flows(map_array(d.req("values", at)?, |v, w| {
+            let n = expect_u64(v, w)? as usize;
+            if n == 0 || n > usize::from(u16::MAX) + 1 {
+                return err(
+                    v.line,
+                    v.col,
+                    format!("flow counts must be between 1 and 65536, got {n}"),
+                );
+            }
+            Ok(n)
+        })?),
         "seeds" => Axis::Seeds(expect_u64(&d.req("count", at)?.value, "count")? as usize),
         other => {
             return err(
@@ -1328,7 +1370,7 @@ fn decode_axis(t: &Table, at: (u32, u32), base: Option<&Path>) -> Result<Axis, C
                 format!(
                     "unknown axis kind `{other}` (expected alpha, latency-penalty, link-rate, \
                      cross-rate, buffer-capacity, initial-fullness, loss, sender, peer, queue, \
-                     rate-trace, prior-size, seeds)"
+                     rate-trace, prior-size, flows, seeds)"
                 ),
             )
         }
@@ -1533,6 +1575,13 @@ pub fn parse_grid_at(src: &str, base: Option<&Path>) -> Result<SweepGrid, Config
             if let Err(msg) = topology.try_model(what) {
                 return err(t.line, t.col, msg);
             }
+        }
+        if matches!(axis, Axis::Flows(_)) && !matches!(workload, WorkloadSpec::ManyFlows(_)) {
+            return err(
+                t.line,
+                t.col,
+                "a flows axis requires the many-flows workload (it sets the flow count)",
+            );
         }
         if !matches!(topology, TopologySpec::Cellular { .. }) {
             let cellular_only = match axis {
@@ -1858,6 +1907,7 @@ fn push_axis(out: &mut String, axis: &Axis) {
             "prior-size",
             Some(fmt_int_list(v.iter().map(|n| *n as u64))),
         ),
+        Axis::Flows(v) => ("flows", Some(fmt_int_list(v.iter().map(|n| *n as u64)))),
         Axis::Seeds(k) => {
             let _ = writeln!(out, "kind = \"seeds\"\ncount = {k}");
             return;
@@ -2050,6 +2100,18 @@ pub fn grid_to_toml(grid: &SweepGrid) -> String {
                 fmt_dur(*interval)
             );
         }
+        WorkloadSpec::ManyFlows(mf) => {
+            let _ = writeln!(
+                out,
+                "kind = \"many-flows\"\nflows = {}\nmix = [\n{}\n]",
+                mf.flows,
+                mf.mix
+                    .iter()
+                    .map(|p| format!("  {},", fmt_peer(p)))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         WorkloadSpec::Coexist(cx) => {
             let _ = writeln!(
                 out,
@@ -2137,6 +2199,57 @@ mod tests {
         assert!(
             e.message
                 .contains("expected float for `values[1]`, found string"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn many_flows_flow_count_is_range_checked() {
+        let toml = grid_to_toml(&presets::by_name("ext-scaling-flows").unwrap())
+            .replace("flows = 10\n", "flows = 0\n");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("`flows` must be between 1 and 65536 (wire flow ids are u16), got 0"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn many_flows_mix_rejects_belief_carrying_agents() {
+        let toml = grid_to_toml(&presets::by_name("ext-scaling-flows").unwrap()).replace(
+            "{ kind = \"aimd\", timeout_s = 8.0 }",
+            "{ kind = \"isender\", alpha = 1.0 }",
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("`mix` agents must be belief-free"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn flows_axis_requires_the_many_flows_workload() {
+        let toml = format!(
+            "{}\n[[axis]]\nkind = \"flows\"\nvalues = [10]\n",
+            grid_to_toml(&presets::by_name("fig3").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("a flows axis requires the many-flows workload"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn flows_axis_values_are_range_checked() {
+        let toml = grid_to_toml(&presets::by_name("ext-scaling-flows").unwrap())
+            .replace("values = [10, 100, 1000, 10000]", "values = [10, 70000]");
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message
+                .contains("flow counts must be between 1 and 65536, got 70000"),
             "got: {e}"
         );
     }

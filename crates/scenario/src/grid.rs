@@ -46,6 +46,9 @@ pub enum Axis {
     RateTrace(Vec<RateProcess>),
     /// Prior sizes (requires a [`PriorSpec::FineLinkRate`] prior).
     PriorSize(Vec<usize>),
+    /// Concurrent flow counts (requires a [`WorkloadSpec::ManyFlows`]
+    /// workload); each point sets the workload's flow count.
+    Flows(Vec<usize>),
     /// `k` seed replicates: the spec is unchanged, but each replicate is
     /// a distinct run index and therefore a distinct derived seed.
     Seeds(usize),
@@ -67,6 +70,7 @@ impl Axis {
             Axis::Queue(v) => v.len(),
             Axis::RateTrace(v) => v.len(),
             Axis::PriorSize(v) => v.len(),
+            Axis::Flows(v) => v.len(),
             Axis::Seeds(k) => *k,
         }
     }
@@ -92,6 +96,7 @@ impl Axis {
             Axis::Queue(_) => "queue",
             Axis::RateTrace(_) => "rate_trace",
             Axis::PriorSize(_) => "prior_size",
+            Axis::Flows(_) => "flows",
             Axis::Seeds(_) => "replicate",
         }
     }
@@ -111,6 +116,7 @@ impl Axis {
             Axis::Queue(v) => v[i].label().to_string(),
             Axis::RateTrace(v) => rate_point_label(&v[i]),
             Axis::PriorSize(v) => format!("{}", v[i]),
+            Axis::Flows(v) => format!("{}", v[i]),
             Axis::Seeds(_) => format!("{i}"),
         }
     }
@@ -153,6 +159,10 @@ impl Axis {
             Axis::PriorSize(v) => match &mut spec.prior {
                 PriorSpec::FineLinkRate { n, .. } => *n = v[i],
                 other => panic!("prior-size axis over non-scalable prior {other:?}"),
+            },
+            Axis::Flows(v) => match &mut spec.workload {
+                WorkloadSpec::ManyFlows(mf) => mf.flows = v[i],
+                other => panic!("flows axis over non-many-flows workload {other:?}"),
             },
             Axis::Seeds(_) => {} // the run index alone differentiates replicates
         }

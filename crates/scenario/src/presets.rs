@@ -3,8 +3,8 @@
 
 use crate::grid::{Axis, SweepGrid};
 use crate::spec::{
-    CoexistSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec, TopologySpec,
-    WorkloadSpec,
+    CoexistSpec, ManyFlowSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec,
+    TopologySpec, WorkloadSpec,
 };
 use crate::traces;
 use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
@@ -15,7 +15,7 @@ use augur_topo::GraphTopology;
 /// Every named preset, in the order `--export-specs` writes them. Each
 /// name doubles as the canonical spec file stem under
 /// `experiments/specs/` and the default CSV stem under `experiments/`.
-pub const NAMES: [&str; 13] = [
+pub const NAMES: [&str; 14] = [
     "fig1",
     "fig3",
     "tab1",
@@ -29,6 +29,7 @@ pub const NAMES: [&str; 13] = [
     "replay-cellular",
     "dumbbell-cross",
     "parking-lot",
+    "ext-scaling-flows",
 ];
 
 /// The canonical grid for a preset name, at the documented default
@@ -49,6 +50,7 @@ pub fn by_name(name: &str) -> Option<SweepGrid> {
         "replay-cellular" => replay_cellular(Dur::from_secs(60)),
         "dumbbell-cross" => dumbbell_cross(Dur::from_secs(60), 4, 50_000),
         "parking-lot" => parking_lot(Dur::from_secs(60), 4, 50_000),
+        "ext-scaling-flows" => ext_scaling_flows(Dur::from_secs(20), 2),
         _ => return None,
     })
 }
@@ -275,6 +277,40 @@ pub fn ext_scaling(sizes: Vec<usize>, n_particles: usize) -> SweepGrid {
             },
         ]))
         .axis(Axis::PriorSize(sizes))
+}
+
+/// EXT-SCALING-FLOWS: the many-flow driver under population growth —
+/// N ∈ {10, 100, 1000, 10000} belief-free agents (alternating AIMD and
+/// TCP Reno) sharing one 12 Mbit/s bottleneck via
+/// [`augur_core::build_many_flow_bottleneck`]. One row per flow count
+/// and seed; aggregate goodput, Jain index, and drops expose how the
+/// heap-scheduled [`augur_core::FlowDriver`] holds up as the agent
+/// population scales three orders of magnitude. The sender spec is
+/// inert (every agent comes from the workload mix).
+pub fn ext_scaling_flows(duration: Dur, replicates: usize) -> SweepGrid {
+    let base = ScenarioSpec {
+        name: "ext-scaling-flows".into(),
+        topology: TopologySpec::Model(ModelParams::simple_link(
+            BitRate::from_bps(12_000_000),
+            Bits::new(480_000),
+        )),
+        prior: PriorSpec::Small,
+        sender: SenderSpec::TcpReno { max_window: 64 },
+        workload: WorkloadSpec::ManyFlows(ManyFlowSpec {
+            flows: 10,
+            mix: vec![
+                PeerSpec::Aimd {
+                    timeout: Dur::from_secs(8),
+                },
+                PeerSpec::TcpReno { max_window: 64 },
+            ],
+        }),
+        duration,
+        base_seed: 0x5CA1E,
+    };
+    SweepGrid::new(base)
+        .axis(Axis::Flows(vec![10, 100, 1_000, 10_000]))
+        .axis(Axis::Seeds(replicates))
 }
 
 /// FIG1 (bufferbloat): a TCP Reno bulk download over the LTE-like

@@ -11,12 +11,14 @@
 use crate::grid::RunSpec;
 use crate::report::{RunStatus, RunSummary, SweepReport};
 use crate::spec::{
-    CoexistSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, TopologySpec, WorkloadSpec,
+    CoexistSpec, ManyFlowSpec, PeerSpec, PriorSpec, ScenarioSpec, SenderSpec, TopologySpec,
+    WorkloadSpec,
 };
 use augur_core::{
-    build_shared_bottleneck, coexist_belief, jain_index, run_closed_loop, run_multi_agent,
-    AimdSender, DiscountedThroughput, GroundTruth, ISender, ISenderConfig, MultiFlowTruth,
-    ParticleSender, RestartingSender, RunTrace, SenderAgent, Utility, WakeOutcome,
+    build_many_flow_bottleneck, build_shared_bottleneck, coexist_belief, jain_index,
+    run_closed_loop, run_multi_agent, AimdSender, DiscountedThroughput, DriverError, FlowEndpoint,
+    GroundTruth, ISender, ISenderConfig, MultiFlowTruth, ParticleSender, RestartingSender,
+    RunTrace, SenderAgent, Utility, WakeOutcome,
 };
 use augur_elements::{
     build_cellular_with_buffer, DropReason, ModelParams, FIG2_ENTRY, FIG2_LOSS, FIG2_RX_SELF,
@@ -318,6 +320,7 @@ pub fn execute_run_traced_in(run: &RunSpec, priors: &PriorCache) -> (RunSummary,
             (scripted_ping(run, *interval, priors), RunArtifact::None)
         }
         (WorkloadSpec::Coexist(cx), _) => coexist_run(run, cx),
+        (WorkloadSpec::ManyFlows(mf), _) => many_flow_run(run, mf),
     };
     summary.work = perf::snapshot().since(&counters_before);
     // Scripted runs meter their own wall clock (belief updates only);
@@ -538,10 +541,18 @@ fn summarize_closed_loop(
         .filter(|d| d.reason == DropReason::BufferFull)
         .count() as u64;
     let send_at: HashMap<u64, Time> = trace.sends.iter().map(|&(seq, t)| (seq, t)).collect();
+    // A retransmitted seq keeps only its latest send time; an ACK of the
+    // original copy can predate that retransmit, so such pairs carry no
+    // usable delay and are skipped.
     let mut delays: Vec<f64> = trace
         .acks
         .iter()
-        .filter_map(|o| send_at.get(&o.seq).map(|t| o.at.since(*t).as_secs_f64()))
+        .filter_map(|o| {
+            send_at
+                .get(&o.seq)
+                .filter(|&&t| t <= o.at)
+                .map(|t| o.at.since(*t).as_secs_f64())
+        })
         .collect();
     delays.sort_by(|a, b| a.total_cmp(b));
     set_delay_percentiles(summary, &delays);
@@ -898,15 +909,100 @@ fn summarize_multi_flow(
         .filter(|d| d.reason == DropReason::BufferFull)
         .count() as u64;
     let send_at: HashMap<u64, Time> = traces[0].sends.iter().map(|&(seq, t)| (seq, t)).collect();
+    // Same retransmission guard as `summarize_closed_loop`: skip ACKs
+    // whose only recorded send time is a later retransmit.
     let mut delays: Vec<f64> = traces[0]
         .acks
         .iter()
-        .filter_map(|o| send_at.get(&o.seq).map(|t| o.at.since(*t).as_secs_f64()))
+        .filter_map(|o| {
+            send_at
+                .get(&o.seq)
+                .filter(|&&t| t <= o.at)
+                .map(|t| o.at.since(*t).as_secs_f64())
+        })
         .collect();
     delays.sort_by(|a, b| a.total_cmp(b));
     set_delay_percentiles(summary, &delays);
     let trace_a = traces.swap_remove(0);
     (rates, trace_a)
+}
+
+/// The many-flow scaling workload: N belief-free agents over one shared
+/// bottleneck ([`build_many_flow_bottleneck`] — a single receiver, with
+/// acknowledgments routed back to agents by flow id), driven through the
+/// heap-scheduled flow driver. Agent `i` is built from
+/// `mix[i % mix.len()]`; the scenario's `sender` and `prior` sections
+/// are inert, so the summary reports `many-flow` as the sender and the
+/// mix label as the peer. Flow 0's trace is the run artifact;
+/// `goodput_bps` is flow 0's rate, `goodput_b_bps` the rest, and `jain`
+/// spans all N flows.
+fn many_flow_run(run: &RunSpec, mf: &ManyFlowSpec) -> (RunSummary, RunArtifact) {
+    let spec = &run.spec;
+    let topology = spec.topology.model("many-flows workload");
+    let mut truth = build_many_flow_bottleneck(
+        topology.link_rate,
+        topology.buffer_capacity,
+        topology.loss,
+        mf.flows,
+        SimRng::derive_seed(run.seed, STREAM_TRUTH),
+    );
+    let tcp_peer = |max_window: u64, cc: Box<dyn augur_tcp::CongestionControl>| {
+        PeerAgent::Tcp(TcpPeerAgent::new(
+            TcpConfig {
+                packet_size: topology.packet_size,
+                max_window,
+                ..TcpConfig::default()
+            },
+            cc,
+        ))
+    };
+    let mut store: Vec<PeerAgent> = (0..mf.flows)
+        .map(|i| match mf.mix[i % mf.mix.len()] {
+            PeerSpec::Isender { .. } => {
+                unreachable!("isender mix entries are rejected at decode time")
+            }
+            PeerSpec::Aimd { timeout } => {
+                PeerAgent::Aimd(AimdSender::new(timeout).with_packet_size(topology.packet_size))
+            }
+            PeerSpec::TcpReno { max_window } => tcp_peer(max_window, Box::<Reno>::default()),
+            PeerSpec::TcpCubic { max_window } => tcp_peer(max_window, Box::<Cubic>::default()),
+        })
+        .collect();
+    let mut agents: Vec<&mut dyn SenderAgent> = store
+        .iter_mut()
+        .map(|p| match p {
+            PeerAgent::Model(m) => m as &mut dyn SenderAgent,
+            PeerAgent::Aimd(a) => a,
+            PeerAgent::Tcp(t) => t,
+        })
+        .collect();
+
+    let t_end = Time::ZERO + spec.duration;
+    let result = run_multi_agent(&mut truth, &mut agents, t_end);
+
+    let mut summary = blank_summary(run);
+    summary.sender = "many-flow".to_string();
+    summary.peer = mf.label();
+    match result {
+        Ok(traces) => {
+            let dur_s = spec.duration.as_secs_f64();
+            let (_, trace_a) = summarize_multi_flow(
+                &mut summary,
+                traces,
+                dur_s,
+                topology.packet_size.as_f64(),
+                1.0,
+            );
+            (summary, RunArtifact::ClosedLoop(trace_a))
+        }
+        Err(DriverError::Belief(_)) => {
+            summary.status = RunStatus::BeliefDied;
+            (summary, RunArtifact::None)
+        }
+        Err(e @ DriverError::AgentCount { .. }) => {
+            unreachable!("one agent is built per declared flow: {e}")
+        }
+    }
 }
 
 /// Sum of belief restarts across the peer agents (0 for belief-free
@@ -1054,13 +1150,15 @@ fn coexist_graph_run(
             }
         })
         .collect();
-    let mut truth = MultiFlowTruth {
-        entry: compiled.entries[0],
-        entries: compiled.entries,
-        rxs: compiled.rxs,
-        net: compiled.net,
-        rng: SimRng::derive(run.seed, STREAM_TRUTH),
-    };
+    let table: Vec<FlowEndpoint> = compiled
+        .entries
+        .iter()
+        .zip(&compiled.rxs)
+        .map(|(&entry, &rx)| FlowEndpoint { entry, rx })
+        .collect();
+    let mut truth =
+        MultiFlowTruth::new(compiled.net, table, SimRng::derive(run.seed, STREAM_TRUTH))
+            .unwrap_or_else(|e| panic!("invalid graph flow table: {e}"));
 
     let t_end = Time::ZERO + spec.duration;
     let result = run_agents(&mut truth, &mut primary, &mut peers, t_end);
@@ -1101,7 +1199,12 @@ fn run_agents(
             PeerAgent::Tcp(t) => t,
         });
     }
-    run_multi_agent(truth, &mut agents, t_end)
+    run_multi_agent(truth, &mut agents, t_end).map_err(|e| match e {
+        DriverError::Belief(b) => b,
+        // Agent/flow counts are validated when the spec is decoded and
+        // when the ground truth is built, before any run starts.
+        DriverError::AgentCount { .. } => unreachable!("agent count validated upstream: {e}"),
+    })
 }
 
 /// Aggregate per-flow goodputs by declared flow class, formatted

@@ -377,6 +377,32 @@ impl CoexistSpec {
     }
 }
 
+/// A many-flow scaling run: N lightweight senders (no belief machinery)
+/// share one bottleneck through the heap-scheduled flow driver. The
+/// scenario's [`ScenarioSpec::sender`] and [`ScenarioSpec::prior`] are
+/// inert — every agent comes from `mix`, with agent `i` built from
+/// `mix[i % mix.len()]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManyFlowSpec {
+    /// How many concurrent flows share the bottleneck (1..=65536).
+    pub flows: usize,
+    /// The repeating agent pattern (must be non-empty; belief-carrying
+    /// [`PeerSpec::Isender`] entries are rejected at decode time — at
+    /// N=10k each belief would dwarf the network itself).
+    pub mix: Vec<PeerSpec>,
+}
+
+impl ManyFlowSpec {
+    /// All mix labels joined into one report token, e.g. `aimd+tcp-reno`.
+    pub fn label(&self) -> String {
+        self.mix
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
 /// What drives the sender.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
@@ -393,6 +419,9 @@ pub enum WorkloadSpec {
     /// Two senders share the bottleneck (§3.5): the scenario's sender
     /// plus the described peer, run through the multi-agent loop.
     Coexist(CoexistSpec),
+    /// N lightweight flows share the bottleneck through the flow driver
+    /// — the many-flow scaling workload.
+    ManyFlows(ManyFlowSpec),
 }
 
 /// One fully-described experiment.

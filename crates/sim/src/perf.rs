@@ -62,6 +62,9 @@ pub struct WorkCounters {
     /// Immutable network structures assembled by `NetworkBuilder::build`
     /// (topology, element parameters, rate schedules).
     pub structures_built: u64,
+    /// Agent wakes dispatched by the flow driver (one `on_wake` call
+    /// per count) — the many-flow scaling suites pin these.
+    pub flow_wakes: u64,
 }
 
 impl WorkCounters {
@@ -85,11 +88,12 @@ impl WorkCounters {
             networks_built: self.networks_built.wrapping_sub(earlier.networks_built),
             state_clones: self.state_clones.wrapping_sub(earlier.state_clones),
             structures_built: self.structures_built.wrapping_sub(earlier.structures_built),
+            flow_wakes: self.flow_wakes.wrapping_sub(earlier.flow_wakes),
         }
     }
 
     /// `(name, value)` pairs in a stable order, for report emission.
-    pub fn named(&self) -> [(&'static str, u64); 8] {
+    pub fn named(&self) -> [(&'static str, u64); 9] {
         [
             ("events_processed", self.events_processed),
             ("packets_forwarded", self.packets_forwarded),
@@ -99,6 +103,7 @@ impl WorkCounters {
             ("networks_built", self.networks_built),
             ("state_clones", self.state_clones),
             ("structures_built", self.structures_built),
+            ("flow_wakes", self.flow_wakes),
         ]
     }
 
@@ -118,6 +123,7 @@ impl AddAssign for WorkCounters {
         self.networks_built = self.networks_built.wrapping_add(rhs.networks_built);
         self.state_clones = self.state_clones.wrapping_add(rhs.state_clones);
         self.structures_built = self.structures_built.wrapping_add(rhs.structures_built);
+        self.flow_wakes = self.flow_wakes.wrapping_add(rhs.flow_wakes);
     }
 }
 
@@ -130,6 +136,7 @@ struct Cells {
     networks_built: Cell<u64>,
     state_clones: Cell<u64>,
     structures_built: Cell<u64>,
+    flow_wakes: Cell<u64>,
 }
 
 thread_local! {
@@ -143,6 +150,7 @@ thread_local! {
             networks_built: Cell::new(0),
             state_clones: Cell::new(0),
             structures_built: Cell::new(0),
+            flow_wakes: Cell::new(0),
         }
     };
 }
@@ -204,6 +212,12 @@ pub fn count_structure_build() {
     bump(|c| &c.structures_built, 1);
 }
 
+/// Record one flow-driver agent wake (`on_wake` dispatch).
+#[inline]
+pub fn count_flow_wake() {
+    bump(|c| &c.flow_wakes, 1);
+}
+
 /// The calling thread's cumulative counters. Counters are never reset;
 /// measure an interval by snapshotting before and after and taking
 /// [`WorkCounters::since`].
@@ -217,6 +231,7 @@ pub fn snapshot() -> WorkCounters {
         networks_built: c.networks_built.get(),
         state_clones: c.state_clones.get(),
         structures_built: c.structures_built.get(),
+        flow_wakes: c.flow_wakes.get(),
     })
 }
 
@@ -261,6 +276,7 @@ mod tests {
         count_state_clone();
         count_state_clone();
         count_structure_build();
+        count_flow_wake();
         let work = snapshot().since(&before);
         assert_eq!(work.events_processed, 2);
         assert_eq!(work.packets_forwarded, 1);
@@ -270,7 +286,8 @@ mod tests {
         assert_eq!(work.networks_built, 1);
         assert_eq!(work.state_clones, 3);
         assert_eq!(work.structures_built, 1);
-        assert_eq!(work.total(), 17);
+        assert_eq!(work.flow_wakes, 1);
+        assert_eq!(work.total(), 18);
     }
 
     #[test]
@@ -322,6 +339,7 @@ mod tests {
                 "networks_built",
                 "state_clones",
                 "structures_built",
+                "flow_wakes",
             ]
         );
     }
