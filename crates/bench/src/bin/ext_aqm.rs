@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! EXT-D — §3.5 names active queue management and non-FIFO scheduling as
 //! missing elements; we implement RED and CoDel as BUFFER variants and
 //! show the in-network fix to Figure 1's bufferbloat: the same TCP Reno

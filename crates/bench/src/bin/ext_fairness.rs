@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! EXT-A — §3.5's first open question: "we have not yet experimented with
 //! any networks that contain more than one ISENDER … whether starting
 //! with the same or different assumptions … will be of great importance."

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! EXT-C — the paper's scalability remark (§3.2): "This
 //! rejection-sampling approach is limited computationally; we have found
 //! that maintaining more than a few million possible discrete channel

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! EXT-B — §3.5's second open question: an ISender sharing a bottleneck
 //! with loss-based senders. A thin wrapper over the `coexist-vs-tcp`
 //! scenario preset, whose peer axis runs the compact AIMD core (the

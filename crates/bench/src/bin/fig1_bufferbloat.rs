@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! FIG1 — reproduce Figure 1: "Round-trip time during a TCP download on
 //! the Verizon LTE network" (bufferbloat).
 //!

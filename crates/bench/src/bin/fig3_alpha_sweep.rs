@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! FIG3 — reproduce Figure 3: "Results of varying priority to cross
 //! traffic".
 //!

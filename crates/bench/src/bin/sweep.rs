@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `sweep` — run any preset or spec-file parameter sweep from the
 //! command line.
 //!

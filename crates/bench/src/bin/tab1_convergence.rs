@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! TAB1 — reproduce Figure 2's parameter table: prior belief vs actual,
 //! and show the posterior concentrating on the actual values.
 //!

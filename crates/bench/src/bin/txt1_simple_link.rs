@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! TXT1 — §4's first claim: "The sender reaches a predictable, ideal
 //! result in simple configurations, such as a single ISENDER connected to
 //! a queue, drained by a throughput-limited link. It begins tentatively

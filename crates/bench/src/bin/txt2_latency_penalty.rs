@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! TXT2 — §4's second claim: "If cross traffic is present and the utility
 //! function penalizes induced latency to other traffic, then the ISENDER
 //! drains the buffer before sending at the link speed."

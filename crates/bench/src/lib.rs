@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-bench` — the experiment harness.
 //!
 //! One binary per paper artifact (see DESIGN.md §3 for the index):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-core` — the paper's primary contribution: a sender that treats
 //! the network as a nondeterministic automaton, maintains a probability
 //! distribution over its possible configurations, and "at each moment …

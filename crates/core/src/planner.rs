@@ -20,7 +20,7 @@ use crate::utility::{RolloutReport, Utility};
 use augur_elements::{ChoiceKind, Network, NodeId, Step};
 use augur_inference::{Belief, Hypothesis};
 use augur_sim::{Bits, Dur, FlowId, Packet, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 /// Planner tuning.
@@ -254,7 +254,9 @@ pub fn rollout(
     let mut sim = net.clone();
     let mut report = RolloutReport::default();
     // Per-packet delivery probabilities accumulated from folded loss.
-    let mut probs: HashMap<(FlowId, u64), f64> = HashMap::new();
+    // Ordered map: rollouts feed expected utility, and no container
+    // iteration order may reach a decision.
+    let mut probs: BTreeMap<(FlowId, u64), f64> = BTreeMap::new();
 
     if let Some(t_act) = send_at {
         run_determinized(&mut sim, t_act, fold_node, &mut probs, &mut report);
@@ -275,7 +277,7 @@ fn run_determinized(
     sim: &mut Network,
     until: Time,
     fold_node: Option<NodeId>,
-    probs: &mut HashMap<(FlowId, u64), f64>,
+    probs: &mut BTreeMap<(FlowId, u64), f64>,
     report: &mut RolloutReport,
 ) {
     loop {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-elements` — the paper's network-element language (§3.1).
 //!
 //! "The model is built as a language of network elements, corresponding to

@@ -165,6 +165,33 @@ mod tests {
     }
 
     #[test]
+    fn compact_order_is_stable_under_ties() {
+        // Equal weights leave the (weight desc) key degenerate, so only
+        // the stable_hash tie-break orders the output — HashMap iteration
+        // order must never show through. Build the same branch set in
+        // several input permutations and demand an identical output order
+        // every time, equal to the comparator's own verdict.
+        let build = |metas: &[u32]| -> Vec<Hypothesis<u32>> {
+            metas.iter().map(|&m| hyp(0.1, m, 0.25)).collect()
+        };
+        let mut first = build(&[3, 1, 4, 2]);
+        assert_eq!(compact(&mut first), 0);
+        let first_metas: Vec<u32> = first.iter().map(|h| h.meta).collect();
+        for perm in [[1, 2, 3, 4], [4, 3, 2, 1], [2, 4, 1, 3]] {
+            let mut v = build(&perm);
+            assert_eq!(compact(&mut v), 0);
+            let metas: Vec<u32> = v.iter().map(|h| h.meta).collect();
+            assert_eq!(
+                metas, first_metas,
+                "compact order drifted across permutations"
+            );
+        }
+        // And the order really is the comparator's: hashes ascend.
+        let hashes: Vec<u64> = first.iter().map(stable_hash).collect();
+        assert!(hashes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
     fn normalize_returns_evidence() {
         let mut v = vec![hyp(0.1, 0, 0.2), hyp(0.2, 0, 0.2)];
         let total = normalize(&mut v);

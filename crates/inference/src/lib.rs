@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-inference` — Bayesian inference over network configurations.
 //!
 //! This crate is the first of the ISENDER's two jobs: "maintain a model of

@@ -24,7 +24,7 @@
 
 use augur_elements::{Network, NodeId};
 use augur_sim::{FlowId, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One acknowledgment: the receiver saw packet `seq` at time `at`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,11 +35,13 @@ pub struct Observation {
     pub at: Time,
 }
 
-/// Observations of one update window, indexed for O(1) lookup by the
-/// engines (both exact and particle).
+/// Observations of one update window, indexed for fast lookup by the
+/// engines (both exact and particle). Keyed by a `BTreeMap` — windows
+/// are small, and ordered maps keep every conceivable traversal of the
+/// index deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct ObservationIndex {
-    by_seq: HashMap<u64, Time>,
+    by_seq: BTreeMap<u64, Time>,
 }
 
 impl ObservationIndex {
@@ -49,7 +51,7 @@ impl ObservationIndex {
     /// Panics if two observations share a sequence number (a packet cannot
     /// be delivered twice).
     pub fn new(obs: &[Observation]) -> ObservationIndex {
-        let mut by_seq = HashMap::with_capacity(obs.len());
+        let mut by_seq = BTreeMap::new();
         for o in obs {
             let prev = by_seq.insert(o.seq, o.at);
             assert!(prev.is_none(), "duplicate observation for seq {}", o.seq);

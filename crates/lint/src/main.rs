@@ -1,0 +1,87 @@
+#![forbid(unsafe_code)]
+//! The `augur-lint` CLI.
+//!
+//! ```text
+//! augur-lint [--root DIR] [--waivers FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean tree, `2` rule violations (including stale
+//! waivers), `1` I/O or usage failure — the same 2-vs-1 split the
+//! `sweep --check` CLI uses for decode-vs-run failures.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: augur-lint [--root DIR] [--waivers FILE] [--list-rules]
+
+Scans the workspace's production sources (src/, examples/,
+crates/*/src/) and enforces the project's determinism & invariant
+rules. See --list-rules for the rule set; lint-waivers.txt at the
+root anchors explicitly accepted violations to exact file:line
+positions.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut waivers: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--waivers" => match args.next() {
+                Some(f) => waivers = Some(PathBuf::from(f)),
+                None => return usage_error("--waivers needs a file"),
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for r in augur_lint::RULES {
+            println!("{}  {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default waiver file: <root>/lint-waivers.txt, when present.
+    let waivers = waivers.or_else(|| {
+        let default = root.join("lint-waivers.txt");
+        default.is_file().then_some(default)
+    });
+
+    match augur_lint::run(&root, waivers.as_deref()) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            eprintln!(
+                "augur-lint: {} file(s) scanned, {} violation(s), {} waived",
+                report.files_scanned,
+                report.violations.len(),
+                report.waived
+            );
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("augur-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("augur-lint: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

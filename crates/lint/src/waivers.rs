@@ -1,0 +1,204 @@
+//! The waiver file: explicitly accepted violations, anchored to exact
+//! positions.
+//!
+//! Format, one entry per line (`#` starts a comment):
+//!
+//! ```text
+//! <path>:<line> <rule-id> <justification…>
+//! ```
+//!
+//! An entry suppresses every violation of `<rule-id>` on exactly that
+//! `<path>:<line>`. The anchoring is deliberately brittle: if the code
+//! moves or the violation disappears, the waiver no longer matches
+//! anything and the build fails with a `W000` *stale waiver*
+//! diagnostic — waivers must be re-justified whenever the code they
+//! excuse changes.
+
+use crate::rules::{Violation, RULES};
+
+/// One parsed waiver entry.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Workspace-relative path the waived violation sits in.
+    pub path: String,
+    /// Exact 1-based line of the waived violation.
+    pub line: u32,
+    /// Rule id being waived.
+    pub rule: String,
+    /// Why the violation is acceptable (never empty).
+    pub justification: String,
+    /// Line of this entry inside the waiver file (for stale reports).
+    pub src_line: u32,
+}
+
+/// A malformed waiver file (an I/O-class failure, not a violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverParseError {
+    /// Line in the waiver file.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WaiverParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "waiver file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for WaiverParseError {}
+
+/// Parse a waiver file's contents.
+pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, WaiverParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let src_line = i as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| WaiverParseError {
+            line: src_line,
+            message,
+        };
+        let (anchor, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err("expected `<path>:<line> <rule-id> <justification>`".into()))?;
+        let (path, line_no) = anchor
+            .rsplit_once(':')
+            .ok_or_else(|| err(format!("anchor `{anchor}` is missing its `:line` suffix")))?;
+        let line_no: u32 = line_no
+            .parse()
+            .map_err(|_| err(format!("anchor line `{line_no}` is not a number")))?;
+        let (rule, justification) = match rest.trim().split_once(char::is_whitespace) {
+            Some((r, j)) if !j.trim().is_empty() => (r, j.trim()),
+            _ => {
+                return Err(err(
+                    "a waiver needs a justification after the rule id".into()
+                ))
+            }
+        };
+        if !RULES.iter().any(|r| r.id == rule) {
+            return Err(err(format!("unknown rule id `{rule}`")));
+        }
+        out.push(Waiver {
+            path: path.to_string(),
+            line: line_no,
+            rule: rule.to_string(),
+            justification: justification.to_string(),
+            src_line,
+        });
+    }
+    Ok(out)
+}
+
+/// Apply waivers: suppressed violations are removed; waivers that
+/// matched nothing come back as `W000` stale-waiver violations
+/// positioned in the waiver file itself.
+pub fn apply_waivers(
+    violations: Vec<Violation>,
+    waivers: &[Waiver],
+    waiver_file: &str,
+) -> Vec<Violation> {
+    let mut used = vec![false; waivers.len()];
+    let mut out: Vec<Violation> = violations
+        .into_iter()
+        .filter(|v| {
+            let hit = waivers
+                .iter()
+                .position(|w| w.path == v.path && w.line == v.line && w.rule == v.rule);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        })
+        .collect();
+    for (w, used) in waivers.iter().zip(used) {
+        if !used {
+            out.push(Violation {
+                path: waiver_file.to_string(),
+                line: w.src_line,
+                col: 1,
+                rule: "W000",
+                message: format!(
+                    "stale waiver: no {} violation at {}:{} — the code this entry \
+                     excused has moved or been fixed; delete or re-anchor it",
+                    w.rule, w.path, w.line
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(path: &str, line: u32, rule: &'static str) -> Violation {
+        Violation {
+            path: path.to_string(),
+            line,
+            col: 5,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let src = "# header\n\ncrates/a/src/x.rs:12 D003 keys are Eq+Hash only; output re-sorted\n";
+        let ws = parse_waivers(src).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].path, "crates/a/src/x.rs");
+        assert_eq!(ws[0].line, 12);
+        assert_eq!(ws[0].rule, "D003");
+        assert_eq!(ws[0].src_line, 3);
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        assert!(parse_waivers("a.rs:1 D003").is_err());
+        assert!(parse_waivers("a.rs:1 D003 ").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        assert!(parse_waivers("a.rs:1 Z999 because").is_err());
+    }
+
+    #[test]
+    fn rejects_unanchored_path() {
+        assert!(parse_waivers("a.rs D003 because").is_err());
+    }
+
+    #[test]
+    fn waiver_suppresses_exact_match_only() {
+        let ws = parse_waivers("a.rs:10 D003 ok here\n").unwrap();
+        let vs = vec![violation("a.rs", 10, "D003"), violation("a.rs", 11, "D003")];
+        let left = apply_waivers(vs, &ws, "lint-waivers.txt");
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].line, 11);
+    }
+
+    #[test]
+    fn stale_waiver_fails_the_build() {
+        let ws = parse_waivers("a.rs:10 D003 the line moved\n").unwrap();
+        let left = apply_waivers(Vec::new(), &ws, "lint-waivers.txt");
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].rule, "W000");
+        assert_eq!(left[0].path, "lint-waivers.txt");
+        assert_eq!(left[0].line, 1);
+    }
+
+    #[test]
+    fn one_waiver_covers_every_hit_on_its_line() {
+        let ws = parse_waivers("a.rs:10 D003 two uses, one decl line\n").unwrap();
+        let vs = vec![violation("a.rs", 10, "D003"), violation("a.rs", 10, "D003")];
+        assert!(apply_waivers(vs, &ws, "w").is_empty());
+    }
+}

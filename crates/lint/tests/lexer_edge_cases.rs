@@ -1,0 +1,100 @@
+#![forbid(unsafe_code)]
+//! End-to-end edge cases for the lint pass: sources that *look* like
+//! violations but aren't (raw strings, comments, test-gated code), and
+//! waivers that must fail loudly when they stop matching anything.
+
+use augur_lint::lexer::lex_gated;
+use augur_lint::{apply_waivers, parse_waivers, rules, SourceFile};
+
+/// Lex `src` as if it lived at `rel_path` and run every per-file rule.
+fn scan_one(rel_path: &str, src: &str) -> Vec<augur_lint::Violation> {
+    let f = SourceFile {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
+        toks: lex_gated(src),
+    };
+    let mut out = Vec::new();
+    rules::scan_file(&f, &mut out);
+    out
+}
+
+/// A path inside the hash-collection scope, so `HashMap` is hot.
+const SCOPED: &str = "crates/inference/src/edge.rs";
+
+#[test]
+fn raw_string_containing_hashmap_is_not_flagged() {
+    let src = r####"
+        fn f() -> &'static str {
+            r#"use std::collections::HashMap; HashSet::new()"#
+        }
+    "####;
+    assert!(scan_one(SCOPED, src).is_empty());
+    // ...but the same text outside the raw string is a violation.
+    let hot = scan_one(SCOPED, "use std::collections::HashMap;");
+    assert_eq!(hot.len(), 1);
+    assert_eq!(hot[0].rule, "D003");
+}
+
+#[test]
+fn nested_block_comment_hides_violations_to_arbitrary_depth() {
+    let src = "
+        /* HashMap /* std::time::Instant /* thread_rng() */ */ still
+           commented: HashSet */
+        fn ok() {}
+    ";
+    assert!(scan_one(SCOPED, src).is_empty());
+}
+
+#[test]
+fn cfg_test_gated_violation_is_allowed() {
+    // Test-only code may use HashMap/Instant freely: determinism rules
+    // bind production paths, and #[cfg(test)] never ships.
+    let gated = "
+        fn production() {}
+        #[cfg(test)]
+        mod tests {
+            use std::collections::HashMap;
+            fn helper() { let _ = HashMap::<u32, u32>::new(); }
+        }
+    ";
+    assert!(scan_one(SCOPED, gated).is_empty());
+    // #[cfg(not(test))] is production code and stays hot.
+    let not_test = "
+        #[cfg(not(test))]
+        mod prod {
+            use std::collections::HashMap;
+        }
+    ";
+    let hot = scan_one(SCOPED, not_test);
+    assert_eq!(hot.len(), 1);
+    assert_eq!(hot[0].rule, "D003");
+}
+
+#[test]
+fn violation_positions_are_exact() {
+    let src = "fn f() {\n    let m = std::collections::HashMap::<u8, u8>::new();\n}\n";
+    let vs = scan_one(SCOPED, src);
+    assert_eq!(vs.len(), 1);
+    assert_eq!((vs[0].line, vs[0].col), (2, 31));
+    assert!(vs[0]
+        .to_string()
+        .starts_with(&format!("{SCOPED}:2:31: D003:")));
+}
+
+#[test]
+fn stale_waiver_on_a_clean_line_fails_the_build() {
+    // The file is clean; a waiver claiming a D003 on line 1 matches
+    // nothing and must come back as a W000 violation — a waiver can
+    // never silently outlive the code it excused.
+    let vs = scan_one(SCOPED, "fn clean() {}\n");
+    assert!(vs.is_empty());
+    let ws = parse_waivers(&format!("{SCOPED}:1 D003 historical excuse\n")).unwrap();
+    let left = apply_waivers(vs, &ws, "lint-waivers.txt");
+    assert_eq!(left.len(), 1);
+    assert_eq!(left[0].rule, "W000");
+    assert_eq!(left[0].path, "lint-waivers.txt");
+    // A matching waiver, by contrast, suppresses cleanly.
+    let vs = scan_one(SCOPED, "use std::collections::HashMap;\n");
+    let ws = parse_waivers(&format!("{SCOPED}:1 D003 lookup-only, keys not Ord\n")).unwrap();
+    assert!(apply_waivers(vs, &ws, "lint-waivers.txt").is_empty());
+}

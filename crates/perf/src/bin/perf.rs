@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `perf` — run named benchmark suites and emit `BENCH_<suite>.json`.
 //!
 //! ```sh

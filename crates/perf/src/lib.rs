@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-perf` — the benchmarking & counters subsystem.
 //!
 //! The ROADMAP's north star is a system that runs "as fast as the

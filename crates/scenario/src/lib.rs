@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-scenario` — experiments as data.
 //!
 //! The paper's results are all parameter sweeps over (topology, prior,

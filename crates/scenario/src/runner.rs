@@ -30,7 +30,7 @@ use augur_sim::perf::{self, Stopwatch, WorkCounters};
 use augur_sim::{Dur, FlowId, Packet, SimRng, Time};
 use augur_tcp::{Cubic, Reno, TcpConfig, TcpEndpoint, TcpTrace};
 use augur_trace::percentile_of_sorted;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -540,7 +540,7 @@ fn summarize_closed_loop(
         .iter()
         .filter(|d| d.reason == DropReason::BufferFull)
         .count() as u64;
-    let send_at: HashMap<u64, Time> = trace.sends.iter().map(|&(seq, t)| (seq, t)).collect();
+    let send_at: BTreeMap<u64, Time> = trace.sends.iter().map(|&(seq, t)| (seq, t)).collect();
     // A retransmitted seq keeps only its latest send time; an ACK of the
     // original copy can predate that retransmit, so such pairs carry no
     // usable delay and are skipped.
@@ -890,7 +890,7 @@ fn summarize_multi_flow(
     alpha: f64,
 ) -> (Vec<f64>, RunTrace) {
     let unique_bits = |trace: &RunTrace| {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = BTreeSet::new();
         trace.acks.iter().filter(|o| seen.insert(o.seq)).count() as f64 * pkt_bits
     };
     let rates: Vec<f64> = traces.iter().map(|t| unique_bits(t) / dur_s).collect();
@@ -908,7 +908,7 @@ fn summarize_multi_flow(
         .flat_map(|t| t.drops.iter())
         .filter(|d| d.reason == DropReason::BufferFull)
         .count() as u64;
-    let send_at: HashMap<u64, Time> = traces[0].sends.iter().map(|&(seq, t)| (seq, t)).collect();
+    let send_at: BTreeMap<u64, Time> = traces[0].sends.iter().map(|&(seq, t)| (seq, t)).collect();
     // Same retransmission guard as `summarize_closed_loop`: skip ACKs
     // whose only recorded send time is a later retransmit.
     let mut delays: Vec<f64> = traces[0]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-sim` — the discrete-event simulation substrate for `augur`.
 //!
 //! This crate provides the vocabulary the rest of the system is written

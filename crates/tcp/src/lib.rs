@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-tcp` — the TCP baseline the paper contrasts with.
 //!
 //! "Most implemented schemes share the basic structure developed by

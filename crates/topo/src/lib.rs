@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-topo` — declarative multi-bottleneck topologies.
 //!
 //! Every scenario the paper itself runs sits on a single bottleneck, but

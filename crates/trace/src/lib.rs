@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur-trace` — measurement and reporting toolkit.
 //!
 //! Experiments produce [`Series`] (time series of samples), summarize them

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `augur` — end-to-end transmission control by modeling uncertainty
 //! about the network state.
 //!
