@@ -55,6 +55,9 @@ struct Options {
     branches: Option<usize>,
     replicates: Option<usize>,
     jsonl: bool,
+    trace_events: Option<PathBuf>,
+    belief_snapshots: Option<f64>,
+    progress: bool,
 }
 
 fn usage() -> ! {
@@ -64,9 +67,15 @@ fn usage() -> ! {
          \x20      sweep --export-specs <dir>\n\
          \x20      sweep --export-traces <dir>\n\
          \x20 options: [--check] [--workers N] [--duration SECS] [--branches B] \
-         [--replicates K] [--jsonl]\n\
+         [--replicates K] [--jsonl] [--trace-events [DIR]] [--belief-snapshots SECS] \
+         [--progress]\n\
          \x20   --workers N: worker threads, at least 1; values above the \
-         expanded run count are clamped to it (extra workers would idle)",
+         expanded run count are clamped to it (extra workers would idle)\n\
+         \x20   --trace-events [DIR]: record each run's structured event log as \
+         DIR/run-<index>.jsonl (default DIR: <out>/<name>_events)\n\
+         \x20   --belief-snapshots SECS: emit posterior snapshots every SECS of sim \
+         time into the event logs (implies --trace-events output)\n\
+         \x20   --progress: completed-run ticker on stderr (report bytes unchanged)",
         presets::NAMES.join("|")
     );
     exit(2)
@@ -88,6 +97,9 @@ fn parse_from(args: impl Iterator<Item = String>) -> Options {
         branches: None,
         replicates: None,
         jsonl: false,
+        trace_events: None,
+        belief_snapshots: None,
+        progress: false,
     };
     // The preset names the sweep; accept it positionally as the first
     // argument or anywhere as --preset/--spec.
@@ -95,6 +107,16 @@ fn parse_from(args: impl Iterator<Item = String>) -> Options {
         opts.source = Some(Source::Preset(args.next().unwrap()));
     }
     while let Some(flag) = args.next() {
+        // `--trace-events` takes an optional directory: consume the next
+        // argument only when it does not look like another flag.
+        if flag == "--trace-events" {
+            let dir = match args.peek() {
+                Some(v) if !v.starts_with("--") => PathBuf::from(args.next().unwrap()),
+                _ => PathBuf::new(), // empty = default <out>/<name>_events
+            };
+            opts.trace_events = Some(dir);
+            continue;
+        }
         let mut value = |name: &str| -> String {
             args.next().unwrap_or_else(|| {
                 eprintln!("missing value for {name}");
@@ -140,6 +162,15 @@ fn parse_from(args: impl Iterator<Item = String>) -> Options {
                 opts.replicates = Some(numeric("--replicates", value("--replicates")))
             }
             "--jsonl" => opts.jsonl = true,
+            "--belief-snapshots" => {
+                let secs: f64 = numeric("--belief-snapshots", value("--belief-snapshots"));
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("--belief-snapshots must be a positive number of seconds");
+                    usage()
+                }
+                opts.belief_snapshots = Some(secs);
+            }
+            "--progress" => opts.progress = true,
             _ => {
                 eprintln!("unknown flag {flag:?}");
                 usage()
@@ -231,6 +262,9 @@ fn main() {
             || opts.branches.is_some()
             || opts.replicates.is_some()
             || opts.jsonl
+            || opts.trace_events.is_some()
+            || opts.belief_snapshots.is_some()
+            || opts.progress
         {
             eprintln!("--export-specs/--export-traces take no preset, spec, or run flags");
             usage()
@@ -268,6 +302,15 @@ fn main() {
         None => usage(),
     };
     apply_overrides(&mut grid, &opts, &label);
+    // Observability flags arm the base spec before expansion, so every
+    // expanded run inherits them (a spec file's [observe] table arms the
+    // same fields without any flag).
+    if opts.trace_events.is_some() {
+        grid.base.observe.trace_events = true;
+    }
+    if let Some(secs) = opts.belief_snapshots {
+        grid.base.observe.snapshot_every = Some(Dur::from_secs_f64(secs));
+    }
 
     // Expansion applies every axis to the base spec, so it catches the
     // grid-level authoring errors the decoder cannot see in isolation
@@ -325,7 +368,13 @@ fn main() {
             runs.len()
         );
     }
-    let runner = SweepRunner::with_workers(workers).verbose();
+    // The ticker replaces the per-run lines — both are stderr-only, but
+    // interleaving a carriage-return ticker with full lines is noise.
+    let runner = if opts.progress {
+        SweepRunner::with_workers(workers).progress()
+    } else {
+        SweepRunner::with_workers(workers).verbose()
+    };
     println!(
         "SWEEP {}: {} runs ({}), {} workers, base seed {:#x}",
         grid.base.name,
@@ -339,7 +388,13 @@ fn main() {
         grid.base.base_seed
     );
 
-    let report = runner.run(&runs);
+    let observing = grid.base.observe.active();
+    let (report, event_logs) = if observing {
+        let (report, events) = runner.run_observed(&runs);
+        (report, Some(events))
+    } else {
+        (runner.run(&runs), None)
+    };
     println!("\n{}", report.render_text());
 
     let csv_path = out_dir().join(format!("{}_sweep.csv", grid.base.name));
@@ -355,6 +410,23 @@ fn main() {
             .write_jsonl(BufWriter::new(file))
             .expect("write sweep jsonl");
         println!("  wrote {}", path.display());
+    }
+    if let Some(event_logs) = event_logs {
+        let dir = match &opts.trace_events {
+            Some(d) if !d.as_os_str().is_empty() => d.clone(),
+            _ => out_dir().join(format!("{}_events", grid.base.name)),
+        };
+        fs::create_dir_all(&dir).expect("create events dir");
+        for (i, events) in event_logs.iter().enumerate() {
+            let path = dir.join(format!("run-{i}.jsonl"));
+            fs::write(&path, augur_obs::to_jsonl(events)).expect("write event log");
+        }
+        println!(
+            "  wrote {} event logs ({} events) to {}",
+            event_logs.len(),
+            event_logs.iter().map(Vec::len).sum::<usize>(),
+            dir.display()
+        );
     }
 }
 

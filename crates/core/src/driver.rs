@@ -415,7 +415,18 @@ fn drive<A: AgentTable + ?Sized>(
         let i = heap.draw_tied(rng);
         perf::count_flow_wake();
         let acks = std::mem::take(&mut pending[i]);
+        // Stamp the dispatched flow so belief-engine events emitted from
+        // inside `on_wake` carry the right attribution.
+        augur_obs::set_flow(FlowId(i as u16));
         let outcome = agents.on_wake(i, t_wake, &acks)?;
+        augur_obs::emit(
+            t_wake,
+            augur_obs::EventKind::Wake {
+                flow: FlowId(i as u16),
+                acks: acks.len(),
+                sent: outcome.sent.len(),
+            },
+        );
         traces[i].wakes.push(WakeRecord {
             at: t_wake,
             acks: acks.len(),

@@ -252,6 +252,9 @@ pub fn rollout(
     size: Bits,
 ) -> RolloutReport {
     let mut sim = net.clone();
+    // Rollouts replay a cloned hypothetical network; their events must
+    // never reach the ground-truth trace log.
+    let _quiet = augur_obs::suppress();
     let mut report = RolloutReport::default();
     // Per-packet delivery probabilities accumulated from folded loss.
     // Ordered map: rollouts feed expected utility, and no container

@@ -53,6 +53,7 @@ use crate::element::{Diverter, Element, ElementParams, ElementState, Loss, Recei
 use crate::gate::GateKind;
 use crate::link::{LinkState, RateProcess};
 use crate::node::{Node, NodeId, NodeParams};
+use augur_obs::{DropKind, EventKind};
 use augur_sim::{Bits, Delivery, Dur, FlowId, Packet, Ppm, SimRng, Time};
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -74,6 +75,18 @@ pub enum DropReason {
     Stochastic,
     /// Active queue management (RED early drop or CoDel).
     Aqm,
+}
+
+impl DropReason {
+    /// The wire-format mirror in the observability vocabulary.
+    fn obs_kind(self) -> DropKind {
+        match self {
+            DropReason::BufferFull => DropKind::BufferFull,
+            DropReason::GateClosed => DropKind::GateClosed,
+            DropReason::Stochastic => DropKind::Stochastic,
+            DropReason::Aqm => DropKind::Aqm,
+        }
+    }
 }
 
 /// A dropped packet, where and why.
@@ -475,6 +488,22 @@ impl Network {
         );
         self.state.route(&self.structure, entry, pkt);
     }
+
+    /// The instantaneous service rate of the topology's first Link
+    /// element at the current instant, in bits/s — the bottleneck-rate
+    /// statistic the belief snapshot channel aggregates across
+    /// hypotheses. NaN when the topology has no link. Pure read: no
+    /// counters, no state change.
+    pub fn first_link_rate_bps(&self) -> f64 {
+        self.structure
+            .nodes
+            .iter()
+            .find_map(|n| match &n.element {
+                ElementParams::Link(lp) => Some(lp.rate.rate_at(self.state.now).as_bps() as f64),
+                _ => None,
+            })
+            .unwrap_or(f64::NAN)
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -508,6 +537,7 @@ impl NetworkState {
                     debug_assert!(t >= self.now, "timer in the past at {nid}");
                     self.now = t;
                     augur_sim::perf::count_event();
+                    augur_obs::emit(t, EventKind::Fire { node: nid.0 as u32 });
                     self.fire(s, nid);
                 }
                 _ => {
@@ -582,6 +612,14 @@ impl NetworkState {
                         }
                         _ => unreachable!("red fate at non-buffer node"),
                     }
+                    augur_obs::emit(
+                        now,
+                        EventKind::Enqueue {
+                            node: nid.0 as u32,
+                            flow: pkt.flow,
+                            seq: pkt.seq,
+                        },
+                    );
                 } else {
                     self.record_drop(nid, pkt, DropReason::Aqm);
                 }
@@ -590,6 +628,15 @@ impl NetworkState {
     }
 
     fn record_drop(&mut self, node: NodeId, packet: Packet, reason: DropReason) {
+        augur_obs::emit(
+            self.now,
+            EventKind::Drop {
+                node: node.0 as u32,
+                flow: packet.flow,
+                seq: packet.seq,
+                reason: reason.obs_kind(),
+            },
+        );
         self.drops.push(DropRecord {
             node,
             packet,
@@ -738,6 +785,14 @@ impl NetworkState {
             let (next, alt) = (s.nodes[at_node.0].next, s.nodes[at_node.0].alt);
             match &s.nodes[at_node.0].element {
                 ElementParams::Receiver(_) => {
+                    augur_obs::emit(
+                        now,
+                        EventKind::Deliver {
+                            node: at_node.0 as u32,
+                            flow: pkt.flow,
+                            seq: pkt.seq,
+                        },
+                    );
                     self.deliveries.push((
                         at_node,
                         Delivery {
@@ -836,7 +891,17 @@ impl NetworkState {
                         continue;
                     }
                     match bp.offer(self.buffer_state_mut(at_node), pkt, now) {
-                        Admission::Enqueued => return,
+                        Admission::Enqueued => {
+                            augur_obs::emit(
+                                now,
+                                EventKind::Enqueue {
+                                    node: at_node.0 as u32,
+                                    flow: pkt.flow,
+                                    seq: pkt.seq,
+                                },
+                            );
+                            return;
+                        }
                         Admission::TailDrop => {
                             self.record_drop(at_node, pkt, DropReason::BufferFull);
                             return;

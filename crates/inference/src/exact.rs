@@ -34,6 +34,7 @@
 use crate::hypothesis::{compact, effective_count, normalize, prune, Hypothesis};
 use crate::observe::{harvest, Observation, ObservationIndex};
 use augur_elements::{ChoiceKind, ChoiceSpec, NodeId, Step};
+use augur_obs::EventKind;
 use augur_sim::{FlowId, Packet, Time};
 use std::fmt;
 use std::hash::Hash;
@@ -232,6 +233,10 @@ impl<M: Clone + Eq + Hash> Belief<M> {
             .collect();
         let mut out = Vec::with_capacity(frontier.len());
         let mut stats = AdvanceStats::default();
+        // The replayed hypothetical networks would otherwise emit
+        // ground-truth-looking trace events; keep the log about the
+        // real network only.
+        let _quiet = augur_obs::suppress();
         for mut w in frontier {
             w.h.net.inject(self.entry, pkt);
             self.settle(w, self.now, &idx, true, &mut out, &mut stats);
@@ -264,8 +269,12 @@ impl<M: Clone + Eq + Hash> Belief<M> {
             .collect();
         augur_sim::perf::count_hypothesis_updates(frontier.len() as u64);
         let mut done: Vec<Work<M>> = Vec::with_capacity(frontier.len());
-        for w in frontier {
-            self.settle(w, until, &idx, false, &mut done, &mut stats);
+        {
+            // Hypothetical replay must not leak trace events.
+            let _quiet = augur_obs::suppress();
+            for w in frontier {
+                self.settle(w, until, &idx, false, &mut done, &mut stats);
+            }
         }
         if done.is_empty() {
             return Err(BeliefError::Dead { at: until });
@@ -282,8 +291,48 @@ impl<M: Clone + Eq + Hash> Belief<M> {
         );
         stats.evidence = normalize(&mut self.branches);
         stats.branches = self.branches.len();
+        let prev = self.now;
         self.now = until;
+        augur_obs::emit(
+            until,
+            EventKind::BeliefUpdate {
+                flow: augur_obs::current_flow(),
+                forks: stats.forks,
+                killed: stats.killed,
+                compacted: stats.compacted,
+                pruned: stats.pruned,
+                branches: stats.branches,
+            },
+        );
+        if augur_obs::snapshot_due(prev, until) {
+            self.emit_posterior_snapshot(until);
+        }
         Ok(stats)
+    }
+
+    /// Publish a posterior snapshot event: branch counts, entropy of the
+    /// normalized weights, and the weighted link-rate marginal. Pure
+    /// reads — no counters or RNG are touched, so arming snapshots
+    /// cannot perturb a run.
+    fn emit_posterior_snapshot(&self, at: Time) {
+        let mut entropy_bits = 0.0;
+        let mut rate_bps = 0.0;
+        for h in &self.branches {
+            if h.weight > 0.0 {
+                entropy_bits -= h.weight * h.weight.log2();
+            }
+            rate_bps += h.weight * h.net.first_link_rate_bps();
+        }
+        augur_obs::emit_snapshot(
+            at,
+            EventKind::Snapshot {
+                flow: augur_obs::current_flow(),
+                branches: self.branches.len(),
+                effective: self.effective_count(),
+                entropy_bits,
+                rate_bps,
+            },
+        );
     }
 
     /// Run one branch (and any forks it spawns) to `until`, collecting the

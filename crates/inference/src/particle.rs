@@ -18,6 +18,7 @@ use crate::exact::BeliefError;
 use crate::hypothesis::{effective_count, Hypothesis};
 use crate::observe::{harvest, Observation, ObservationIndex};
 use augur_elements::{ChoiceKind, NodeId, Step};
+use augur_obs::EventKind;
 use augur_sim::{FlowId, Packet, SimRng, Time};
 
 /// Tuning knobs for the particle filter.
@@ -139,6 +140,9 @@ impl<M: Clone> ParticleFilter<M> {
     /// alone; resampling replaces them.
     pub fn inject(&mut self, pkt: Packet) {
         let idx = ObservationIndex::new(&[]);
+        // Sampled trajectories are hypothetical — keep them out of the
+        // ground-truth event log.
+        let _quiet = augur_obs::suppress();
         for p in &mut self.particles {
             if p.weight <= 0.0 {
                 continue;
@@ -168,23 +172,27 @@ impl<M: Clone> ParticleFilter<M> {
         let idx = ObservationIndex::new(obs);
         let mut stats = ParticleStats::default();
         let mut advanced = 0u64;
-        for p in &mut self.particles {
-            if p.weight <= 0.0 {
-                continue;
-            }
-            advanced += 1;
-            let ok = Self::settle_one(
-                p,
-                until,
-                &idx,
-                &self.cfg,
-                self.observed_rx,
-                &mut self.rng,
-                false,
-            );
-            if !ok {
-                p.weight = 0.0;
-                stats.killed += 1;
+        {
+            // Sampled replay must not leak trace events.
+            let _quiet = augur_obs::suppress();
+            for p in &mut self.particles {
+                if p.weight <= 0.0 {
+                    continue;
+                }
+                advanced += 1;
+                let ok = Self::settle_one(
+                    p,
+                    until,
+                    &idx,
+                    &self.cfg,
+                    self.observed_rx,
+                    &mut self.rng,
+                    false,
+                );
+                if !ok {
+                    p.weight = 0.0;
+                    stats.killed += 1;
+                }
             }
         }
         augur_sim::perf::count_hypothesis_updates(advanced);
@@ -200,8 +208,47 @@ impl<M: Clone> ParticleFilter<M> {
             self.resample();
             stats.resampled = true;
         }
+        let prev = self.now;
         self.now = until;
+        if stats.resampled {
+            augur_obs::emit(
+                until,
+                EventKind::Resample {
+                    flow: augur_obs::current_flow(),
+                    ess: stats.ess,
+                    killed: stats.killed,
+                },
+            );
+        }
+        if augur_obs::snapshot_due(prev, until) {
+            self.emit_posterior_snapshot(until);
+        }
         Ok(stats)
+    }
+
+    /// Publish a posterior snapshot event. Pure reads — no counters or
+    /// RNG draws — so arming snapshots cannot perturb a run.
+    fn emit_posterior_snapshot(&self, at: Time) {
+        let mut live = 0usize;
+        let mut entropy_bits = 0.0;
+        let mut rate_bps = 0.0;
+        for p in &self.particles {
+            if p.weight > 0.0 {
+                live += 1;
+                entropy_bits -= p.weight * p.weight.log2();
+                rate_bps += p.weight * p.net.first_link_rate_bps();
+            }
+        }
+        augur_obs::emit_snapshot(
+            at,
+            EventKind::Snapshot {
+                flow: augur_obs::current_flow(),
+                branches: live,
+                effective: effective_count(&self.particles),
+                entropy_bits,
+                rate_bps,
+            },
+        );
     }
 
     /// Run one particle to `until`, sampling choices. Returns false if it

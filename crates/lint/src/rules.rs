@@ -76,6 +76,12 @@ pub const RULES: &[RuleInfo] = &[
                   increment site outside augur_sim::perf, and a pin in a perf suite",
     },
     RuleInfo {
+        id: "C031",
+        summary: "event coverage: every obs EventKind variant needs at least one \
+                  production emission site outside crates/obs — an event nothing \
+                  emits is dead schema",
+    },
+    RuleInfo {
         id: "W000",
         summary: "waiver hygiene: every waiver entry must match a live violation at \
                   its exact file:line (stale waivers fail the build)",
@@ -86,6 +92,10 @@ pub const RULES: &[RuleInfo] = &[
 pub const PERF_FILE: &str = "crates/sim/src/perf.rs";
 /// Where counter pins live: the perf suites.
 pub const SUITES_FILE: &str = "crates/perf/src/suites.rs";
+/// Where the structured-event schema lives: the obs event definitions.
+pub const EVENT_FILE: &str = "crates/obs/src/event.rs";
+/// The crate that defines (but must not be the sole emitter of) events.
+pub const OBS_CRATE: &str = "crates/obs/";
 
 /// Crates whose data flows into reports, traces, or belief state: hash
 /// collections there risk iteration-order nondeterminism reaching
@@ -340,6 +350,104 @@ pub fn scan_counters(files: &[SourceFile], out: &mut Vec<Violation>) {
     }
 }
 
+/// Event-coverage (C031): parse the `EventKind` variants out of
+/// `crates/obs/src/event.rs` and require, for each, a live
+/// `EventKind::Variant` construction site in some file outside the obs
+/// crate. The obs crate defines the schema and its own tests exercise
+/// every variant, so only emission sites in production code count.
+pub fn scan_events(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let Some(events) = files.iter().find(|f| f.rel_path == EVENT_FILE) else {
+        out.push(Violation {
+            path: EVENT_FILE.to_string(),
+            line: 1,
+            col: 1,
+            rule: "C031",
+            message: "event definitions not found: crates/obs/src/event.rs is missing \
+                      from the scanned tree"
+                .to_string(),
+        });
+        return;
+    };
+    let variants = enum_variants(&events.toks, "EventKind");
+    if variants.is_empty() {
+        out.push(Violation {
+            path: EVENT_FILE.to_string(),
+            line: 1,
+            col: 1,
+            rule: "C031",
+            message: "no `enum EventKind` variants found in crates/obs/src/event.rs".to_string(),
+        });
+        return;
+    }
+    for (name, line, col) in &variants {
+        let emitted = files.iter().any(|f| {
+            !f.rel_path.starts_with(OBS_CRATE)
+                && f.toks.iter().enumerate().any(|(i, t)| {
+                    live(t)
+                        && is_ident(t, "EventKind")
+                        && seq_at(&f.toks, i + 1, &[":", ":"])
+                        && f.toks.get(i + 3).is_some_and(|v| is_ident(v, name))
+                })
+        });
+        if !emitted {
+            out.push(Violation {
+                path: EVENT_FILE.to_string(),
+                line: *line,
+                col: *col,
+                rule: "C031",
+                message: format!(
+                    "EventKind variant `{name}` has no production emission site \
+                     outside {OBS_CRATE} — an event nothing emits is dead schema"
+                ),
+            });
+        }
+    }
+}
+
+/// `(variant, line, col)` for every variant of `enum <name>`, read at
+/// brace depth 1 so field names inside struct variants are skipped.
+fn enum_variants(toks: &[Tok], name: &str) -> Vec<(String, u32, u32)> {
+    let mut variants = Vec::new();
+    let Some(start) = toks
+        .windows(2)
+        .position(|w| is_ident(&w[0], "enum") && is_ident(&w[1], name))
+    else {
+        return variants;
+    };
+    let mut depth = 0usize;
+    let mut i = start + 2;
+    let mut opened = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                opened = true;
+            }
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // A variant name sits at body depth, directly followed by a
+            // payload (`{`/`(`), a separator (`,`), or the closing `}`.
+            _ if opened
+                && depth == 1
+                && t.kind == TokKind::Ident
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| matches!(n.text.as_str(), "{" | "(" | "," | "}")) =>
+            {
+                variants.push((t.text.clone(), t.line, t.col));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
 /// `(field, line, col)` for every field of `struct WorkCounters`.
 fn counter_fields(toks: &[Tok]) -> Vec<(String, u32, u32)> {
     let mut fields = Vec::new();
@@ -427,6 +535,7 @@ pub fn scan(files: &[SourceFile]) -> Vec<Violation> {
         scan_file(f, &mut out);
     }
     scan_counters(files, &mut out);
+    scan_events(files, &mut out);
     out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     out
 }
@@ -560,5 +669,57 @@ mod tests {
         scan_counters(&[], &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "C030");
+    }
+
+    #[test]
+    fn event_coverage_happy_path() {
+        let events = file(
+            super::EVENT_FILE,
+            "pub enum EventKind {\n\
+             \x20   Wake { flow: FlowId, acks: usize },\n\
+             \x20   Fire { node: NodeId },\n\
+             \x20   Tick,\n\
+             }",
+        );
+        // `Wake` is emitted by the driver; `Fire` only inside obs's own
+        // tests; `Tick` nowhere.
+        let driver = file(
+            "crates/core/src/driver.rs",
+            "fn f() { emit(t, EventKind::Wake { flow, acks: 0 }); }",
+        );
+        let obs_test = file(
+            "crates/obs/src/sink.rs",
+            "fn f() { emit(t, EventKind::Fire { node }); emit(t, EventKind::Tick); }",
+        );
+        let mut out = Vec::new();
+        scan_events(&[events, driver, obs_test], &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.rule == "C031"));
+        assert!(out.iter().any(|v| v.message.contains("`Fire`")));
+        assert!(out.iter().any(|v| v.message.contains("`Tick`")));
+        // Diagnostics point at the variant definition, not the use site.
+        assert!(out.iter().all(|v| v.path == super::EVENT_FILE));
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[1].line, 4);
+    }
+
+    #[test]
+    fn event_variant_parse_skips_field_names() {
+        let toks = lex_gated(
+            "pub enum EventKind { Drop { node: NodeId, reason: DropReason }, Snapshot { flow: FlowId } }",
+        );
+        let names: Vec<String> = enum_variants(&toks, "EventKind")
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert_eq!(names, vec!["Drop".to_string(), "Snapshot".to_string()]);
+    }
+
+    #[test]
+    fn event_coverage_missing_event_file() {
+        let mut out = Vec::new();
+        scan_events(&[], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "C031");
     }
 }

@@ -1,0 +1,87 @@
+//! `augur-obs` — summarize structured event logs.
+//!
+//! ```text
+//! augur-obs summary LOG.jsonl...
+//! augur-obs convergence [--entropy-bits BITS] LOG.jsonl...
+//! ```
+//!
+//! `summary` prints event counts, a per-flow activity table, and the
+//! drop timeline. `convergence` prints each flow's posterior-entropy
+//! trajectory and its time-to-convergence (first snapshot at or below
+//! the entropy threshold; default 1 bit).
+
+use augur_obs::json::parse_jsonl;
+use augur_obs::summary::{convergence_text, scan, summary_text, LogStats};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: augur-obs summary LOG.jsonl...");
+    eprintln!("       augur-obs convergence [--entropy-bits BITS] LOG.jsonl...");
+    ExitCode::from(2)
+}
+
+enum Command {
+    Summary,
+    Convergence {
+        /// Convergence threshold in bits of posterior entropy.
+        threshold_bits: f64,
+    },
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().peekable();
+    let cmd = match it.next().map(String::as_str) {
+        Some("summary") => Command::Summary,
+        Some("convergence") => {
+            let mut threshold_bits = 1.0;
+            if it.peek().map(|s| s.as_str()) == Some("--entropy-bits") {
+                it.next();
+                let Some(raw) = it.next() else {
+                    eprintln!("--entropy-bits needs a value");
+                    return usage();
+                };
+                match raw.parse::<f64>() {
+                    Ok(v) if v.is_finite() && v >= 0.0 => threshold_bits = v,
+                    _ => {
+                        eprintln!("--entropy-bits: not a non-negative number: {raw}");
+                        return usage();
+                    }
+                }
+            }
+            Command::Convergence { threshold_bits }
+        }
+        _ => return usage(),
+    };
+    let files: Vec<&String> = it.collect();
+    if files.is_empty() {
+        eprintln!("no event logs given");
+        return usage();
+    }
+    for (i, path) in files.iter().enumerate() {
+        let stats = match load(path) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if i > 0 {
+            println!();
+        }
+        println!("== {path}");
+        match &cmd {
+            Command::Summary => print!("{}", summary_text(&stats)),
+            Command::Convergence { threshold_bits } => {
+                print!("{}", convergence_text(&stats, *threshold_bits));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<LogStats, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let objects = parse_jsonl(&text)?;
+    Ok(scan(&objects))
+}

@@ -1,0 +1,308 @@
+//! A minimal parser for the flat JSON objects this crate emits.
+//!
+//! Not a general JSON parser: one object per line, string keys, values
+//! that are numbers or strings — exactly the shape of
+//! [`crate::event::event_to_json`] output. The `augur-obs` CLI uses it
+//! to read event logs back without any external dependency; anything
+//! outside the subset is a positioned error, not a lenient guess.
+
+use std::fmt;
+
+/// A parsed value: the subset the event schema uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Any JSON number (integers parse exactly up to 2⁵³).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+}
+
+impl Value {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Num(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+/// One parsed object: keys in source order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Object {
+    fields: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A numeric field.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_num)
+    }
+
+    /// A string field.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// All fields in source order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+}
+
+/// A parse failure, positioned by byte offset in the line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| ParseError {
+                            at: self.pos,
+                            message: "invalid UTF-8".into(),
+                        })?
+                        .chars()
+                        .next()
+                        .expect("peeked non-empty");
+                    out.push(s);
+                    self.pos += s.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        match text.parse::<f64>() {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                self.pos = start;
+                self.err(format!("bad number {text:?}"))
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'-' | b'0'..=b'9') => Ok(Value::Num(self.number()?)),
+            Some(b'n') if self.bytes[self.pos..].starts_with(b"null") => {
+                // The canonical writers encode non-finite floats as null.
+                self.pos += 4;
+                Ok(Value::Num(f64::NAN))
+            }
+            _ => self.err("expected a string, number, or null"),
+        }
+    }
+}
+
+/// Parse one flat JSON object line.
+pub fn parse_line(line: &str) -> Result<Object, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return p.err("expected ',' or '}'"),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing bytes after object");
+    }
+    Ok(Object { fields })
+}
+
+/// Parse a whole JSONL document; errors carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Object>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{event_to_json, DropKind, EventKind, EventRecord};
+    use augur_sim::{FlowId, Time};
+
+    #[test]
+    fn parses_emitted_events_back() {
+        let e = EventRecord {
+            at: Time::from_millis(1_500),
+            kind: EventKind::Drop {
+                node: 2,
+                flow: FlowId(1),
+                seq: 9,
+                reason: DropKind::Aqm,
+            },
+        };
+        let obj = parse_line(&event_to_json(&e)).unwrap();
+        assert_eq!(obj.num("at_us"), Some(1_500_000.0));
+        assert_eq!(obj.str("kind"), Some("drop"));
+        assert_eq!(obj.num("node"), Some(2.0));
+        assert_eq!(obj.num("flow"), Some(1.0));
+        assert_eq!(obj.num("seq"), Some(9.0));
+        assert_eq!(obj.str("reason"), Some("aqm"));
+    }
+
+    #[test]
+    fn parses_strings_with_escapes() {
+        let obj = parse_line("{\"k\":\"a\\\"b\\n\\u0041\"}").unwrap();
+        assert_eq!(obj.str("k"), Some("a\"b\nA"));
+    }
+
+    #[test]
+    fn parses_numbers_and_null() {
+        let obj = parse_line("{\"a\":-2.5,\"b\":3,\"c\":null,\"d\":1e3}").unwrap();
+        assert_eq!(obj.num("a"), Some(-2.5));
+        assert_eq!(obj.num("b"), Some(3.0));
+        assert!(obj.num("c").unwrap().is_nan());
+        assert_eq!(obj.num("d"), Some(1_000.0));
+        assert!(obj.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_garbage_with_position() {
+        assert!(parse_line("{\"a\":}").is_err());
+        assert!(parse_line("{\"a\":1} trailing").is_err());
+        assert!(parse_line("not json").is_err());
+        let err = parse_jsonl("{\"a\":1}\n{bad}\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_objects_and_blank_lines() {
+        assert_eq!(parse_line("{}").unwrap().fields().len(), 0);
+        assert_eq!(parse_jsonl("\n{\"a\":1}\n\n").unwrap().len(), 1);
+    }
+}

@@ -124,36 +124,16 @@ impl SuiteReport {
     }
 }
 
-/// A JSON string literal (quotes, backslashes, and control characters
-/// escaped — the full set our simple names can contain).
+/// A JSON string literal — the workspace-canonical escaping from
+/// [`augur_sim::canon`], shared with the CSV and event-log writers.
 fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    augur_sim::canon::json_string(s)
 }
 
-/// A JSON number: Rust's `Display` for finite floats (decimal, never
-/// scientific notation), `null` otherwise — JSON has no NaN/Infinity.
+/// A JSON number — [`augur_sim::canon::json_num`]: shortest round-trip
+/// decimal when finite, `null` otherwise (JSON has no NaN/Infinity).
 fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
+    augur_sim::canon::json_num(v)
 }
 
 #[cfg(test)]

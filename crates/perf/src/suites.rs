@@ -14,15 +14,15 @@ use augur_elements::{DropRecord, RateProcess, TraceEnd};
 use augur_inference::Observation;
 use augur_inference::{BeliefConfig, ModelPrior};
 use augur_scenario::{
-    execute_run, presets, spec_belief_in, traces, Axis, PriorCache, PriorSpec, RunSpec,
-    ScenarioSpec, SenderSpec, SweepGrid, SweepRunner, TopologySpec, WorkloadSpec,
+    execute_run, presets, spec_belief_in, traces, Axis, ObserveSpec, PriorCache, PriorSpec,
+    RunSpec, ScenarioSpec, SenderSpec, SweepGrid, SweepRunner, TopologySpec, WorkloadSpec,
 };
 use augur_sim::perf;
 use augur_sim::{BitRate, Bits, Dur, EventQueue, FlowId, Packet, Ppm, SimRng, Time, WorkCounters};
 use std::hint::black_box;
 
 /// Every suite name, in the order `perf all` runs them.
-pub const NAMES: [&str; 9] = [
+pub const NAMES: [&str; 10] = [
     "event-queue",
     "rate-trace",
     "belief-update",
@@ -32,6 +32,7 @@ pub const NAMES: [&str; 9] = [
     "prior-reuse",
     "topo-route",
     "many-flow",
+    "obs-overhead",
 ];
 
 /// Run a named suite. `quick` shrinks workloads to CI-smoke size.
@@ -46,6 +47,7 @@ pub fn run(name: &str, quick: bool) -> Option<SuiteReport> {
         "prior-reuse" => prior_reuse(quick),
         "topo-route" => topo_route(quick),
         "many-flow" => many_flow(quick),
+        "obs-overhead" => obs_overhead(quick),
         _ => return None,
     })
 }
@@ -152,6 +154,7 @@ fn belief_run(sender: SenderSpec, duration: Dur) -> RunSpec {
         },
         duration,
         base_seed: 0xBE11EF,
+        observe: ObserveSpec::default(),
     };
     RunSpec {
         index: 0,
@@ -561,6 +564,54 @@ fn many_flow(quick: bool) -> SuiteReport {
     let traces = many_flow_drive(10_000, duration);
     let bytes: usize = traces.iter().map(trace_heap_bytes).sum();
     report.derive("per_flow_trace_bytes", bytes as f64 / traces.len() as f64);
+    report
+}
+
+/// Observability overhead: the smoke run list executed with the sink
+/// disarmed (`off` — the no-op fast path every non-observed run takes)
+/// and fully armed (`on` — event tracing plus 1 s posterior snapshots;
+/// the logs are collected, counted, and dropped). The wall-time ratio
+/// is advisory; the hard guarantee is zero counter drift — arming the
+/// sink must leave every work counter identical, pinned here by
+/// `assert_eq!` on the per-batch counters and re-checked across
+/// processes by the CI obs job.
+fn obs_overhead(quick: bool) -> SuiteReport {
+    let duration = Dur::from_secs(if quick { 5 } else { 20 });
+    let grid = presets::smoke(duration, if quick { 2 } else { 4 });
+    let runs_off = grid.expand();
+    let mut grid_on = grid;
+    grid_on.base.observe = ObserveSpec {
+        trace_events: true,
+        snapshot_every: Some(Dur::from_secs(1)),
+    };
+    let runs_on = grid_on.expand();
+    let b = bencher(quick);
+    let mut report = SuiteReport::new("obs-overhead", mode(quick));
+    let (off_m, on_m) = b.measure_interleaved(
+        "off",
+        move || SweepRunner::serial().run(&runs_off).total_work(),
+        "on",
+        move || {
+            let (sweep, events) = SweepRunner::serial().run_observed(&runs_on);
+            black_box(events.iter().map(Vec::len).sum::<usize>());
+            sweep.total_work()
+        },
+    );
+    assert_eq!(
+        off_m.work_per_batch, on_m.work_per_batch,
+        "arming observability perturbed the work counters"
+    );
+    // Paired per-batch ratios, like `derive_reuse`: interleaved batches
+    // let machine noise cancel inside each pair.
+    let paired: Vec<f64> = on_m
+        .batch_secs
+        .iter()
+        .zip(&off_m.batch_secs)
+        .map(|(on, off)| on / off)
+        .collect();
+    report.results.push(off_m);
+    report.results.push(on_m);
+    report.derive("obs_overhead_ratio", median(&paired));
     report
 }
 

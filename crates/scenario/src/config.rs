@@ -21,8 +21,8 @@
 
 use crate::grid::{Axis, SweepGrid};
 use crate::spec::{
-    CoexistSpec, ManyFlowSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec,
-    TopologySpec, WorkloadSpec,
+    CoexistSpec, ManyFlowSpec, ObserveSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec,
+    SenderSpec, TopologySpec, WorkloadSpec,
 };
 use crate::traces;
 use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
@@ -1299,6 +1299,30 @@ fn decode_workload(t: &Table, at: (u32, u32)) -> Result<WorkloadSpec, ConfigErro
     Ok(workload)
 }
 
+/// `[observe]` — optional observability arming: `trace_events` records
+/// the structured event stream, `snapshot_every_s` sets the posterior
+/// snapshot cadence. Both default off, matching `ObserveSpec::default()`.
+fn decode_observe(t: &Table, _at: (u32, u32)) -> Result<ObserveSpec, ConfigError> {
+    let mut d = Dec::new(t, "observe");
+    let mut spec = ObserveSpec::default();
+    if let Some(e) = d.get("trace_events") {
+        spec.trace_events = expect_bool(&e.value, "trace_events")?;
+    }
+    if let Some(e) = d.get("snapshot_every_s") {
+        let every = dur_s(&e.value, "snapshot_every_s")?;
+        if every == Dur::ZERO {
+            return err(
+                e.value.line,
+                e.value.col,
+                "`snapshot_every_s` must be > 0 seconds (omit the key to disable snapshots)",
+            );
+        }
+        spec.snapshot_every = Some(every);
+    }
+    d.finish()?;
+    Ok(spec)
+}
+
 fn decode_axis(t: &Table, at: (u32, u32), base: Option<&Path>) -> Result<Axis, ConfigError> {
     let mut d = Dec::new(t, "axis");
     let kind_e = d.req("kind", at)?;
@@ -1423,6 +1447,13 @@ pub fn parse_grid_at(src: &str, base: Option<&Path>) -> Result<SweepGrid, Config
         expect_table(&workload_e.value, "workload")?,
         (workload_e.value.line, workload_e.value.col),
     )?;
+    let observe = match d.get("observe") {
+        Some(obs_e) => decode_observe(
+            expect_table(&obs_e.value, "observe")?,
+            (obs_e.value.line, obs_e.value.col),
+        )?,
+        None => ObserveSpec::default(),
+    };
 
     let mut axes = Vec::new();
     if let Some(axis_e) = d.get("axis") {
@@ -1611,6 +1642,7 @@ pub fn parse_grid_at(src: &str, base: Option<&Path>) -> Result<SweepGrid, Config
             workload,
             duration,
             base_seed,
+            observe,
         },
         axes,
     })
@@ -2125,6 +2157,18 @@ pub fn grid_to_toml(grid: &SweepGrid) -> String {
         }
     }
 
+    // Default-off observability stays implicit, so shipped spec files
+    // are byte-stable across the introduction of the `[observe]` table.
+    if base.observe.active() {
+        out.push_str("\n[observe]\n");
+        if base.observe.trace_events {
+            out.push_str("trace_events = true\n");
+        }
+        if let Some(every) = base.observe.snapshot_every {
+            let _ = writeln!(out, "snapshot_every_s = {}", fmt_dur(every));
+        }
+    }
+
     for axis in &grid.axes {
         push_axis(&mut out, axis);
     }
@@ -2160,6 +2204,55 @@ mod tests {
                 .unwrap_or_else(|e| panic!("canonical {name} spec failed to parse: {e}\n{toml}"));
             assert_grid_eq(&grid, &parsed);
         }
+    }
+
+    #[test]
+    fn observe_round_trips_and_defaults_off() {
+        // Default-off: no preset emits an [observe] table, so shipped
+        // spec files are byte-stable against the observability layer.
+        let grid = presets::by_name("fig3").unwrap();
+        let toml = grid_to_toml(&grid);
+        assert!(!toml.contains("[observe]"), "default spec grew [observe]");
+        // Armed: both keys survive the round trip.
+        let mut armed = grid;
+        armed.base.observe = crate::spec::ObserveSpec {
+            trace_events: true,
+            snapshot_every: Some(Dur::from_secs_f64(2.5)),
+        };
+        let toml = grid_to_toml(&armed);
+        assert!(toml.contains("[observe]\ntrace_events = true\nsnapshot_every_s = 2.5\n"));
+        let parsed = parse_grid_at(&toml, Some(&shipped_specs_dir())).unwrap();
+        assert_grid_eq(&armed, &parsed);
+        // Each key also round-trips alone.
+        armed.base.observe.snapshot_every = None;
+        let parsed = parse_grid_at(&grid_to_toml(&armed), Some(&shipped_specs_dir())).unwrap();
+        assert_grid_eq(&armed, &parsed);
+    }
+
+    #[test]
+    fn observe_zero_cadence_is_rejected() {
+        let toml = format!(
+            "{}\n[observe]\nsnapshot_every_s = 0.0\n",
+            grid_to_toml(&presets::by_name("fig3").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("`snapshot_every_s` must be > 0 seconds"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn observe_unknown_key_is_rejected() {
+        let toml = format!(
+            "{}\n[observe]\nsnapshots = true\n",
+            grid_to_toml(&presets::by_name("fig3").unwrap())
+        );
+        let e = parse_grid(&toml).unwrap_err();
+        assert!(
+            e.message.contains("unknown key `snapshots` in [observe]"),
+            "got: {e}"
+        );
     }
 
     #[test]

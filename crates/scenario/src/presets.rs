@@ -3,8 +3,8 @@
 
 use crate::grid::{Axis, SweepGrid};
 use crate::spec::{
-    CoexistSpec, ManyFlowSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec, SenderSpec,
-    TopologySpec, WorkloadSpec,
+    CoexistSpec, ManyFlowSpec, ObserveSpec, PeerSpec, PriorSpec, QueueSpec, ScenarioSpec,
+    SenderSpec, TopologySpec, WorkloadSpec,
 };
 use crate::traces;
 use augur_elements::{CellularParams, GateSpec, ModelParams, RateProcess, TraceEnd};
@@ -82,6 +82,7 @@ fn coexist_base(
         workload: WorkloadSpec::Coexist(CoexistSpec::with_peer(peer)),
         duration,
         base_seed,
+        observe: ObserveSpec::default(),
     }
 }
 
@@ -152,6 +153,7 @@ fn graph_base(
         workload: WorkloadSpec::Coexist(CoexistSpec { peers }),
         duration,
         base_seed,
+        observe: ObserveSpec::default(),
     }
 }
 
@@ -233,6 +235,7 @@ pub fn txt2(duration: Dur) -> SweepGrid {
         workload: WorkloadSpec::ClosedLoop,
         duration,
         base_seed: 0x72,
+        observe: ObserveSpec::default(),
     };
     SweepGrid::new(base).axis(Axis::LatencyPenalty(vec![0.0, 0.5]))
 }
@@ -262,6 +265,7 @@ pub fn ext_scaling(sizes: Vec<usize>, n_particles: usize) -> SweepGrid {
         },
         duration: Dur::from_secs(30),
         base_seed: 0xE57,
+        observe: ObserveSpec::default(),
     };
     SweepGrid::new(base)
         .axis(Axis::Sender(vec![
@@ -307,6 +311,7 @@ pub fn ext_scaling_flows(duration: Dur, replicates: usize) -> SweepGrid {
         }),
         duration,
         base_seed: 0x5CA1E,
+        observe: ObserveSpec::default(),
     };
     SweepGrid::new(base)
         .axis(Axis::Flows(vec![10, 100, 1_000, 10_000]))
@@ -329,6 +334,7 @@ pub fn fig1(duration: Dur) -> SweepGrid {
         workload: WorkloadSpec::ClosedLoop,
         duration,
         base_seed: 0xF1,
+        observe: ObserveSpec::default(),
     })
 }
 
@@ -385,6 +391,7 @@ pub fn txt1(duration: Dur) -> SweepGrid {
         workload: WorkloadSpec::ClosedLoop,
         duration,
         base_seed: 0x1,
+        observe: ObserveSpec::default(),
     })
 }
 
@@ -449,6 +456,7 @@ pub fn replay_cellular(duration: Dur) -> SweepGrid {
         workload: WorkloadSpec::ClosedLoop,
         duration,
         base_seed: 0xCE11,
+        observe: ObserveSpec::default(),
     };
     SweepGrid::new(base)
         .axis(Axis::Sender(vec![

@@ -26,6 +26,7 @@ use augur_elements::{
 use augur_inference::{
     Belief, BeliefConfig, BeliefError, Hypothesis, Observation, ParticleConfig, ParticleFilter,
 };
+use augur_obs::EventRecord;
 use augur_sim::perf::{self, Stopwatch, WorkCounters};
 use augur_sim::{Dur, FlowId, Packet, SimRng, Time};
 use augur_tcp::{Cubic, Reno, TcpConfig, TcpEndpoint, TcpTrace};
@@ -166,6 +167,10 @@ pub struct SweepRunner {
     pub workers: usize,
     /// Print one progress line per completed run to stderr.
     pub verbose: bool,
+    /// Print a compact completed-run ticker to stderr. Stderr-only and
+    /// wall-clock-free, so enabling it cannot change stdout, report
+    /// bytes, or any counter (pinned by `progress_leaves_report_bytes`).
+    pub progress: bool,
 }
 
 impl SweepRunner {
@@ -174,6 +179,7 @@ impl SweepRunner {
         SweepRunner {
             workers: 1,
             verbose: false,
+            progress: false,
         }
     }
 
@@ -184,6 +190,7 @@ impl SweepRunner {
                 .map(|n| n.get())
                 .unwrap_or(1),
             verbose: false,
+            progress: false,
         }
     }
 
@@ -196,6 +203,7 @@ impl SweepRunner {
         SweepRunner {
             workers,
             verbose: false,
+            progress: false,
         }
     }
 
@@ -205,11 +213,17 @@ impl SweepRunner {
         self
     }
 
+    /// Enable the completed-run ticker on stderr.
+    pub fn progress(mut self) -> SweepRunner {
+        self.progress = true;
+        self
+    }
+
     /// Execute every run, in parallel, and collect summaries in run-index
     /// order. The report is a pure function of the run list: worker count
     /// and scheduling order cannot affect it.
     pub fn run(&self, runs: &[RunSpec]) -> SweepReport {
-        self.run_impl(runs, false).0
+        self.run_impl(runs, false, false).0
     }
 
     /// [`SweepRunner::run`], additionally keeping each run's
@@ -218,7 +232,18 @@ impl SweepRunner {
     /// sweeps should use [`SweepRunner::run`], which drops each artifact
     /// as soon as its run completes.
     pub fn run_traced(&self, runs: &[RunSpec]) -> (SweepReport, Vec<RunArtifact>) {
-        self.run_impl(runs, true)
+        let (report, traces, _) = self.run_impl(runs, true, false);
+        (report, traces)
+    }
+
+    /// [`SweepRunner::run`], additionally keeping each run's structured
+    /// event log in run-index order. Runs whose spec arms no observation
+    /// channel leave an empty log. The logs are a pure function of the
+    /// run list, like the report: any worker count yields byte-identical
+    /// JSONL (pinned by the scenario determinism tests).
+    pub fn run_observed(&self, runs: &[RunSpec]) -> (SweepReport, Vec<Vec<EventRecord>>) {
+        let (report, _, events) = self.run_impl(runs, false, true);
+        (report, events)
     }
 
     /// The worker count actually used for `run_count` runs: the
@@ -228,9 +253,15 @@ impl SweepRunner {
         self.workers.min(run_count).max(1)
     }
 
-    fn run_impl(&self, runs: &[RunSpec], keep_traces: bool) -> (SweepReport, Vec<RunArtifact>) {
-        type Slot = Mutex<Option<(RunSummary, RunArtifact)>>;
+    fn run_impl(
+        &self,
+        runs: &[RunSpec],
+        keep_traces: bool,
+        keep_events: bool,
+    ) -> (SweepReport, Vec<RunArtifact>, Vec<Vec<EventRecord>>) {
+        type Slot = Mutex<Option<(RunSummary, RunArtifact, Vec<EventRecord>)>>;
         let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         let slots: Vec<Slot> = runs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.effective_workers(runs.len());
         // Build each distinct prior's hypothesis prototypes once; every
@@ -243,12 +274,13 @@ impl SweepRunner {
                     if i >= runs.len() {
                         break;
                     }
-                    let (summary, trace) = execute_run_traced_in(&runs[i], &priors);
+                    let (summary, trace, events) = execute_run_observed_in(&runs[i], &priors);
                     let trace = if keep_traces {
                         trace
                     } else {
                         RunArtifact::None
                     };
+                    let events = if keep_events { events } else { Vec::new() };
                     if self.verbose {
                         eprintln!(
                             "  [{}/{}] {} {} — {}: {} sends, {} acked, {} events, {:.1}s wall",
@@ -263,21 +295,33 @@ impl SweepRunner {
                             summary.wall_s
                         );
                     }
-                    *slots[i].lock().expect("slot poisoned") = Some((summary, trace));
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.progress {
+                        // Completed-run count only — no wall clock, no
+                        // rates — so the ticker is deterministic noise-free
+                        // stderr and nothing else.
+                        eprint!("\r  {finished}/{} runs", runs.len());
+                        if finished == runs.len() {
+                            eprintln!();
+                        }
+                    }
+                    *slots[i].lock().expect("slot poisoned") = Some((summary, trace, events));
                 });
             }
         });
         let mut summaries = Vec::with_capacity(runs.len());
         let mut traces = Vec::with_capacity(runs.len());
+        let mut event_logs = Vec::with_capacity(runs.len());
         for slot in slots {
-            let (summary, trace) = slot
+            let (summary, trace, events) = slot
                 .into_inner()
                 .expect("slot poisoned")
                 .expect("every run executed");
             summaries.push(summary);
             traces.push(trace);
+            event_logs.push(events);
         }
-        (SweepReport { runs: summaries }, traces)
+        (SweepReport { runs: summaries }, traces, event_logs)
     }
 }
 
@@ -304,6 +348,20 @@ pub fn execute_run_traced(run: &RunSpec) -> (RunSummary, RunArtifact) {
 /// run is that run's work — runs execute entirely on one thread — and is
 /// deterministic for any worker count, unlike the stopwatch reading.
 pub fn execute_run_traced_in(run: &RunSpec, priors: &PriorCache) -> (RunSummary, RunArtifact) {
+    let (summary, trace, _) = execute_run_observed_in(run, priors);
+    (summary, trace)
+}
+
+/// [`execute_run_traced_in`], additionally returning the run's
+/// structured event log (empty unless the spec's [`crate::ObserveSpec`]
+/// arms a channel). The sink is armed for exactly the duration of the
+/// run on the executing thread, so per-run logs are independent of
+/// worker count and scheduling.
+pub fn execute_run_observed_in(
+    run: &RunSpec,
+    priors: &PriorCache,
+) -> (RunSummary, RunArtifact, Vec<EventRecord>) {
+    augur_obs::start_run(run.spec.observe.obs_config());
     let watch = Stopwatch::start();
     let counters_before = perf::snapshot();
     let (mut summary, trace) = match (&run.spec.workload, &run.spec.sender) {
@@ -328,7 +386,8 @@ pub fn execute_run_traced_in(run: &RunSpec, priors: &PriorCache) -> (RunSummary,
     if summary.wall_s == 0.0 {
         summary.wall_s = watch.elapsed_secs();
     }
-    (summary, trace)
+    let events = augur_obs::finish_run();
+    (summary, trace, events)
 }
 
 /// A summary skeleton with everything not-yet-measured marked missing.

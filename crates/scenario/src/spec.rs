@@ -424,6 +424,36 @@ pub enum WorkloadSpec {
     ManyFlows(ManyFlowSpec),
 }
 
+/// Observability arming for a scenario's runs (the `[observe]` config
+/// table, `sweep --trace-events` / `--belief-snapshots`). Default-off:
+/// a non-armed run takes the same no-op fast path the sink has always
+/// had, and arming either channel leaves CSVs, work counters, and RNG
+/// streams byte-identical (pinned by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObserveSpec {
+    /// Record the full structured event stream (wakes, fires,
+    /// deliveries, enqueues, drops, belief updates).
+    pub trace_events: bool,
+    /// Posterior snapshot cadence in sim time; `None` disables the
+    /// belief introspection channel.
+    pub snapshot_every: Option<Dur>,
+}
+
+impl ObserveSpec {
+    /// Is any channel armed?
+    pub fn active(&self) -> bool {
+        self.trace_events || self.snapshot_every.is_some()
+    }
+
+    /// The sink configuration this spec arms.
+    pub fn obs_config(&self) -> augur_obs::ObsConfig {
+        augur_obs::ObsConfig {
+            trace_events: self.trace_events,
+            snapshot_every: self.snapshot_every,
+        }
+    }
+}
+
 /// One fully-described experiment.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -441,6 +471,8 @@ pub struct ScenarioSpec {
     pub duration: Dur,
     /// Base seed; per-run seeds derive from `(base_seed, run_index)`.
     pub base_seed: u64,
+    /// Event tracing / belief introspection arming (default off).
+    pub observe: ObserveSpec,
 }
 
 impl ScenarioSpec {
@@ -459,6 +491,7 @@ impl ScenarioSpec {
             workload: WorkloadSpec::ClosedLoop,
             duration: Dur::from_secs(300),
             base_seed: 0xF13,
+            observe: ObserveSpec::default(),
         }
     }
 

@@ -1,0 +1,118 @@
+//! The observability layer's non-interference contract:
+//!
+//! 1. event logs and belief snapshots are byte-identical at any worker
+//!    count (each run's sink is thread-local and run-scoped, so
+//!    scheduling cannot reorder or split a run's log);
+//! 2. arming tracing/snapshots changes NOTHING about the sweep itself —
+//!    report CSV bytes and every work counter are identical to an
+//!    unobserved execution of the same runs;
+//! 3. the `--progress` ticker writes only to stderr, so report bytes
+//!    are identical with and without it.
+
+use augur_obs::{to_jsonl, EventKind};
+use augur_scenario::{presets, ObserveSpec, SweepGrid, SweepRunner};
+use augur_sim::Dur;
+
+/// The coexist-fairness grid with observability armed: the multi-agent
+/// loop exercises every event source (wakes, fires, queue churn, drops,
+/// belief updates against a TCP peer).
+fn observed_grid() -> SweepGrid {
+    let mut grid = presets::coexist_vs_tcp(Dur::from_secs(20), 2, 50_000);
+    grid.base.observe = ObserveSpec {
+        trace_events: true,
+        snapshot_every: Some(Dur::from_secs(5)),
+    };
+    grid
+}
+
+#[test]
+fn event_logs_are_byte_identical_across_workers() {
+    let runs = observed_grid().expand();
+    let (serial_report, serial_events) = SweepRunner::serial().run_observed(&runs);
+    let (parallel_report, parallel_events) = SweepRunner::with_workers(4).run_observed(&runs);
+    assert_eq!(
+        serial_report.to_csv_string(),
+        parallel_report.to_csv_string(),
+        "worker count leaked into observed sweep results"
+    );
+    assert_eq!(serial_events.len(), runs.len());
+    assert_eq!(parallel_events.len(), runs.len());
+    for (i, (s, p)) in serial_events.iter().zip(&parallel_events).enumerate() {
+        assert_eq!(
+            to_jsonl(s),
+            to_jsonl(p),
+            "run {i}: event JSONL drifted with workers"
+        );
+    }
+}
+
+#[test]
+fn event_logs_carry_every_event_family() {
+    let runs = observed_grid().expand();
+    let (_, logs) = SweepRunner::serial().run_observed(&runs);
+    let all: String = logs.iter().map(|l| to_jsonl(l)).collect();
+    for kind in [
+        "\"kind\":\"wake\"",
+        "\"kind\":\"deliver\"",
+        "\"kind\":\"enqueue\"",
+        "\"kind\":\"belief-update\"",
+        "\"kind\":\"snapshot\"",
+    ] {
+        assert!(all.contains(kind), "no {kind} event in any coexist log");
+    }
+    // Every log actually carries posterior snapshots once armed.
+    for log in &logs {
+        assert!(
+            log.iter()
+                .any(|e| matches!(e.kind, EventKind::Snapshot { .. })),
+            "cadence armed but no snapshots emitted"
+        );
+    }
+}
+
+#[test]
+fn observing_leaves_report_and_counters_byte_identical() {
+    let plain_grid = presets::coexist_vs_tcp(Dur::from_secs(20), 2, 50_000);
+    let plain_runs = plain_grid.expand();
+    let observed_runs = observed_grid().expand();
+    let plain = SweepRunner::serial().run(&plain_runs);
+    let (observed, logs) = SweepRunner::serial().run_observed(&observed_runs);
+    assert_eq!(
+        plain.to_csv_string(),
+        observed.to_csv_string(),
+        "arming observability changed sweep CSV bytes"
+    );
+    for (p, o) in plain.runs.iter().zip(&observed.runs) {
+        assert_eq!(
+            p.work, o.work,
+            "run {}: tracing perturbed the work counters",
+            p.index
+        );
+    }
+    assert!(
+        logs.iter().all(|l| !l.is_empty()),
+        "observed runs must actually produce events"
+    );
+}
+
+#[test]
+fn progress_ticker_leaves_report_bytes_identical() {
+    let runs = presets::coexist_vs_tcp(Dur::from_secs(20), 2, 50_000).expand();
+    let quiet = SweepRunner::serial().run(&runs);
+    let ticking = SweepRunner::serial().progress().run(&runs);
+    assert_eq!(
+        quiet.to_csv_string(),
+        ticking.to_csv_string(),
+        "--progress must be stderr-only; stdout/CSV bytes may not move"
+    );
+}
+
+#[test]
+fn unobserved_runs_emit_no_events() {
+    let runs = presets::coexist_vs_tcp(Dur::from_secs(20), 1, 50_000).expand();
+    let (_, logs) = SweepRunner::serial().run_observed(&runs);
+    assert!(
+        logs.iter().all(Vec::is_empty),
+        "observe defaults off: no events without [observe]"
+    );
+}

@@ -4,8 +4,10 @@
 //! This crate provides the vocabulary the rest of the system is written
 //! in: integer virtual [`Time`], integer physical units ([`BitRate`],
 //! [`Bits`], [`Ppm`]), [`Packet`]s and [`Delivery`] observations, a
-//! deterministic [`EventQueue`], a seeded [`SimRng`], and the always-on
-//! work counters / stopwatch of [`perf`] (re-exported by `augur-perf`).
+//! deterministic [`EventQueue`], a seeded [`SimRng`], the always-on
+//! work counters / stopwatch of [`perf`] (re-exported by `augur-perf`),
+//! and the canonical number/JSON formatting of [`canon`] that every
+//! deterministic artifact writer shares.
 //!
 //! Design rules (see DESIGN.md §4.1):
 //!
@@ -15,6 +17,7 @@
 //! * **All randomness is seeded and deterministic.** A simulation run is a
 //!   pure function of its configuration and seed.
 
+pub mod canon;
 pub mod event;
 pub mod packet;
 pub mod perf;

@@ -7,6 +7,7 @@
 //! bytes, which is what lets the scenario subsystem assert that a
 //! parallel sweep is byte-identical to a serial one.
 
+use augur_sim::canon;
 use std::io::{self, Write};
 
 /// One cell of a record.
@@ -118,7 +119,7 @@ impl Table {
                 .columns
                 .iter()
                 .zip(row)
-                .map(|(c, cell)| format!("{}:{}", json_string(c), json_cell(cell)))
+                .map(|(c, cell)| format!("{}:{}", canon::json_string(c), json_cell(cell)))
                 .collect();
             writeln!(w, "{{{}}}", fields.join(","))?;
         }
@@ -139,17 +140,19 @@ fn csv_cell(cell: &Cell) -> String {
         Cell::Str(s) => csv_escape(s),
         Cell::Int(v) => v.to_string(),
         Cell::Num(v) if v.is_nan() => String::new(),
-        Cell::Num(v) => v.to_string(),
+        Cell::Num(v) if v.is_infinite() => v.to_string(),
+        Cell::Num(v) => canon::fmt_f64(*v),
     }
 }
 
 fn json_cell(cell: &Cell) -> String {
     match cell {
-        Cell::Str(s) => json_string(s),
+        Cell::Str(s) => canon::json_string(s),
         Cell::Int(v) => v.to_string(),
-        Cell::Num(v) if v.is_nan() => "null".to_string(),
-        Cell::Num(v) if v.is_infinite() => json_string(if *v > 0.0 { "inf" } else { "-inf" }),
-        Cell::Num(v) => v.to_string(),
+        Cell::Num(v) if v.is_infinite() => {
+            canon::json_string(if *v > 0.0 { "inf" } else { "-inf" })
+        }
+        Cell::Num(v) => canon::json_num(*v),
     }
 }
 
@@ -160,25 +163,6 @@ fn csv_escape(field: &str) -> String {
     } else {
         field.to_string()
     }
-}
-
-/// A JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -223,6 +207,6 @@ mod tests {
 
     #[test]
     fn json_escapes_control_chars() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(canon::json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }
